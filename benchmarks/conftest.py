@@ -1,0 +1,37 @@
+"""Benchmark-suite plumbing.
+
+Every benchmark regenerates one of the paper's figures or tables at
+benchmark scale, times it via pytest-benchmark, prints the rendered
+rows, and writes them to ``benchmarks/output/<name>.txt`` so the
+reproduction artifacts survive output capturing.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+
+
+@pytest.fixture(scope="session")
+def output_dir() -> pathlib.Path:
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    return OUTPUT_DIR
+
+
+@pytest.fixture()
+def record(output_dir):
+    """Persist + print a rendered figure; fail on broken reproductions."""
+
+    def _record(name: str, result) -> None:
+        lines = result.render_lines()
+        text = "\n".join(lines)
+        (output_dir / f"{name}.txt").write_text(text + "\n")
+        print(text)
+        off = [r.label for r in result.rows() if r.ok is False]
+        # Benchmarks run at full scale: allow at most one noisy row.
+        assert len(off) <= 1, f"{name}: rows off the paper's shape: {off}"
+
+    return _record

@@ -1,0 +1,12 @@
+"""Benchmark: single server vs blade cluster (future work, Section 7)."""
+
+from repro.experiments import exp_cluster
+from repro.experiments.common import bench_config
+
+
+def test_exp_cluster(benchmark, record):
+    result = benchmark.pedantic(
+        lambda: exp_cluster.run(bench_config()), rounds=1, iterations=1
+    )
+    record("exp_cluster", result)
+    assert result.single.jops >= result.clusters["equal-cores"].jops * 0.97

@@ -1,0 +1,13 @@
+"""Benchmark: GC behavior vs heap size (the Blackburn-regime sweep)."""
+
+from repro.experiments import exp_heap_sweep
+from repro.experiments.common import bench_config
+
+
+def test_exp_heap_sweep(benchmark, record):
+    result = benchmark.pedantic(
+        lambda: exp_heap_sweep.run(bench_config()), rounds=1, iterations=1
+    )
+    record("exp_heap_sweep", result)
+    assert result.points[1024].gc_fraction < 0.02
+    assert result.points[256].gc_fraction > 0.05

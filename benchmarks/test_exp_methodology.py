@@ -1,0 +1,13 @@
+"""Benchmark: sampling-budget ablation for the correlation study."""
+
+from repro.experiments import exp_methodology
+from repro.experiments.common import bench_config
+
+
+def test_exp_methodology(benchmark, record):
+    result = benchmark.pedantic(
+        lambda: exp_methodology.run(bench_config()), rounds=1, iterations=1
+    )
+    record("exp_methodology", result)
+    budgets = sorted(result.deviation)
+    assert result.deviation[budgets[-1]] < result.deviation[budgets[0]]

@@ -1,0 +1,14 @@
+"""Benchmark: the processor-scaling study (future work, Section 7)."""
+
+from repro.experiments import exp_scaling
+from repro.experiments.common import bench_config
+
+
+def test_exp_scaling(benchmark, record):
+    result = benchmark.pedantic(
+        lambda: exp_scaling.run(bench_config(), hw_windows=30),
+        rounds=1,
+        iterations=1,
+    )
+    record("exp_scaling", result)
+    assert result.points[16].jops / result.points[4].jops < 4.0

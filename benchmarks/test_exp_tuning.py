@@ -1,0 +1,13 @@
+"""Benchmark: the Section 3.3 tuning walk."""
+
+from repro.experiments import exp_tuning
+from repro.experiments.common import bench_config
+
+
+def test_exp_tuning(benchmark, record):
+    result = benchmark.pedantic(
+        lambda: exp_tuning.run(bench_config()), rounds=1, iterations=1
+    )
+    record("exp_tuning", result)
+    assert result.steps["+ramdisk"].report.passed
+    assert not result.steps["untuned"].report.passed

@@ -1,0 +1,15 @@
+"""Benchmark: the JIT warm-up dynamic (Section 4.1.2's rationale)."""
+
+from repro.experiments import exp_warmup
+from repro.experiments.common import bench_config
+
+
+def test_exp_warmup(benchmark, record):
+    result = benchmark.pedantic(
+        lambda: exp_warmup.run(bench_config(), hw_windows=40),
+        rounds=1,
+        iterations=1,
+    )
+    record("exp_warmup", result)
+    assert result.early.cpi > result.late.cpi
+    assert result.compiled_late > 0.95

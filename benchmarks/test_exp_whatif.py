@@ -1,0 +1,15 @@
+"""Benchmark: the what-if ablation (estimates vs simulation)."""
+
+from repro.experiments import exp_whatif
+from repro.experiments.common import bench_config
+
+
+def test_exp_whatif(benchmark, record):
+    result = benchmark.pedantic(
+        lambda: exp_whatif.run(bench_config(), hw_windows=50),
+        rounds=1,
+        iterations=1,
+    )
+    record("exp_whatif", result)
+    outcome = result.outcomes["faster-l3"]
+    assert outcome.simulated_delta < -0.05

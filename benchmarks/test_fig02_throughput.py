@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Figure 2 (throughput by transaction type)."""
+
+from repro.experiments import fig02_throughput
+from repro.experiments.common import bench_config
+
+
+def test_fig02_throughput(benchmark, record):
+    result = benchmark.pedantic(
+        lambda: fig02_throughput.run(bench_config()), rounds=1, iterations=1
+    )
+    record("fig02_throughput", result)
+    assert result.jops_per_ir > 1.3

@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Figure 3 (garbage collection statistics)."""
+
+from repro.experiments import fig03_gc
+from repro.experiments.common import bench_config
+
+
+def test_fig03_gc(benchmark, record):
+    result = benchmark.pedantic(
+        lambda: fig03_gc.run(bench_config()), rounds=1, iterations=1
+    )
+    record("fig03_gc", result)
+    assert result.summary.collections >= 30  # ~45 in 20 virtual minutes

@@ -1,0 +1,18 @@
+"""Benchmark: regenerate Figure 4 (profile breakdown, flat profile).
+
+Runs at the paper's full method population (8500 JITed methods, 224
+warm) so the <1% hottest-method and 224-for-50% statistics are checked
+at their published scale.
+"""
+
+from repro.experiments import fig04_profile
+from repro.experiments.common import bench_config
+
+
+def test_fig04_profile(benchmark, record):
+    result = benchmark.pedantic(
+        lambda: fig04_profile.run(bench_config()), rounds=1, iterations=1
+    )
+    record("fig04_profile", result)
+    assert result.profile.hottest_share < 0.01  # the paper's <1%
+    assert 130 <= result.profile.items_for_half <= 320  # paper: 224

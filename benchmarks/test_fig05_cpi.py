@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Figure 5 (CPI, speculation rate, L1 misses)."""
+
+from repro.experiments import fig05_cpi
+from repro.experiments.common import bench_config
+
+
+def test_fig05_cpi(benchmark, record):
+    result = benchmark.pedantic(
+        lambda: fig05_cpi.run(bench_config(), n_mutator=100, n_gc_events=4),
+        rounds=1,
+        iterations=1,
+    )
+    record("fig05_cpi", result)
+    assert 2.4 < result.cpi < 3.8
+    assert result.idle_cpi < 1.0

@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Figure 6 (branch prediction)."""
+
+from repro.experiments import fig06_branch
+from repro.experiments.common import bench_config
+
+
+def test_fig06_branch(benchmark, record):
+    result = benchmark.pedantic(
+        lambda: fig06_branch.run(bench_config(), n_mutator=100, n_gc_events=4),
+        rounds=1,
+        iterations=1,
+    )
+    record("fig06_branch", result)
+    assert result.branches_per_instr_gc > result.branches_per_instr_mutator
+    assert result.cond_mispredict_gc < result.cond_mispredict

@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Figure 7 (TLB/ERAT miss frequencies)."""
+
+from repro.experiments import fig07_tlb
+from repro.experiments.common import bench_config
+
+
+def test_fig07_tlb(benchmark, record):
+    result = benchmark.pedantic(
+        lambda: fig07_tlb.run(bench_config(), n_mutator=100, n_gc_events=4),
+        rounds=1,
+        iterations=1,
+    )
+    record("fig07_tlb", result)
+    assert 1.0 / result.derat_per_instr > 100  # paper: >100 instr apart
+    assert result.dtlb_gc_ratio < 0.1  # orders fewer during GC

@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Figure 8 (L1 data cache performance)."""
+
+from repro.experiments import fig08_l1d
+from repro.experiments.common import bench_config
+
+
+def test_fig08_l1d(benchmark, record):
+    result = benchmark.pedantic(
+        lambda: fig08_l1d.run(bench_config(), n_mutator=100, n_gc_events=4),
+        rounds=1,
+        iterations=1,
+    )
+    record("fig08_l1d", result)
+    assert result.store_miss_gc < result.store_miss  # paper's GC signature

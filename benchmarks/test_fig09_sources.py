@@ -1,0 +1,18 @@
+"""Benchmark: regenerate Figure 9 (data sources after an L1 miss),
+including the TPC-W-like and single-MCM topology contrasts."""
+
+from repro.experiments import fig09_sources
+from repro.experiments.common import bench_config
+from repro.cpu.sources import DataSource
+
+
+def test_fig09_sources(benchmark, record):
+    result = benchmark.pedantic(
+        lambda: fig09_sources.run(bench_config(), hw_windows=80),
+        rounds=1,
+        iterations=1,
+    )
+    record("fig09_sources", result)
+    assert 0.65 < result.shares[DataSource.L2] < 0.85  # paper: ~75%
+    assert result.modified_share < 0.01  # "very little"
+    assert result.tpcw_modified_share > result.modified_share * 5

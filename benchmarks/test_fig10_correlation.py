@@ -1,0 +1,25 @@
+"""Benchmark: regenerate Figure 10 (CPI statistical correlation).
+
+The heaviest reproduction: eight counter groups, each measured over its
+own stretch of 130 sampling windows, exactly as a real hpmstat campaign
+cycles through groups during one long run.
+"""
+
+from repro.experiments import fig10_correlation
+from repro.experiments.common import bench_config
+from repro.hpm.events import Event
+
+
+def test_fig10_correlation(benchmark, record):
+    result = benchmark.pedantic(
+        lambda: fig10_correlation.run(bench_config(), windows_per_group=130),
+        rounds=1,
+        iterations=1,
+    )
+    record("fig10_correlation", result)
+    r = result.report.r_of
+    # The decisive poles of the paper's figure.
+    assert r(Event.PM_CYC_INST_CMPL) < -0.5
+    assert r(Event.PM_INST_FROM_L1) < -0.5
+    assert max(r(Event.PM_L1_PREF), r(Event.PM_STREAM_ALLOC)) > 0.2
+    assert r(Event.PM_DATA_FROM_MEM) > 0.1

@@ -1,0 +1,19 @@
+"""Benchmark: regenerate the Section 5 contrast table (jas2004 vs
+SPECjbb2000-like and SPECjvm98-like simple benchmarks)."""
+
+from repro.experiments import tab_baselines
+from repro.experiments.common import bench_config
+
+
+def test_tab_baselines(benchmark, record):
+    result = benchmark.pedantic(
+        lambda: tab_baselines.run(bench_config(), baseline_duration_s=480.0),
+        rounds=1,
+        iterations=1,
+    )
+    record("tab_baselines", result)
+    jas = result.contrasts["jas2004"]
+    jbb = result.contrasts["jbb2000"]
+    assert jas.profile.is_flat
+    assert not jbb.profile.is_flat
+    assert jbb.gc_percent > jas.gc_percent * 2

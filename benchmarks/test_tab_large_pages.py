@@ -1,0 +1,20 @@
+"""Benchmark: regenerate Section 4.2.2's large-page ablation (4 KB
+everywhere vs heap large pages vs heap+code large pages)."""
+
+from repro.experiments import tab_large_pages
+from repro.experiments.common import bench_config
+
+
+def test_tab_large_pages(benchmark, record):
+    result = benchmark.pedantic(
+        lambda: tab_large_pages.run(bench_config(), hw_windows=60),
+        rounds=1,
+        iterations=1,
+    )
+    record("tab_large_pages", result)
+    small = result.variants["small"]
+    heap = result.variants["heap"]
+    code = result.variants["code"]
+    assert heap.dtlb_hit_rate > small.dtlb_hit_rate
+    assert heap.itlb_hit_rate > small.itlb_hit_rate
+    assert code.itlb_miss_per_instr < heap.itlb_miss_per_instr

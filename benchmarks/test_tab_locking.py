@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Section 4.2.4's locking/SYNC table."""
+
+from repro.experiments import tab_locking
+from repro.experiments.common import bench_config
+
+
+def test_tab_locking(benchmark, record):
+    result = benchmark.pedantic(
+        lambda: tab_locking.run(bench_config(), n_mutator=80, n_gc_events=4),
+        rounds=1,
+        iterations=1,
+    )
+    record("tab_locking", result)
+    assert 380 < result.instr_per_larx < 950  # paper: ~600
+    assert result.sync_srq_user < 0.01  # paper: <1%
+    assert 0.03 < result.sync_srq_kernel < 0.12  # paper: ~7%

@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Section 4.1's utilization/disk table (IR
+sweep, RAM disk vs 2 vs 10 hard disks)."""
+
+from repro.experiments import tab_utilization
+from repro.experiments.common import bench_config
+
+
+def test_tab_utilization(benchmark, record):
+    result = benchmark.pedantic(
+        lambda: tab_utilization.run(bench_config()), rounds=1, iterations=1
+    )
+    record("tab_utilization", result)
+    assert result.ir47.utilization > 0.95
+    assert not result.two_disks.passed
+    assert result.ram_disk.passed and result.many_disks.passed

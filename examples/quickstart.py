@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Quickstart: characterize the jas2004-like workload end to end.
+
+Runs the full pipeline the paper describes — tune/run the workload,
+sample the hardware performance monitor, run the correlation study —
+and prints the complete characterization report: benchmark metrics,
+the Figure 3 GC table, the Figure 4 profile breakdown, the hardware
+summary, the Figure 10 correlation bars, and the derived findings.
+
+Usage::
+
+    python examples/quickstart.py [--full]
+
+The default is a scaled 5-minute virtual run (~15 s wall clock);
+``--full`` runs the paper's 60-minute configuration (a few minutes).
+"""
+
+import sys
+import time
+
+from repro import Characterization, render_report
+from repro.experiments.common import bench_config, quick_config
+from repro.workload.presets import jas2004
+
+
+def main() -> None:
+    if "--full" in sys.argv:
+        config = jas2004(duration_s=3600.0)
+        hw_windows, corr_windows = 150, 120
+        print("Running the paper-scale configuration (60 virtual minutes)...")
+    elif "--bench" in sys.argv:
+        config = bench_config()
+        hw_windows, corr_windows = 100, 80
+    else:
+        config = quick_config()
+        hw_windows, corr_windows = 60, 40
+        print("Running the quick configuration (5 virtual minutes);")
+        print("pass --full for the paper-scale 60-minute run.\n")
+
+    started = time.time()
+    study = Characterization(config)
+    report = study.run(
+        hw_windows=hw_windows, correlation_windows_per_group=corr_windows
+    )
+    elapsed = time.time() - started
+
+    print(render_report(report))
+
+    # What would help?  Rank the paper's proposed enhancements.
+    from repro.core.whatif import WhatIfAnalyzer
+
+    analyzer = WhatIfAnalyzer()
+    estimates = analyzer.estimate_all(
+        report.hardware, config.machine.latencies
+    )
+    print()
+    print("\n".join(analyzer.render_lines(estimates)))
+    print(f"\n(characterization completed in {elapsed:.1f}s wall clock)")
+
+
+if __name__ == "__main__":
+    main()

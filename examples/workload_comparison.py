@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Contrast study: jas2004 vs the simple Java benchmarks.
+
+The paper's recurring argument is that conclusions drawn from small
+Java benchmarks (SPECjvm98, SPECjbb2000) do not transfer to a real
+3-tier J2EE system: small benchmarks have hot methods, GC-dominated
+runtimes and JVM-bound profiles; jas2004 has none of those.  And unlike
+Java TPC-W (Cain et al.), jas2004 has almost no modified cache-to-cache
+traffic.
+
+This example characterizes all four workload presets with the *same*
+rule base and prints which optimization opportunities apply to which
+workload — the punchline being that they differ.
+
+Usage::
+
+    python examples/workload_comparison.py
+"""
+
+import dataclasses
+
+from repro import Characterization
+from repro.config import SamplingConfig
+from repro.workload.presets import jas2004, jbb2000_like, jvm98_like, tpcw_like
+
+SAMPLING = SamplingConfig(window_cycles=20000, warmup_windows=6)
+
+
+def characterize(name, config):
+    config = dataclasses.replace(config, sampling=SAMPLING)
+    study = Characterization(config)
+    return study.run(hw_windows=40, correlation_windows_per_group=0)
+
+
+def main() -> None:
+    presets = [
+        ("jas2004", jas2004(duration_s=420.0)),
+        ("jbb2000", jbb2000_like(duration_s=300.0)),
+        ("jvm98", jvm98_like(duration_s=240.0)),
+        ("tpcw", tpcw_like(duration_s=300.0)),
+    ]
+    reports = [(name, characterize(name, cfg)) for name, cfg in presets]
+
+    print("=== Measured characteristics ===")
+    print(
+        f"{'workload':>9} {'heap':>6} {'GC%':>6} {'hottest':>8} "
+        f"{'meth@50%':>9} {'CPI':>5} {'mem op/instr':>13} {'mod c2c%':>9}"
+    )
+    for name, r in reports:
+        print(
+            f"{name:>9} {r.config.jvm.heap_mb:>5}M "
+            f"{r.gc.percent_of_runtime * 100:>5.1f}% "
+            f"{r.profile.hottest_share * 100:>7.1f}% "
+            f"{r.profile.items_for_half:>9} "
+            f"{r.hardware.cpi:>5.2f} "
+            f"{r.hardware.memory_ops_per_instr:>13.2f} "
+            f"{r.hardware.modified_remote_share * 100:>8.2f}%"
+        )
+
+    print("\n=== Which findings fire where ===")
+    all_ids = sorted({f.id for _, r in reports for f in r.findings})
+    header = f"{'finding':>32} " + "".join(f"{name:>9}" for name, _ in reports)
+    print(header)
+    for finding_id in all_ids:
+        row = f"{finding_id:>32} "
+        for _, r in reports:
+            fired = any(f.id == finding_id for f in r.findings)
+            row += f"{'x' if fired else '.':>9}"
+        print(row)
+
+    print("\nExpected contrasts (the paper's Section 5):")
+    print(" * flat-profile fires only for the J2EE workloads;")
+    print(" * gc-not-a-bottleneck holds for jas2004's 1 GB heap but the")
+    print("   small-heap benchmarks show gc-significant;")
+    print(" * co-scheduling-promising fires only for the TPC-W-like preset.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+The project is configured in pyproject.toml; this file only enables
+``pip install -e . --no-build-isolation --no-use-pep517`` on offline
+machines where the PEP 517 editable path (which needs ``wheel``) is
+unavailable.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,45 @@
+"""repro — a reproduction of "Characterizing a Complex J2EE Workload"
+(Shuf & Steiner, ISPASS 2007).
+
+The package simulates the paper's entire measurement stack — a
+SPECjAppServer2004-like multi-tier workload, an IBM J9-like JVM, a
+POWER4-like processor with its hardware performance monitor — and
+implements the paper's characterization methodology on top of it.
+
+Quickstart::
+
+    from repro import Characterization, render_report
+    from repro.workload.presets import jas2004, scaled_for_tests
+
+    study = Characterization(scaled_for_tests(jas2004()))
+    report = study.run()
+    print(render_report(report))
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+per-figure reproduction results.
+"""
+
+from repro.config import ExperimentConfig
+from repro.core.characterization import (
+    Characterization,
+    CharacterizationReport,
+    HardwareSummary,
+)
+from repro.core.report import render_report
+from repro.workload.metrics import BenchmarkReport, evaluate_run
+from repro.workload.sut import RunResult, SystemUnderTest
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ExperimentConfig",
+    "Characterization",
+    "CharacterizationReport",
+    "HardwareSummary",
+    "render_report",
+    "BenchmarkReport",
+    "evaluate_run",
+    "RunResult",
+    "SystemUnderTest",
+    "__version__",
+]

@@ -1,0 +1,235 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands::
+
+    characterize   run the full characterization and print the report
+    figure N       regenerate one of the paper's figures (2-10)
+    tables         regenerate the in-text tables
+    whatif         estimate + validate the enhancement scenarios
+    scaling        the processor-scaling study (future work)
+    tuning         the Section 3.3 tuning walk
+    cluster        single server vs blade cluster (future work)
+    warmup         the JIT warm-up dynamic (why profile the last 5 min)
+    heap-sweep     GC behavior across heap sizes
+    methodology    sampling-budget ablation for the correlation study
+    compare        jas2004 vs the simple-benchmark baselines
+    reproduce-all  regenerate the entire paper into one report
+
+Every command accepts ``--scale quick|bench|full`` (default ``quick``)
+and ``--seed N``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.config import ExperimentConfig
+
+
+def _config(args: argparse.Namespace) -> ExperimentConfig:
+    from repro.experiments.common import bench_config, quick_config
+    from repro.workload.presets import jas2004
+
+    if getattr(args, "config", None):
+        from repro.config_io import load_config
+
+        return load_config(args.config)
+    if args.scale == "full":
+        base = jas2004(duration_s=3600.0, seed=args.seed)
+    elif args.scale == "bench":
+        base = bench_config(seed=args.seed)
+    else:
+        base = quick_config(seed=args.seed)
+    return base
+
+
+def _emit(lines: List[str]) -> None:
+    print("\n".join(lines))
+
+
+def cmd_characterize(args: argparse.Namespace) -> int:
+    from repro import Characterization, render_report
+
+    study = Characterization(_config(args))
+    report = study.run(
+        hw_windows=args.windows, correlation_windows_per_group=args.windows
+    )
+    print(render_report(report))
+    return 0
+
+
+_FIGURES = {
+    2: ("fig02_throughput", {}),
+    3: ("fig03_gc", {}),
+    4: ("fig04_profile", {}),
+    5: ("fig05_cpi", {}),
+    6: ("fig06_branch", {}),
+    7: ("fig07_tlb", {}),
+    8: ("fig08_l1d", {}),
+    9: ("fig09_sources", {}),
+    10: ("fig10_correlation", {}),
+}
+
+
+def cmd_figure(args: argparse.Namespace) -> int:
+    import importlib
+
+    if args.number not in _FIGURES:
+        print(f"no figure {args.number}; choose from {sorted(_FIGURES)}")
+        return 2
+    module_name, kwargs = _FIGURES[args.number]
+    module = importlib.import_module(f"repro.experiments.{module_name}")
+    result = module.run(_config(args), **kwargs)
+    _emit(result.render_lines())
+    return 0
+
+
+def cmd_tables(args: argparse.Namespace) -> int:
+    import importlib
+
+    for name in ("tab_utilization", "tab_large_pages", "tab_locking", "tab_baselines"):
+        module = importlib.import_module(f"repro.experiments.{name}")
+        result = module.run(_config(args))
+        _emit(result.render_lines())
+    return 0
+
+
+def _simple_experiment(module_name: str):
+    def handler(args: argparse.Namespace) -> int:
+        import importlib
+
+        module = importlib.import_module(f"repro.experiments.{module_name}")
+        result = module.run(_config(args))
+        _emit(result.render_lines())
+        return 0
+
+    return handler
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    from repro.experiments import tab_baselines
+
+    result = tab_baselines.run(_config(args))
+    _emit(result.render_lines())
+    return 0
+
+
+def cmd_save_config(args: argparse.Namespace) -> int:
+    from repro.config_io import save_config
+
+    save_config(_config(args), args.output)
+    print(f"wrote {args.output}")
+    return 0
+
+
+def cmd_reproduce_all(args: argparse.Namespace) -> int:
+    from repro.experiments.reproduce_all import run as run_all
+
+    result = run_all(_config(args))
+    text = "\n".join(result.render_lines())
+    if args.output:
+        from pathlib import Path
+
+        Path(args.output).write_text(text + "\n")
+        print("\n".join(result.summary_lines()))
+        print(f"\nfull report written to {args.output}")
+    else:
+        print(text)
+    return 0 if len(result.rows_off) <= 3 else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument(
+        "--scale",
+        choices=("quick", "bench", "full"),
+        default="quick",
+        help="experiment scale (default: quick)",
+    )
+    common.add_argument("--seed", type=int, default=2007)
+    common.add_argument(
+        "--windows",
+        type=int,
+        default=60,
+        help="HPM sampling windows (characterize)",
+    )
+    common.add_argument(
+        "--config",
+        metavar="FILE",
+        help="load the experiment config from a JSON manifest "
+        "(overrides --scale/--seed)",
+    )
+
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Characterizing a Complex J2EE Workload' "
+            "(ISPASS 2007)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser(
+        "characterize", help="full study + report", parents=[common]
+    ).set_defaults(handler=cmd_characterize)
+    figure = sub.add_parser(
+        "figure", help="regenerate one figure", parents=[common]
+    )
+    figure.add_argument("number", type=int)
+    figure.set_defaults(handler=cmd_figure)
+    sub.add_parser(
+        "tables", help="regenerate the in-text tables", parents=[common]
+    ).set_defaults(handler=cmd_tables)
+    sub.add_parser(
+        "whatif", help="enhancement estimates vs simulation", parents=[common]
+    ).set_defaults(handler=_simple_experiment("exp_whatif"))
+    sub.add_parser(
+        "scaling", help="processor-scaling study", parents=[common]
+    ).set_defaults(handler=_simple_experiment("exp_scaling"))
+    sub.add_parser(
+        "tuning", help="the Section 3.3 tuning walk", parents=[common]
+    ).set_defaults(handler=_simple_experiment("exp_tuning"))
+    sub.add_parser(
+        "cluster", help="single server vs blade cluster", parents=[common]
+    ).set_defaults(handler=_simple_experiment("exp_cluster"))
+    sub.add_parser(
+        "warmup", help="the JIT warm-up dynamic", parents=[common]
+    ).set_defaults(handler=_simple_experiment("exp_warmup"))
+    sub.add_parser(
+        "heap-sweep", help="GC behavior vs heap size", parents=[common]
+    ).set_defaults(handler=_simple_experiment("exp_heap_sweep"))
+    sub.add_parser(
+        "methodology",
+        help="sampling-budget ablation for Figure 10",
+        parents=[common],
+    ).set_defaults(handler=_simple_experiment("exp_methodology"))
+    sub.add_parser(
+        "compare", help="jas2004 vs simple benchmarks", parents=[common]
+    ).set_defaults(handler=cmd_compare)
+    save = sub.add_parser(
+        "save-config",
+        help="write the selected config as a reproducible JSON manifest",
+        parents=[common],
+    )
+    save.add_argument("output", metavar="FILE")
+    save.set_defaults(handler=cmd_save_config)
+    everything = sub.add_parser(
+        "reproduce-all",
+        help="regenerate every figure, table and extension study",
+        parents=[common],
+    )
+    everything.add_argument("--output", metavar="FILE", default=None)
+    everything.set_defaults(handler=cmd_reproduce_all)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

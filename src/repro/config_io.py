@@ -1,0 +1,110 @@
+"""Saving and loading experiment configurations as JSON.
+
+A characterization is fully determined by its
+:class:`~repro.config.ExperimentConfig` (including the seed), so a
+saved config file *is* a reproducible experiment manifest.  The
+benchmarks' provenance story — "which exact machine/workload produced
+this figure?" — reduces to keeping these files next to the outputs.
+
+Round-trip guarantee: ``config_from_dict(config_to_dict(c)) == c`` for
+every config expressible in :mod:`repro.config` (tested, including all
+presets).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Any, Dict, Union
+
+from repro.config import (
+    BranchPredictorConfig,
+    CacheGeometry,
+    DiskConfig,
+    ExperimentConfig,
+    GcCostModel,
+    JvmConfig,
+    MachineConfig,
+    PipelineLatencies,
+    PrefetcherConfig,
+    ResponseTimeRequirements,
+    SamplingConfig,
+    SharingProfile,
+    TopologyConfig,
+    TransactionSpec,
+    TranslationConfig,
+    WorkloadConfig,
+)
+
+#: Format marker written into every file, checked on load.
+FORMAT = "repro.experiment-config/1"
+
+
+def config_to_dict(config: ExperimentConfig) -> Dict[str, Any]:
+    """Serialize to plain JSON-compatible data."""
+    data = dataclasses.asdict(config)
+    data["_format"] = FORMAT
+    return data
+
+
+def _build(cls, data: Dict[str, Any]):
+    """Construct a flat frozen dataclass from its dict."""
+    return cls(**data)
+
+
+def config_from_dict(data: Dict[str, Any]) -> ExperimentConfig:
+    """Reconstruct an :class:`ExperimentConfig` from serialized data.
+
+    Raises:
+        ValueError: on a missing or unknown format marker.
+    """
+    data = dict(data)
+    marker = data.pop("_format", None)
+    if marker != FORMAT:
+        raise ValueError(f"not a repro config file (format={marker!r})")
+
+    m = data["machine"]
+    machine = MachineConfig(
+        l1i=_build(CacheGeometry, m["l1i"]),
+        l1d=_build(CacheGeometry, m["l1d"]),
+        translation=_build(TranslationConfig, m["translation"]),
+        branch=_build(BranchPredictorConfig, m["branch"]),
+        prefetcher=_build(PrefetcherConfig, m["prefetcher"]),
+        latencies=_build(PipelineLatencies, m["latencies"]),
+        topology=_build(TopologyConfig, m["topology"]),
+    )
+
+    j = dict(data["jvm"])
+    j["gc"] = _build(GcCostModel, j["gc"])
+    jvm = JvmConfig(**j)
+
+    w = dict(data["workload"])
+    w["transactions"] = tuple(
+        TransactionSpec(**spec) for spec in w["transactions"]
+    )
+    w["disk"] = _build(DiskConfig, w["disk"])
+    w["requirements"] = _build(ResponseTimeRequirements, w["requirements"])
+    w["sharing"] = _build(SharingProfile, w["sharing"])
+    workload = WorkloadConfig(**w)
+
+    sampling = _build(SamplingConfig, data["sampling"])
+    return ExperimentConfig(
+        seed=data["seed"],
+        machine=machine,
+        jvm=jvm,
+        workload=workload,
+        sampling=sampling,
+    )
+
+
+def save_config(config: ExperimentConfig, path: Union[str, Path]) -> None:
+    """Write the config as pretty-printed JSON."""
+    Path(path).write_text(
+        json.dumps(config_to_dict(config), indent=2, sort_keys=True) + "\n"
+    )
+
+
+def load_config(path: Union[str, Path]) -> ExperimentConfig:
+    """Load a config previously written by :func:`save_config`."""
+    return config_from_dict(json.loads(Path(path).read_text()))

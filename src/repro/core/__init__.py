@@ -1,0 +1,53 @@
+"""The characterization methodology — the paper's primary contribution.
+
+Everything in this package operates on measurements (sample series,
+counter snapshots, profiles), not on the simulator itself, so a
+downstream user can point it at their own data:
+
+* :mod:`repro.core.steady_state` — ramp trimming and steady-state
+  detection (Section 3.3: profiles stabilize within 5 minutes).
+* :mod:`repro.core.smoothing` — Bezier smoothing (Figure 7's curves).
+* :mod:`repro.core.correlation` — the statistical-correlation study
+  between hardware events and CPI (Section 4.3, Figure 10), including
+  the counter-group constraint handling.
+* :mod:`repro.core.profile_analysis` — flat-profile diagnostics
+  (Section 4.1.2: hottest-method share, N-for-50%, the 90/10 test).
+* :mod:`repro.core.vertical` — vertical profiling: aligning series
+  from different tools and attributing periodic behavior to GC.
+* :mod:`repro.core.characterization` — the orchestrator that runs the
+  full study end to end.
+* :mod:`repro.core.insights` — the rule base mapping measured
+  characteristics to the paper's optimization-opportunity conclusions.
+* :mod:`repro.core.whatif` — first-order benefit estimation for the
+  enhancements Section 4 proposes, with config transforms so every
+  estimate can be validated by re-simulation.
+"""
+
+from repro.core.characterization import Characterization, CharacterizationReport
+from repro.core.correlation import CpiCorrelationReport, CpiCorrelationStudy
+from repro.core.insights import Finding, derive_findings
+from repro.core.profile_analysis import ProfileAnalysis, analyze_profile
+from repro.core.smoothing import bezier_smooth, moving_average
+from repro.core.steady_state import detect_steady_start, steady_slice
+from repro.core.regression import CpiDecomposition, decompose_cpi
+from repro.core.whatif import Scenario, WhatIfAnalyzer, default_scenarios
+
+__all__ = [
+    "Characterization",
+    "CharacterizationReport",
+    "CpiCorrelationReport",
+    "CpiCorrelationStudy",
+    "Finding",
+    "derive_findings",
+    "ProfileAnalysis",
+    "analyze_profile",
+    "bezier_smooth",
+    "moving_average",
+    "detect_steady_start",
+    "steady_slice",
+    "Scenario",
+    "WhatIfAnalyzer",
+    "default_scenarios",
+    "CpiDecomposition",
+    "decompose_cpi",
+]

@@ -1,0 +1,211 @@
+"""The optimization-opportunity rule base.
+
+Section 4 of the paper closes each analysis with an engineering
+conclusion — GC is not the bottleneck, hot-spot optimization won't
+work, co-scheduling won't help, large pages for code would.  This
+module encodes those rules so the same conclusions are *derived from
+measurements* rather than restated: point the rule base at a
+:class:`~repro.core.characterization.CharacterizationReport` (from any
+workload preset) and it reports which opportunities apply.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, List
+
+from repro.cpu.sources import InstSource
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.characterization import CharacterizationReport
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One derived conclusion."""
+
+    id: str
+    title: str
+    evidence: str
+
+    def render(self) -> str:
+        return f"[{self.id}] {self.title}\n    evidence: {self.evidence}"
+
+
+def derive_findings(report: "CharacterizationReport") -> List[Finding]:
+    """Apply every rule; returns the findings that fired."""
+    findings: List[Finding] = []
+    hw = report.hardware
+    gc = report.gc
+    profile = report.profile
+
+    # --- GC overhead (Section 4.1.1) -----------------------------------
+    if gc.percent_of_runtime < 0.02:
+        findings.append(
+            Finding(
+                "gc-not-a-bottleneck",
+                "Garbage collection is not a bottleneck on this tuned "
+                "system; 'managed memory overhead' concerns do not apply.",
+                f"GC takes {gc.percent_of_runtime * 100:.2f}% of runtime "
+                f"(pauses {gc.mean_pause_ms:.0f} ms every "
+                f"{gc.mean_period_s:.0f} s)",
+            )
+        )
+    else:
+        findings.append(
+            Finding(
+                "gc-significant",
+                "Garbage collection consumes a significant share of "
+                "runtime; heap sizing/GC tuning is a first-order lever.",
+                f"GC takes {gc.percent_of_runtime * 100:.1f}% of runtime",
+            )
+        )
+    if gc.mean_mark_fraction > 0.6:
+        findings.append(
+            Finding(
+                "mark-locality",
+                "Mark dominates GC pauses; a traversal order that "
+                "respects locality during marking can reduce pause times.",
+                f"mark is {gc.mean_mark_fraction * 100:.0f}% of GC time",
+            )
+        )
+
+    # --- Profile shape (Section 4.1.2) ----------------------------------
+    if profile.is_flat:
+        findings.append(
+            Finding(
+                "flat-profile",
+                "The method profile is flat: targeted hot-spot or "
+                "single-method JIT optimizations cannot yield sizeable "
+                "gains; look for common instruction patterns across "
+                "methods instead.",
+                f"hottest method {profile.hottest_share * 100:.2f}%, "
+                f"{profile.items_for_half} methods needed for 50%, "
+                "90/10 rule does not apply",
+            )
+        )
+    else:
+        findings.append(
+            Finding(
+                "hot-spots-exist",
+                "The profile has hot spots: classic targeted "
+                "optimization of a few methods is worthwhile.",
+                f"hottest method {profile.hottest_share * 100:.1f}%, "
+                f"top 10% of methods cover "
+                f"{profile.top_decile_share * 100:.0f}%",
+            )
+        )
+
+    # --- Memory intensity (Section 4.2.3) --------------------------------
+    if hw.memory_ops_per_instr >= 0.45:
+        findings.append(
+            Finding(
+                "memory-intensive",
+                "Nearly one memory operation per two instructions: low "
+                "L1D latency and data-footprint reduction matter.",
+                f"1 load per {hw.instr_per_load:.1f} and 1 store per "
+                f"{hw.instr_per_store:.1f} instructions",
+            )
+        )
+
+    # --- Cache-to-cache traffic (Section 4.2.3) ---------------------------
+    if hw.modified_remote_share < 0.01:
+        findings.append(
+            Finding(
+                "co-scheduling-unpromising",
+                "Almost no modified cache-to-cache transfers: intelligent "
+                "thread co-scheduling would bring little benefit (unlike "
+                "TPC-W-class workloads).",
+                f"modified remote transfers are "
+                f"{hw.modified_remote_share * 100:.2f}% of L1D miss sources",
+            )
+        )
+    else:
+        findings.append(
+            Finding(
+                "co-scheduling-promising",
+                "Significant modified cache-to-cache traffic: thread "
+                "co-scheduling and cache-affinity placement are promising.",
+                f"modified remote transfers are "
+                f"{hw.modified_remote_share * 100:.1f}% of L1D miss sources",
+            )
+        )
+
+    # --- Instruction footprint -------------------------------------------
+    beyond_l1 = 1.0 - hw.inst_source_shares.get(InstSource.L1, 1.0)
+    if beyond_l1 > 0.03:
+        findings.append(
+            Finding(
+                "code-footprint-large",
+                "The instruction working set spills past the L1I (the "
+                "code footprint cannot fit an L2): code reordering, "
+                "pre-compilation, and large pages for executable/JIT "
+                "code are good directions.",
+                f"{beyond_l1 * 100:.1f}% of instruction fetches come "
+                "from beyond the L1I",
+            )
+        )
+
+    # --- Translation (Section 4.2.2) ---------------------------------------
+    if hw.tlb_satisfies_derat < 0.9:
+        findings.append(
+            Finding(
+                "erat-pressure",
+                "ERAT miss rates leave room for object-locality "
+                "optimizations or larger ERATs; translation misses "
+                "correlate with CPI.",
+                f"a DERAT miss every {1.0 / max(1e-9, hw.derat_miss_per_instr):.0f} "
+                f"instructions; the TLB satisfies "
+                f"{hw.tlb_satisfies_derat * 100:.0f}% of them",
+            )
+        )
+
+    # --- Locking (Section 4.2.4) --------------------------------------------
+    if hw.instr_per_larx < 2000 and hw.stcx_fail_rate < 0.05:
+        findings.append(
+            Finding(
+                "locking-frequent-uncontended",
+                "Lock acquisition is frequent but uncontended: reducing "
+                "lock *acquisition* cost (not contention) is the lever.",
+                f"a LARX every {hw.instr_per_larx:.0f} instructions with "
+                f"{hw.stcx_fail_rate * 100:.1f}% STCX failures",
+            )
+        )
+    if hw.sync_srq_fraction < 0.01:
+        findings.append(
+            Finding(
+                "sync-cheap",
+                "SYNC overhead is small for user-level code; little room "
+                "for improvement there.",
+                f"a SYNC occupies the SRQ {hw.sync_srq_fraction * 100:.2f}% "
+                "of cycles",
+            )
+        )
+
+    # --- Correlation-driven (Section 4.3) -------------------------------------
+    if report.correlations is not None:
+        strongest = report.correlations.strongest(4)
+        names = ", ".join(f"{c.event.value} (r={c.r:+.2f})" for c in strongest)
+        findings.append(
+            Finding(
+                "cpi-correlates",
+                "No single event is perfectly correlated with CPI — no "
+                "'drastic' single fix exists — but the strongest "
+                "correlates point at prefetch-triggering miss bursts, "
+                "translation misses, instruction fetch depth, and branch "
+                "prediction.",
+                f"strongest |r|: {names}",
+            )
+        )
+        r_ta = report.correlations.r_target_miss_vs_icache_miss
+        if r_ta is not None and r_ta > 0.5:
+            findings.append(
+                Finding(
+                    "indirect-branches-icache",
+                    "Target-address mispredictions move with instruction "
+                    "cache misses: converting indirect call sites to "
+                    "relative branches (devirtualization) helps both.",
+                    f"r(target mispredictions, I-fetches beyond L1) = {r_ta:.2f}",
+                )
+            )
+    return findings

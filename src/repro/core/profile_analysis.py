@@ -1,0 +1,102 @@
+"""Flat-profile diagnostics (Section 4.1.2).
+
+The paper's headline software finding is that jas2004's method profile
+is *flat*: the hottest method takes <1% of time, 224 of 8500 methods
+are needed to cover 50% of JITed time, and the classic 90/10 rule does
+not apply.  :func:`analyze_profile` computes those statistics for any
+weighted profile and renders the verdict.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class ProfileAnalysis:
+    """Shape statistics of one execution-time profile."""
+
+    n_items: int
+    hottest_share: float
+    #: Hottest items needed to cover 50% of the time.
+    items_for_half: int
+    #: Hottest items needed to cover 90% of the time.
+    items_for_ninety: int
+    #: Share of time covered by the hottest 10% of items.
+    top_decile_share: float
+    #: Gini-style concentration in [0, 1] (0 = perfectly flat).
+    concentration: float
+
+    @property
+    def ninety_ten_applies(self) -> bool:
+        """True if 10% of the items cover >=90% of the time."""
+        return self.top_decile_share >= 0.90
+
+    @property
+    def is_flat(self) -> bool:
+        """The paper's flatness criterion: no hot spots, no 90/10."""
+        return self.hottest_share < 0.02 and not self.ninety_ten_applies
+
+    def verdict_lines(self) -> List[str]:
+        return [
+            f"items: {self.n_items}",
+            f"hottest item: {self.hottest_share * 100:.2f}% of time",
+            f"items covering 50%: {self.items_for_half}",
+            f"items covering 90%: {self.items_for_ninety}",
+            f"top 10% of items cover: {self.top_decile_share * 100:.1f}%",
+            f"90/10 rule applies: {'yes' if self.ninety_ten_applies else 'no'}",
+            f"profile is {'FLAT' if self.is_flat else 'CONCENTRATED'}",
+        ]
+
+
+def _coverage_count(sorted_shares: Sequence[float], target: float) -> int:
+    acc = 0.0
+    for i, share in enumerate(sorted_shares, start=1):
+        acc += share
+        if acc >= target:
+            return i
+    return len(sorted_shares)
+
+
+def analyze_profile(weights: Sequence[float]) -> ProfileAnalysis:
+    """Analyze a profile given per-item time weights (any scale)."""
+    if not weights:
+        raise ValueError("empty profile")
+    total = float(sum(weights))
+    if total <= 0:
+        raise ValueError("profile has no weight")
+    shares = sorted((w / total for w in weights), reverse=True)
+    n = len(shares)
+    decile = max(1, n // 10)
+    top_decile = sum(shares[:decile])
+    # Gini coefficient over the share distribution.
+    ascending = shares[::-1]
+    cum = 0.0
+    weighted = 0.0
+    for i, s in enumerate(ascending, start=1):
+        cum += s
+        weighted += cum
+    gini = 1.0 - 2.0 * (weighted - 0.5) / n if n > 1 else 0.0
+    gini = min(1.0, max(0.0, gini))
+    return ProfileAnalysis(
+        n_items=n,
+        hottest_share=shares[0],
+        items_for_half=_coverage_count(shares, 0.50),
+        items_for_ninety=_coverage_count(shares, 0.90),
+        top_decile_share=top_decile,
+        concentration=gini,
+    )
+
+
+def compare_profiles(
+    a: ProfileAnalysis, b: ProfileAnalysis
+) -> List[Tuple[str, float, float]]:
+    """Side-by-side rows for contrasting two profiles (jas2004 vs a
+    simple benchmark)."""
+    return [
+        ("hottest item share", a.hottest_share, b.hottest_share),
+        ("items for 50%", float(a.items_for_half), float(b.items_for_half)),
+        ("top decile share", a.top_decile_share, b.top_decile_share),
+        ("concentration (gini)", a.concentration, b.concentration),
+    ]

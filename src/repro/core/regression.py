@@ -1,0 +1,149 @@
+"""CPI decomposition by multivariate regression.
+
+Pairwise correlation (Figure 10) says which events *move with* CPI;
+it cannot say how many cycles each event costs, because the events
+co-vary.  The natural next step — and the follow-up the vertical-
+profiling line of work (which the paper cites) developed — is a linear
+decomposition: regress per-window cycle counts on per-window event
+counts,
+
+.. math::
+
+    cycles_w \\approx \\beta_0 \\cdot instructions_w
+               + \\sum_e \\beta_e \\cdot count_{e,w}
+
+so that :math:`\\beta_e` estimates the *exposed penalty per occurrence*
+of event *e* and :math:`\\beta_0` the stall-free CPI.
+
+On the simulator this has a built-in ground truth: the pipeline model
+charges exactly such per-event penalties
+(:class:`repro.config.PipelineLatencies`), so the regression can be
+validated by checking it recovers them — which the tests do.  On real
+hpmstat data (via :mod:`repro.hpm.io`) the same decomposition yields
+empirical penalty estimates.
+
+Requires omniscient (``sample_all``) windows: a real campaign can only
+decompose within one counter group at a time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.hpm.counters import CounterSnapshot
+from repro.hpm.events import Event
+
+#: Events regressed by default: the direct cycle-charging ones.
+DEFAULT_PREDICTORS: Tuple[Event, ...] = (
+    Event.PM_DATA_FROM_L3,
+    Event.PM_DATA_FROM_MEM,
+    Event.PM_INST_FROM_L2,
+    Event.PM_INST_FROM_L3,
+    Event.PM_BR_MPRED_CR,
+    Event.PM_DERAT_MISS,
+    Event.PM_DTLB_MISS,
+    Event.PM_SYNC_CNT,
+    Event.PM_STREAM_ALLOC,
+)
+
+
+@dataclass(frozen=True)
+class CpiDecomposition:
+    """The fitted model."""
+
+    base_cpi: float
+    #: Estimated exposed cycles per occurrence of each event.
+    penalties: Dict[Event, float]
+    #: Fraction of cycle variance the model explains.  NOTE: on
+    #: fixed-cycle-budget windows the target barely varies, so this is
+    #: uninformative there — use :attr:`relative_rmse` instead.
+    r_squared: float
+    #: RMS prediction error relative to mean cycles — the fit-quality
+    #: metric that works regardless of how windows were delimited.
+    relative_rmse: float
+    n_windows: int
+
+    def cycle_share(self, snapshot: CounterSnapshot) -> Dict[str, float]:
+        """Attribute a snapshot's cycles to the model's terms.
+
+        Returns normalized shares including ``"base"`` and
+        ``"unexplained"`` buckets.
+        """
+        total = max(1, snapshot.cycles)
+        shares: Dict[str, float] = {
+            "base": self.base_cpi * snapshot.instructions / total
+        }
+        explained = shares["base"]
+        for event, beta in self.penalties.items():
+            share = beta * snapshot[event] / total
+            shares[event.value] = share
+            explained += share
+        shares["unexplained"] = 1.0 - explained
+        return shares
+
+    def render_lines(self) -> List[str]:
+        lines = [
+            f"CPI decomposition over {self.n_windows} windows "
+            f"(relative RMSE = {self.relative_rmse:.4f}):",
+            f"  base CPI            {self.base_cpi:8.3f} cycles/instr",
+        ]
+        for event, beta in sorted(
+            self.penalties.items(), key=lambda kv: -kv[1]
+        ):
+            lines.append(f"  {event.value:20s} {beta:8.1f} cycles/event")
+        return lines
+
+
+def decompose_cpi(
+    snapshots: Sequence[CounterSnapshot],
+    predictors: Sequence[Event] = DEFAULT_PREDICTORS,
+) -> CpiDecomposition:
+    """Fit the per-event penalty model by non-negative-ish least squares.
+
+    Ordinary least squares with a non-negativity clamp refit: penalty
+    estimates below zero are physically meaningless (an event cannot
+    return cycles), so negative coefficients are dropped and the model
+    refit without them.
+
+    Raises:
+        ValueError: with fewer windows than predictors + 2.
+    """
+    predictors = list(predictors)
+    if len(snapshots) < len(predictors) + 2:
+        raise ValueError(
+            f"need at least {len(predictors) + 2} windows, "
+            f"got {len(snapshots)}"
+        )
+    y = np.array([float(s.cycles) for s in snapshots])
+
+    active = predictors
+    while True:
+        columns = [
+            np.array([float(s.instructions) for s in snapshots])
+        ] + [np.array([float(s[e]) for s in snapshots]) for e in active]
+        matrix = np.stack(columns, axis=1)
+        beta, *_ = np.linalg.lstsq(matrix, y, rcond=None)
+        negative = [e for e, b in zip(active, beta[1:]) if b < 0.0]
+        if not negative:
+            break
+        active = [e for e in active if e not in negative]
+
+    fitted = matrix @ beta
+    ss_res = float(np.sum((y - fitted) ** 2))
+    ss_tot = float(np.sum((y - np.mean(y)) ** 2))
+    r_squared = 1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0
+    relative_rmse = float(np.sqrt(ss_res / len(y)) / np.mean(y))
+
+    penalties = {e: float(b) for e, b in zip(active, beta[1:])}
+    for event in predictors:
+        penalties.setdefault(event, 0.0)
+    return CpiDecomposition(
+        base_cpi=float(beta[0]),
+        penalties=penalties,
+        r_squared=r_squared,
+        relative_rmse=relative_rmse,
+        n_windows=len(snapshots),
+    )

@@ -1,0 +1,132 @@
+"""Text rendering of a characterization report.
+
+Produces the study as a readable document: benchmark metrics, the GC
+table, the profile verdict, the hardware summary, the Figure 10 bars,
+and the derived findings.  Used by the examples and benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.characterization import CharacterizationReport
+from repro.cpu.sources import DataSource, InstSource
+
+
+def _bar(r: float, width: int = 24) -> str:
+    """A signed ASCII bar for a correlation coefficient."""
+    half = width // 2
+    n = int(round(abs(r) * half))
+    if r >= 0:
+        return " " * half + "|" + "#" * n + " " * (half - n)
+    return " " * (half - n) + "#" * n + "|" + " " * half
+
+
+def render_report(report: CharacterizationReport) -> str:
+    return "\n".join(render_lines(report))
+
+
+def render_lines(report: CharacterizationReport) -> List[str]:
+    hw = report.hardware
+    lines: List[str] = []
+    add = lines.append
+
+    add("=" * 70)
+    add("WORKLOAD CHARACTERIZATION REPORT")
+    add("=" * 70)
+
+    add("")
+    add("--- Benchmark (high-level) ---")
+    lines.extend(report.benchmark.summary_lines())
+
+    add("")
+    add("--- Garbage collection (Figure 3) ---")
+    lines.extend(report.gc.table_lines())
+
+    add("")
+    add("--- CPU profile (Figure 4) ---")
+    for name, share in sorted(
+        report.component_shares.items(), key=lambda kv: -kv[1]
+    ):
+        add(f"  {name:13s} {share * 100:5.1f}%")
+    add(f"  jas2004 benchmark code itself: {report.jas2004_share * 100:.1f}% of CPU")
+    add(f"  hottest method: {report.hottest_method_name}")
+    for line in report.profile.verdict_lines():
+        add(f"  {line}")
+
+    add("")
+    add("--- Hardware summary (Figures 5-9) ---")
+    add(f"  CPI                      {hw.cpi:.2f}")
+    add(f"  speculation rate         {hw.speculation_rate:.2f} dispatched/completed")
+    add(
+        f"  memory ops               1 load / {hw.instr_per_load:.1f} instr, "
+        f"1 store / {hw.instr_per_store:.1f} instr"
+    )
+    add(
+        f"  L1D miss rates           loads {hw.l1d_load_miss_rate * 100:.1f}%  "
+        f"stores {hw.l1d_store_miss_rate * 100:.1f}%  "
+        f"overall {hw.l1d_miss_rate * 100:.1f}%"
+    )
+    add("  L1D load misses satisfied from:")
+    for src in DataSource:
+        share = hw.data_source_shares.get(src, 0.0)
+        if share > 0.0005:
+            add(f"    {src.value:16s} {share * 100:5.1f}%")
+    add("  instruction fetches from:")
+    for src in InstSource:
+        add(f"    {src.value:16s} {hw.inst_source_shares.get(src, 0.0) * 100:5.1f}%")
+    add(
+        f"  branches                 {hw.branches_per_instr * 100:.1f}/100 instr, "
+        f"cond mispred {hw.cond_mispredict_rate * 100:.1f}%, "
+        f"indirect target mispred {hw.target_mispredict_rate * 100:.1f}%"
+    )
+    add(
+        f"  translation              DERAT miss 1/"
+        f"{1.0 / max(1e-12, hw.derat_miss_per_instr):.0f} instr, "
+        f"TLB satisfies {hw.tlb_satisfies_derat * 100:.0f}% of DERAT misses"
+    )
+    add(
+        f"    per-instr rates        DERAT {hw.derat_miss_per_instr:.2e}  "
+        f"IERAT {hw.ierat_miss_per_instr:.2e}  "
+        f"DTLB {hw.dtlb_miss_per_instr:.2e}  ITLB {hw.itlb_miss_per_instr:.2e}"
+    )
+    add(
+        f"  locking                  LARX 1/{hw.instr_per_larx:.0f} instr, "
+        f"STCX fail {hw.stcx_fail_rate * 100:.1f}%, "
+        f"SYNC in SRQ {hw.sync_srq_fraction * 100:.2f}% of cycles"
+    )
+    add(
+        f"  prefetch                 {hw.stream_allocs_per_kinstr:.2f} stream "
+        f"allocs and {hw.l1_prefetch_per_kinstr:.2f} L1 prefetches per 1k instr"
+    )
+
+    if report.correlations is not None:
+        add("")
+        add("--- CPI correlation (Figure 10) ---")
+        add(f"  {'event':24s} {'-1':>12s} 0 {'+1':<12s}")
+        for label, r in report.correlations.bars():
+            add(f"  {label:24s} {_bar(r)} {r:+.2f}")
+        c = report.correlations
+        if c.r_target_miss_vs_icache_miss is not None:
+            add(
+                f"  r(target mispred, icache miss) = "
+                f"{c.r_target_miss_vs_icache_miss:+.2f}"
+            )
+        if c.r_speculation_vs_l1_miss is not None:
+            add(f"  r(speculation, L1D miss rate)  = {c.r_speculation_vs_l1_miss:+.2f}")
+        if c.r_branches_vs_target_miss is not None:
+            add(f"  r(branches, target mispred)    = {c.r_branches_vs_target_miss:+.2f}")
+        if c.r_cond_miss_vs_branches is not None:
+            add(f"  r(cond mispred, branches)      = {c.r_cond_miss_vs_branches:+.2f}")
+
+    if report.cpi_decomposition is not None:
+        add("")
+        add("--- Where the cycles go (regression decomposition) ---")
+        for line in report.cpi_decomposition.render_lines():
+            add(f"  {line}")
+
+    add("")
+    add("--- Findings ---")
+    for finding in report.findings:
+        add(finding.render())
+    return lines

@@ -1,0 +1,78 @@
+"""Series smoothing: Bezier (as in the paper's Figure 7) and moving
+average.
+
+The paper notes that Figure 7 "has been fitted using Bezier smoothing"
+(gnuplot's ``smooth bezier``): the data points become the control
+points of a single Bezier curve of degree n-1.  For the hundreds of
+points a figure carries, the Bernstein weights are evaluated in log
+space to stay finite.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence, Tuple
+
+
+def moving_average(values: Sequence[float], window: int) -> List[float]:
+    """Centered moving average (shrinking windows at the edges)."""
+    if window <= 0:
+        raise ValueError("window must be positive")
+    half = window // 2
+    out = []
+    n = len(values)
+    for i in range(n):
+        lo = max(0, i - half)
+        hi = min(n, i + half + 1)
+        out.append(sum(values[lo:hi]) / (hi - lo))
+    return out
+
+
+def _log_binomials(n: int) -> List[float]:
+    """log C(n, k) for k = 0..n."""
+    out = [0.0]
+    for k in range(1, n + 1):
+        out.append(out[-1] + math.log(n - k + 1) - math.log(k))
+    return out
+
+
+def bezier_smooth(
+    xs: Sequence[float], ys: Sequence[float], n_points: int = 100
+) -> Tuple[List[float], List[float]]:
+    """gnuplot-style Bezier smoothing of a polyline.
+
+    The input points are the control points of a degree-(n-1) Bezier
+    curve, evaluated at ``n_points`` parameter values.  Returns the
+    smoothed ``(xs, ys)``.
+    """
+    if len(xs) != len(ys):
+        raise ValueError("xs and ys must have equal length")
+    n = len(xs)
+    if n == 0:
+        raise ValueError("cannot smooth an empty series")
+    if n == 1:
+        return list(xs) * n_points, list(ys) * n_points
+    degree = n - 1
+    log_binom = _log_binomials(degree)
+    out_x: List[float] = []
+    out_y: List[float] = []
+    for i in range(n_points):
+        t = i / (n_points - 1) if n_points > 1 else 0.0
+        if t <= 0.0:
+            out_x.append(xs[0])
+            out_y.append(ys[0])
+            continue
+        if t >= 1.0:
+            out_x.append(xs[-1])
+            out_y.append(ys[-1])
+            continue
+        log_t = math.log(t)
+        log_1t = math.log(1.0 - t)
+        acc_x = acc_y = 0.0
+        for k in range(n):
+            w = math.exp(log_binom[k] + k * log_t + (degree - k) * log_1t)
+            acc_x += w * xs[k]
+            acc_y += w * ys[k]
+        out_x.append(acc_x)
+        out_y.append(acc_y)
+    return out_x, out_y

@@ -1,0 +1,101 @@
+"""Steady-state detection and ramp trimming.
+
+The paper: "The system profiles tend to stabilize after less than 5
+minutes; therefore, it is possible to collect steady-state data
+relatively quickly" — and its experiments discard a 5-minute ramp-up
+and 2-minute ramp-down.  :func:`detect_steady_start` finds the
+stabilization point empirically: the earliest time from which every
+subsequent rolling-window mean stays within a tolerance band of the
+overall tail mean.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.util.timeline import SampleSeries
+
+
+def _rolling_means(values: Sequence[float], window: int) -> List[float]:
+    if window <= 0:
+        raise ValueError("window must be positive")
+    means = []
+    acc = 0.0
+    for i, v in enumerate(values):
+        acc += v
+        if i >= window:
+            acc -= values[i - window]
+        if i >= window - 1:
+            means.append(acc / window)
+    return means
+
+
+def detect_steady_start(
+    series: SampleSeries,
+    window: int = 10,
+    tolerance: float = 0.10,
+) -> Optional[float]:
+    """Earliest time from which the series stays within tolerance.
+
+    The reference level is the mean of the last quarter of the run
+    (assumed steady).  Returns the timestamp, or None if the series
+    never settles.
+
+    Args:
+        series: the sampled series (throughput, utilization, ...).
+        window: rolling-mean window in samples.
+        tolerance: allowed relative deviation from the reference level.
+    """
+    values = series.values
+    if len(values) < window * 2:
+        raise ValueError("series too short for steady-state detection")
+    tail = values[-max(window, len(values) // 4):]
+    reference = sum(tail) / len(tail)
+    if reference == 0.0:
+        return None
+    means = _rolling_means(values, window)
+    times = series.grid.times()[window - 1:]
+    # Walk backward to find the last excursion outside the band.
+    last_bad = -1
+    for i, m in enumerate(means):
+        if abs(m - reference) > tolerance * abs(reference):
+            last_bad = i
+    if last_bad + 1 >= len(means):
+        return None
+    start = times[last_bad + 1]
+    # A "steady" region that only covers the final quarter is not
+    # steady state — it is a trend's tail (e.g. an unbounded ramp).
+    span = series.grid.end - series.grid.start
+    if start > series.grid.start + 0.75 * span:
+        return None
+    return start
+
+
+def steady_slice(
+    series: SampleSeries, t_from: float, t_to: float
+) -> List[float]:
+    """Values of the series restricted to a steady window."""
+    return series.window(t_from, t_to)
+
+
+def is_steady(
+    series: SampleSeries,
+    t_from: float,
+    window: int = 10,
+    tolerance: float = 0.10,
+) -> bool:
+    """True if the series holds its level from ``t_from`` onward."""
+    start = detect_steady_start(series, window=window, tolerance=tolerance)
+    return start is not None and start <= t_from
+
+
+def coefficient_of_variation(values: Sequence[float]) -> float:
+    """std/mean — the paper's 'fairly constant throughout execution'
+    claim for Figure 2 corresponds to a small value of this."""
+    if not values:
+        raise ValueError("empty sample")
+    mean = sum(values) / len(values)
+    if mean == 0.0:
+        return float("inf")
+    var = sum((v - mean) ** 2 for v in values) / len(values)
+    return (var ** 0.5) / abs(mean)

@@ -1,0 +1,248 @@
+"""What-if analysis: estimating the benefit of proposed enhancements.
+
+The paper closes its abstract with: "Our observations can be used by
+hardware and runtime architects to estimate potential benefits of
+performance enhancements being considered."  This module makes that
+concrete.  Each :class:`Scenario` is one enhancement Section 4
+discusses; it can do two things:
+
+* **estimate** — a first-order CPI delta computed *from the measured
+  characterization alone* (event rates x exposed penalties), the
+  back-of-envelope an architect would do with the paper's data;
+* **apply** — transform an :class:`~repro.config.ExperimentConfig`
+  into the enhanced machine, so the estimate can be *validated* by
+  actually re-simulating (the ablation benchmarks do exactly this).
+
+The interesting output is not just the ranking but how well the cheap
+estimates track the simulated outcomes — which is the methodological
+claim being reproduced.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro.config import ExperimentConfig, PipelineLatencies
+from repro.core.characterization import HardwareSummary
+from repro.cpu.sources import DataSource, InstSource
+
+
+@dataclass(frozen=True)
+class Estimate:
+    """A first-order prediction for one scenario."""
+
+    scenario: str
+    baseline_cpi: float
+    estimated_cpi: float
+
+    @property
+    def cpi_delta(self) -> float:
+        return self.estimated_cpi - self.baseline_cpi
+
+    @property
+    def speedup(self) -> float:
+        """Projected throughput gain (CPI is inverse throughput at a
+        fixed frequency and instruction count)."""
+        if self.estimated_cpi <= 0:
+            return 1.0
+        return self.baseline_cpi / self.estimated_cpi
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One enhancement under consideration."""
+
+    name: str
+    description: str
+    #: First-order CPI delta from measured rates (negative = faster).
+    estimator: Callable[[HardwareSummary, PipelineLatencies], float]
+    #: Build the enhanced configuration for validation by simulation.
+    transform: Callable[[ExperimentConfig], ExperimentConfig]
+
+    def estimate(
+        self, hw: HardwareSummary, latencies: PipelineLatencies
+    ) -> Estimate:
+        delta = self.estimator(hw, latencies)
+        return Estimate(
+            scenario=self.name,
+            baseline_cpi=hw.cpi,
+            estimated_cpi=max(0.1, hw.cpi + delta),
+        )
+
+    def apply(self, config: ExperimentConfig) -> ExperimentConfig:
+        return self.transform(config)
+
+
+# ---------------------------------------------------------------------------
+# Rate helpers
+# ---------------------------------------------------------------------------
+
+
+def _load_miss_rate_per_instr(hw: HardwareSummary) -> float:
+    return hw.l1d_load_miss_rate / hw.instr_per_load
+
+
+def _data_source_rate(hw: HardwareSummary, source: DataSource) -> float:
+    """Loads satisfied from ``source``, per instruction."""
+    return _load_miss_rate_per_instr(hw) * hw.data_source_shares.get(source, 0.0)
+
+
+def _inst_fetch_rate(hw: HardwareSummary, source: InstSource) -> float:
+    """Instruction fetch accesses from ``source``, per instruction.
+
+    Fetch accesses happen roughly once per 7-instruction block; the
+    share split is measured directly.
+    """
+    fetches_per_instr = 0.17
+    return fetches_per_instr * hw.inst_source_shares.get(source, 0.0)
+
+
+# ---------------------------------------------------------------------------
+# The Section 4 scenarios
+# ---------------------------------------------------------------------------
+
+
+def _faster_l3_estimator(hw: HardwareSummary, lat: PipelineLatencies) -> float:
+    """Cut the L3 access latency by 35% (the paper: 'a lower latency
+    to L3 could also deliver sizeable performance benefits')."""
+    saved = 0.35
+    data_gain = _data_source_rate(hw, DataSource.L3) * lat.data_from_l3 * saved
+    inst_gain = _inst_fetch_rate(hw, InstSource.L3) * lat.inst_from_l3 * saved
+    return -(data_gain + inst_gain)
+
+
+def _faster_l3_transform(config: ExperimentConfig) -> ExperimentConfig:
+    lat = config.machine.latencies
+    new_lat = dataclasses.replace(
+        lat,
+        data_from_l3=lat.data_from_l3 * 0.65,
+        data_from_l35=lat.data_from_l35 * 0.65,
+        inst_from_l3=lat.inst_from_l3 * 0.65,
+    )
+    return dataclasses.replace(
+        config,
+        machine=dataclasses.replace(config.machine, latencies=new_lat),
+    )
+
+
+def _code_large_pages_estimator(
+    hw: HardwareSummary, lat: PipelineLatencies
+) -> float:
+    """Map JIT code into 16 MB pages: nearly all ITLB misses vanish."""
+    return -(hw.itlb_miss_per_instr * 0.9 * lat.tlb_miss)
+
+
+def _code_large_pages_transform(config: ExperimentConfig) -> ExperimentConfig:
+    return dataclasses.replace(
+        config,
+        jvm=dataclasses.replace(config.jvm, code_large_pages=True),
+    )
+
+
+def _devirtualization_estimator(
+    hw: HardwareSummary, lat: PipelineLatencies
+) -> float:
+    """Convert half of the indirect call sites to relative branches
+    (the paper's compiler suggestion): their target mispredictions and
+    a share of the associated wrong-path fetch disruption disappear."""
+    branches_per_instr = hw.branches_per_instr
+    # Indirect branches per instruction, from the measured rates.
+    indirect_per_instr = branches_per_instr * 0.07
+    removed_mispredicts = (
+        indirect_per_instr * hw.target_mispredict_rate * 0.5
+    )
+    return -(removed_mispredicts * lat.target_mispredict)
+
+
+def _devirtualization_transform(config: ExperimentConfig) -> ExperimentConfig:
+    return dataclasses.replace(
+        config,
+        jvm=dataclasses.replace(config.jvm, devirtualize_fraction=0.5),
+    )
+
+
+def _bigger_erat_estimator(hw: HardwareSummary, lat: PipelineLatencies) -> float:
+    """Double the ERATs: assume 40% of ERAT misses become hits (the
+    paper: 'increasing the sizes of ERATs ... could further improve
+    overall performance')."""
+    saved = 0.4
+    return -(
+        hw.derat_miss_per_instr * saved * lat.derat_miss
+        + hw.ierat_miss_per_instr * saved * lat.ierat_miss
+    )
+
+
+def _bigger_erat_transform(config: ExperimentConfig) -> ExperimentConfig:
+    translation = config.machine.translation
+    new_translation = dataclasses.replace(
+        translation,
+        ierat_entries=translation.ierat_entries * 2,
+        derat_entries=translation.derat_entries * 2,
+    )
+    return dataclasses.replace(
+        config,
+        machine=dataclasses.replace(
+            config.machine, translation=new_translation
+        ),
+    )
+
+
+def default_scenarios() -> List[Scenario]:
+    """The enhancements Section 4 of the paper puts on the table."""
+    return [
+        Scenario(
+            name="faster-l3",
+            description="35% lower L3 access latency",
+            estimator=_faster_l3_estimator,
+            transform=_faster_l3_transform,
+        ),
+        Scenario(
+            name="code-large-pages",
+            description="JIT/executable code in 16 MB pages",
+            estimator=_code_large_pages_estimator,
+            transform=_code_large_pages_transform,
+        ),
+        Scenario(
+            name="devirtualization",
+            description="convert half the indirect call sites to direct",
+            estimator=_devirtualization_estimator,
+            transform=_devirtualization_transform,
+        ),
+        Scenario(
+            name="bigger-erat",
+            description="double the I/D ERAT capacities",
+            estimator=_bigger_erat_estimator,
+            transform=_bigger_erat_transform,
+        ),
+    ]
+
+
+class WhatIfAnalyzer:
+    """Ranks scenarios by estimated benefit; validates by simulation."""
+
+    def __init__(self, scenarios: Optional[List[Scenario]] = None):
+        self.scenarios = scenarios if scenarios is not None else default_scenarios()
+
+    def estimate_all(
+        self, hw: HardwareSummary, latencies: PipelineLatencies
+    ) -> List[Estimate]:
+        estimates = [s.estimate(hw, latencies) for s in self.scenarios]
+        return sorted(estimates, key=lambda e: e.estimated_cpi)
+
+    def scenario(self, name: str) -> Scenario:
+        for s in self.scenarios:
+            if s.name == name:
+                return s
+        raise KeyError(name)
+
+    def render_lines(self, estimates: List[Estimate]) -> List[str]:
+        lines = ["what-if estimates (first-order, from measured rates):"]
+        for e in estimates:
+            lines.append(
+                f"  {e.scenario:18s} CPI {e.baseline_cpi:.2f} -> "
+                f"{e.estimated_cpi:.2f} ({e.cpi_delta:+.3f}, "
+                f"{(e.speedup - 1) * 100:+.1f}% throughput)"
+            )
+        return lines

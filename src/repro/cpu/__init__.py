@@ -1,0 +1,39 @@
+"""POWER4-like microarchitecture model.
+
+The model is trace-driven: :mod:`repro.cpu.stream` synthesizes an
+instruction stream for each hpmstat sampling window from the workload
+phase active in that window, and :mod:`repro.cpu.core_model` executes
+it against
+
+* real (stateful) structures where working-set-to-capacity ratios are
+  what the paper measures: L1 I/D caches (:mod:`repro.cpu.cache`),
+  I/D ERATs and the unified TLB (:mod:`repro.cpu.translation`),
+  branch direction and indirect-target predictors
+  (:mod:`repro.cpu.branch`), and the sequential stream prefetcher
+  (:mod:`repro.cpu.prefetch`);
+* a stationary classifier for everything beyond the L2 access point
+  (:mod:`repro.cpu.hierarchy`), where simulating multi-megabyte
+  capacity at our scaled instruction counts would distort rather than
+  preserve the paper's ratios (see DESIGN.md §5).
+
+:mod:`repro.cpu.pipeline` converts the per-window event counts into
+cycles — the CPI model — and emits the dispatched-instruction counts
+behind the paper's "speculation rate".
+"""
+
+from repro.cpu.cache import SetAssociativeCache
+from repro.cpu.core_model import CoreModel
+from repro.cpu.hierarchy import DataSource, MemorySystem
+from repro.cpu.phases import PhaseDescriptor, PhaseProfile
+from repro.cpu.regions import AddressSpace, Region
+
+__all__ = [
+    "SetAssociativeCache",
+    "CoreModel",
+    "DataSource",
+    "MemorySystem",
+    "PhaseDescriptor",
+    "PhaseProfile",
+    "AddressSpace",
+    "Region",
+]

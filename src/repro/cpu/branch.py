@@ -1,0 +1,88 @@
+"""Branch prediction: direction predictor and indirect-target cache.
+
+The paper observes ~6% conditional (direction) misprediction and ~5%
+target-address misprediction for indirect branches on POWER4's
+"advanced branch prediction hardware", and ties the latter to Java's
+virtual method dispatch.  Two mechanisms produce those rates here:
+
+* **Intrinsic unpredictability** — each branch site has its own taken
+  bias (data-dependent branches are not fully biased), and each
+  polymorphic call site dispatches over a distribution of receiver
+  types.
+* **Capacity aliasing** — the prediction tables are finite, and the
+  workload's multi-megabyte code footprint maps many live sites onto
+  each entry.  This is what couples target mispredictions to the
+  instruction working set (the paper: "target address mispredictions
+  are strongly correlated with instruction cache misses").
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.config import BranchPredictorConfig
+
+
+class DirectionPredictor:
+    """A table of 2-bit saturating counters indexed by site id."""
+
+    #: Counter states: 0,1 predict not-taken; 2,3 predict taken.
+    _INIT = 2
+
+    def __init__(self, entries: int):
+        if entries <= 0:
+            raise ValueError("predictor needs at least one entry")
+        self.entries = entries
+        self._table: List[int] = [self._INIT] * entries
+
+    def execute(self, site_id: int, taken: bool) -> bool:
+        """Predict + update for one branch; returns True on mispredict."""
+        idx = site_id % self.entries
+        state = self._table[idx]
+        predicted_taken = state >= 2
+        mispredicted = predicted_taken != taken
+        if taken:
+            self._table[idx] = min(3, state + 1)
+        else:
+            self._table[idx] = max(0, state - 1)
+        return mispredicted
+
+
+class TargetPredictor:
+    """An indirect-branch target cache ("count cache" on POWER4).
+
+    Each entry remembers the last observed target for the sites hashed
+    onto it; a lookup that finds a different (or no) target is a
+    target-address misprediction.
+    """
+
+    _EMPTY = -1
+
+    def __init__(self, entries: int):
+        if entries <= 0:
+            raise ValueError("predictor needs at least one entry")
+        self.entries = entries
+        self._table: List[int] = [self._EMPTY] * entries
+
+    def execute(self, site_id: int, target_id: int) -> bool:
+        """Predict + update for one indirect branch; True on mispredict."""
+        idx = site_id % self.entries
+        mispredicted = self._table[idx] != target_id
+        self._table[idx] = target_id
+        return mispredicted
+
+
+class BranchUnit:
+    """Both predictors plus the event bookkeeping for one core."""
+
+    def __init__(self, config: BranchPredictorConfig):
+        self.direction = DirectionPredictor(config.direction_entries)
+        self.target = TargetPredictor(config.target_entries)
+
+    def conditional(self, site_id: int, taken: bool) -> bool:
+        """Execute a conditional branch; True on direction mispredict."""
+        return self.direction.execute(site_id, taken)
+
+    def indirect(self, site_id: int, target_id: int) -> bool:
+        """Execute an indirect branch; True on target mispredict."""
+        return self.target.execute(site_id, target_id)

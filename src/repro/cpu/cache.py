@@ -1,0 +1,124 @@
+"""A generic set-associative cache with LRU or FIFO replacement.
+
+Used for the L1 instruction and data caches (POWER4 L1s are 2-way FIFO)
+and reused by the translation structures (ERATs, TLB), which are just
+caches over page numbers.
+
+The cache tracks presence only — this model never needs the data — and
+exposes the two operations trace-driven simulation needs: ``lookup``
+(probe + LRU update) and ``fill`` (insert after a miss).  Stores on the
+POWER4 L1D are write-through and *non-allocating*, which callers express
+by simply not filling on a store miss.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import List, Optional
+
+
+class SetAssociativeCache:
+    """Presence-tracking set-associative cache.
+
+    Keys are integer block identifiers (line addresses or page
+    numbers); the caller decides the granularity by shifting addresses
+    before lookup.
+    """
+
+    def __init__(self, n_sets: int, associativity: int, policy: str = "lru"):
+        if n_sets <= 0 or associativity <= 0:
+            raise ValueError("cache dimensions must be positive")
+        if policy not in ("lru", "fifo"):
+            raise ValueError(f"unknown replacement policy {policy!r}")
+        self.n_sets = n_sets
+        self.associativity = associativity
+        self.policy = policy
+        # One OrderedDict per set: key -> None, insertion order is the
+        # replacement order (for LRU we refresh on hit, for FIFO we
+        # do not).
+        self._sets: List["OrderedDict[int, None]"] = [
+            OrderedDict() for _ in range(n_sets)
+        ]
+        self.hits = 0
+        self.misses = 0
+
+    @classmethod
+    def from_geometry(cls, geometry) -> "SetAssociativeCache":
+        """Build from a :class:`repro.config.CacheGeometry`."""
+        return cls(geometry.n_sets, geometry.associativity, geometry.policy)
+
+    def _set_for(self, block: int) -> "OrderedDict[int, None]":
+        return self._sets[block % self.n_sets]
+
+    def lookup(self, block: int) -> bool:
+        """Probe for ``block``; returns True on hit.
+
+        On an LRU hit the block becomes most-recently-used.  A miss
+        does *not* insert — call :meth:`fill` if the access allocates.
+        """
+        ways = self._set_for(block)
+        if block in ways:
+            self.hits += 1
+            if self.policy == "lru":
+                ways.move_to_end(block)
+            return True
+        self.misses += 1
+        return False
+
+    def fill(self, block: int) -> Optional[int]:
+        """Insert ``block``, evicting if the set is full.
+
+        Returns the evicted block id, or None if nothing was evicted
+        (or the block was already present).
+        """
+        ways = self._set_for(block)
+        if block in ways:
+            if self.policy == "lru":
+                ways.move_to_end(block)
+            return None
+        victim = None
+        if len(ways) >= self.associativity:
+            victim, _ = ways.popitem(last=False)
+        ways[block] = None
+        return victim
+
+    def contains(self, block: int) -> bool:
+        """Probe without updating replacement state or statistics."""
+        return block in self._set_for(block)
+
+    def invalidate(self, block: int) -> bool:
+        """Remove ``block`` if present; returns True if it was."""
+        ways = self._set_for(block)
+        if block in ways:
+            del ways[block]
+            return True
+        return False
+
+    def flush(self) -> None:
+        """Empty the cache (does not reset statistics)."""
+        for ways in self._sets:
+            ways.clear()
+
+    def reset_stats(self) -> None:
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def occupancy(self) -> int:
+        """Number of blocks currently resident."""
+        return sum(len(ways) for ways in self._sets)
+
+    @property
+    def capacity(self) -> int:
+        return self.n_sets * self.associativity
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SetAssociativeCache(sets={self.n_sets}, ways={self.associativity}, "
+            f"policy={self.policy!r}, occupancy={self.occupancy}/{self.capacity})"
+        )

@@ -1,0 +1,515 @@
+"""Execution phases: what kind of code a sampling window runs.
+
+A *phase profile* describes the statistical character of one kind of
+code — mutator Java code of a given software component, GC mark, GC
+sweep, kernel, or the idle loop: its block (basic-block run) length,
+memory-operation density, which address-space regions its loads and
+stores touch, how sequential they are, its use of locks and SYNCs, and
+the code pool it fetches instructions from.
+
+A *phase descriptor* assembles the profiles active during one hpmstat
+sampling window with their time shares.  The workload layer constructs
+descriptors from its per-interval accounting (component CPU shares, GC
+overlap, idle time); the instruction-stream generator consumes them.
+
+Why this matters for fidelity: every GC-periodic artifact the paper
+reports — fewer TLB misses during GC (the heap is in large pages),
+more branches with fewer mispredictions (tight predictable loops),
+lower store miss rates (compact mark bitmap) — emerges from the GC
+profiles defined here being *structurally* different from the mutator
+profiles, not from post-hoc adjustments to the counters.
+"""
+
+from __future__ import annotations
+
+import itertools
+from bisect import bisect_right
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.cpu import regions as R
+
+# ---------------------------------------------------------------------------
+# Code units and pools
+# ---------------------------------------------------------------------------
+
+
+def site_id(uid: int, index: int) -> int:
+    """A well-spread deterministic id for branch site ``index`` of unit
+    ``uid`` (Knuth multiplicative hashing keeps table aliasing
+    pseudo-random rather than structured)."""
+    return ((uid * 2654435761) ^ (index * 40503)) & 0xFFFFFFFF
+
+
+@dataclass(frozen=True)
+class IndirectSite:
+    """One indirect-branch (virtual call) site and its target mix."""
+
+    sid: int
+    targets: Tuple[int, ...]
+    cum_weights: Tuple[float, ...]
+
+    def pick_target(self, rng) -> int:
+        if len(self.targets) == 1:
+            return self.targets[0]
+        i = bisect_right(self.cum_weights, rng.random())
+        return self.targets[min(i, len(self.targets) - 1)]
+
+    @property
+    def polymorphic(self) -> bool:
+        return len(self.targets) > 1
+
+
+@dataclass(frozen=True)
+class CodeUnit:
+    """A contiguous piece of executable code (a method or function)."""
+
+    uid: int
+    base: int
+    size_bytes: int
+    weight: float
+    cond_sites: Tuple[Tuple[int, float], ...]  # (site id, taken bias)
+    ind_sites: Tuple[IndirectSite, ...]
+
+    @property
+    def end(self) -> int:
+        return self.base + self.size_bytes
+
+
+class CodePool:
+    """A weighted population of code units to sample working sets from."""
+
+    def __init__(self, units: Sequence[CodeUnit]):
+        if not units:
+            raise ValueError("empty code pool")
+        self.units: List[CodeUnit] = list(units)
+        self._cum: List[float] = list(
+            itertools.accumulate(u.weight for u in self.units)
+        )
+        total = self._cum[-1]
+        if total <= 0:
+            raise ValueError("code pool has no weight")
+        self._total = total
+
+    def __len__(self) -> int:
+        return len(self.units)
+
+    def pick(self, rng) -> CodeUnit:
+        """One weighted draw."""
+        x = rng.random() * self._total
+        return self.units[min(bisect_right(self._cum, x), len(self.units) - 1)]
+
+    def sample_active(self, rng, n: int) -> List[CodeUnit]:
+        """Draw an *active set* of up to ``n`` distinct units.
+
+        Weighted draws with rejection of duplicates (bounded tries), so
+        hot units appear in most windows while the long flat tail
+        rotates — exactly the churn that makes the instruction working
+        set vary window to window.
+        """
+        n = min(n, len(self.units))
+        chosen: List[CodeUnit] = []
+        seen = set()
+        tries = 0
+        while len(chosen) < n and tries < n * 8:
+            unit = self.pick(rng)
+            tries += 1
+            if unit.uid not in seen:
+                seen.add(unit.uid)
+                chosen.append(unit)
+        return chosen
+
+
+#: (probability, low bias, high bias) classes for conditional sites.
+BiasClasses = Tuple[Tuple[float, float, float], ...]
+#: (probability, min targets, max targets) classes for indirect sites.
+PolyClasses = Tuple[Tuple[float, int, int], ...]
+
+#: Mutator Java code: mostly well-biased branches, a data-dependent
+#: minority — lands near the paper's ~6% direction misprediction once
+#: table aliasing is added.
+MUTATOR_BIAS: BiasClasses = ((1.0, 0.97, 0.995),)
+#: GC loops are tight and predictable.
+GC_BIAS: BiasClasses = ((1.0, 0.96, 0.99),)
+
+#: Virtual-call-site polymorphism for Java middleware code.
+MUTATOR_POLY: PolyClasses = ((0.78, 1, 1), (0.18, 2, 3), (0.04, 4, 8))
+MONO_POLY: PolyClasses = ((1.0, 1, 1),)
+
+
+def build_pool(
+    rng,
+    region_base: int,
+    region_size: int,
+    n_units: int,
+    mean_size: int,
+    weights: Sequence[float],
+    bias_classes: BiasClasses = MUTATOR_BIAS,
+    poly_classes: PolyClasses = MUTATOR_POLY,
+    uid_offset: int = 0,
+) -> CodePool:
+    """Synthesize ``n_units`` code units packed into an address range.
+
+    ``weights`` gives the execution-time profile shape (normalized or
+    not).  Unit sizes are jittered around ``mean_size``; the whole set
+    is laid out contiguously from ``region_base`` and must fit in
+    ``region_size``.
+    """
+    if len(weights) != n_units:
+        raise ValueError("need one weight per unit")
+    units: List[CodeUnit] = []
+    cursor = region_base
+    for i in range(n_units):
+        size = max(64, int(mean_size * rng.uniform(0.4, 1.8)))
+        if cursor + size > region_base + region_size:
+            # Wrap: late units share addresses with early ones, which
+            # is harmless (they are cold tail anyway).
+            cursor = region_base
+        uid = uid_offset + i
+        n_cond = max(1, size // 256)
+        cond_sites = []
+        for j in range(n_cond):
+            x = rng.random()
+            acc = 0.0
+            low, high = bias_classes[-1][1], bias_classes[-1][2]
+            for p, lo, hi in bias_classes:
+                acc += p
+                if x < acc:
+                    low, high = lo, hi
+                    break
+            cond_sites.append((site_id(uid, j), rng.uniform(low, high)))
+        # One virtual-call site per method keeps the per-window site
+        # population consistent with the scaled window length.
+        n_ind = 1
+        ind_sites = []
+        for j in range(n_ind):
+            x = rng.random()
+            acc = 0.0
+            lo_t, hi_t = poly_classes[-1][1], poly_classes[-1][2]
+            for p, lo, hi in poly_classes:
+                acc += p
+                if x < acc:
+                    lo_t, hi_t = lo, hi
+                    break
+            n_targets = rng.randint(lo_t, hi_t)
+            targets = tuple(site_id(uid, 1000 + j * 16 + t) for t in range(n_targets))
+            # Receiver-type distribution: dispatch sites are sticky —
+            # a dominant receiver takes most calls even at polymorphic
+            # sites (megamorphic sites are the flaky minority).
+            if n_targets == 1:
+                raw = [1.0]
+            elif n_targets <= 3:
+                raw = [0.95] + [0.05 / (n_targets - 1)] * (n_targets - 1)
+            else:
+                raw = [0.75] + [
+                    0.25 / (t + 1) for t in range(n_targets - 1)
+                ]
+            total = sum(raw)
+            cum = []
+            acc_w = 0.0
+            for w in raw:
+                acc_w += w / total
+                cum.append(acc_w)
+            ind_sites.append(
+                IndirectSite(
+                    sid=site_id(uid, 500 + j),
+                    targets=targets,
+                    cum_weights=tuple(cum),
+                )
+            )
+        units.append(
+            CodeUnit(
+                uid=uid,
+                base=cursor,
+                size_bytes=size,
+                weight=weights[i],
+                cond_sites=tuple(cond_sites),
+                ind_sites=tuple(ind_sites),
+            )
+        )
+        cursor += size
+    return CodePool(units)
+
+
+# ---------------------------------------------------------------------------
+# Phase profiles
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PhaseProfile:
+    """The statistical character of one kind of code (see module doc)."""
+
+    name: str
+    code_pool: CodePool
+    #: Region name used to classify fetch misses and I-translation.
+    code_region: str
+    #: Units in the per-window active working set.
+    active_units: int
+    #: Mean instructions per fetch block (straight-line run).
+    block_mean: float
+    #: Memory operations per instruction.
+    mem_per_instr: float
+    #: Fraction of memory operations that are loads.
+    load_fraction: float
+    load_mix: Tuple[Tuple[str, float], ...]
+    store_mix: Tuple[Tuple[str, float], ...]
+    #: Fraction of loads/stores that advance sequentially through
+    #: their region (scans, copies, allocation frontier).
+    seq_load_fraction: float = 0.10
+    seq_store_fraction: float = 0.10
+    #: Mean accesses made to a page before moving to a fresh one
+    #: (spatial locality; controls ERAT/TLB pressure).
+    page_dwell: float = 4.0
+    #: Overrides every region's dwell span for this phase when set
+    #: (e.g. GC mark walks objects, not whole pages).
+    dwell_span_override: int = 0
+    #: Fraction of block-end branches that are data-dependent (near
+    #: 50/50): the source of window-to-window misprediction-*rate*
+    #: variance, which is what makes conditional mispredictions a
+    #: positive CPI correlate rather than a throughput proxy.
+    hard_branch_fraction: float = 0.0
+    #: Fraction of block-end branches that are indirect.
+    indirect_fraction: float = 0.07
+    #: Probability a block ends by transferring to another code unit.
+    call_fraction: float = 0.12
+    larx_per_instr: float = 0.0
+    sync_per_instr: float = 0.0
+
+    def __post_init__(self) -> None:
+        for mix_name, mix in (("load_mix", self.load_mix), ("store_mix", self.store_mix)):
+            total = sum(w for _, w in mix)
+            if abs(total - 1.0) > 1e-6:
+                raise ValueError(f"{self.name}: {mix_name} sums to {total}, not 1")
+        if self.block_mean < 1.0:
+            raise ValueError("block_mean must be >= 1")
+
+
+@dataclass(frozen=True)
+class PhaseDescriptor:
+    """The phase composition of one sampling window."""
+
+    slices: Tuple[Tuple[PhaseProfile, float], ...]
+    #: Fraction of the window spent in GC (reporting convenience).
+    gc_fraction: float = 0.0
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        total = sum(f for _, f in self.slices)
+        if abs(total - 1.0) > 1e-6:
+            raise ValueError(f"slice fractions sum to {total}, not 1")
+
+
+# ---------------------------------------------------------------------------
+# Ready-made non-mutator profiles
+# ---------------------------------------------------------------------------
+
+
+def gc_mark_profile(rng, space) -> PhaseProfile:
+    """The mark phase: pointer-chasing traversal of the live heap.
+
+    Load-heavy, branch-dense-but-predictable, writes confined to the
+    compact mark bitmap, and — because the heap sits in large pages —
+    nearly free of TLB misses (the paper's "2-3 orders of magnitude
+    fewer ITLB and DTLB misses" during GC).
+    """
+    pool = build_pool(
+        rng,
+        space[R.CODE_GC].base,
+        space[R.CODE_GC].size_bytes,
+        n_units=10,
+        mean_size=1024,
+        weights=[1.0] * 10,
+        bias_classes=GC_BIAS,
+        poly_classes=MONO_POLY,
+        uid_offset=9_000_000,
+    )
+    return PhaseProfile(
+        name="gc_mark",
+        code_pool=pool,
+        code_region=R.CODE_GC,
+        active_units=6,
+        block_mean=5.0,
+        mem_per_instr=0.42,
+        load_fraction=0.85,
+        load_mix=(
+            (R.HEAP_COLD, 0.18),
+            (R.HEAP_HOT, 0.36),
+            (R.HEAP_MEDIUM, 0.16),
+            (R.GC_BITMAP, 0.30),
+        ),
+        store_mix=((R.GC_BITMAP, 0.85), (R.HEAP_HOT, 0.15)),
+        seq_load_fraction=0.25,
+        seq_store_fraction=0.10,
+        page_dwell=32.0,
+        dwell_span_override=1024,
+        indirect_fraction=0.01,
+        call_fraction=0.04,
+        larx_per_instr=0.00004,
+        sync_per_instr=0.00004,
+    )
+
+
+def gc_sweep_profile(rng, space) -> PhaseProfile:
+    """The sweep phase: a sequential walk of the whole heap."""
+    pool = build_pool(
+        rng,
+        space[R.CODE_GC].base + 32 * 1024,
+        space[R.CODE_GC].size_bytes // 2,
+        n_units=6,
+        mean_size=768,
+        weights=[1.0] * 6,
+        bias_classes=GC_BIAS,
+        poly_classes=MONO_POLY,
+        uid_offset=9_100_000,
+    )
+    return PhaseProfile(
+        name="gc_sweep",
+        code_pool=pool,
+        code_region=R.CODE_GC,
+        active_units=4,
+        block_mean=5.5,
+        mem_per_instr=0.38,
+        load_fraction=0.80,
+        load_mix=((R.HEAP_COLD, 0.40), (R.GC_BITMAP, 0.40), (R.HEAP_HOT, 0.20)),
+        store_mix=((R.HEAP_COLD, 0.20), (R.GC_BITMAP, 0.55), (R.HEAP_HOT, 0.25)),
+        seq_load_fraction=0.75,
+        seq_store_fraction=0.05,
+        page_dwell=48.0,
+        dwell_span_override=1024,
+        indirect_fraction=0.005,
+        call_fraction=0.03,
+        larx_per_instr=0.00002,
+        sync_per_instr=0.00002,
+    )
+
+
+def kernel_profile(rng, space) -> PhaseProfile:
+    """Privileged code: interrupt/syscall paths, network and FS stacks.
+
+    Carries the high SYNC density the paper measures for privileged
+    execution (~7% of cycles with a SYNC in the SRQ, vs <1% user).
+    """
+    pool = build_pool(
+        rng,
+        space[R.CODE_KERNEL].base,
+        space[R.CODE_KERNEL].size_bytes,
+        n_units=160,
+        mean_size=1536,
+        weights=[1.0 / (i + 6) for i in range(160)],
+        bias_classes=MUTATOR_BIAS,
+        poly_classes=MONO_POLY,
+        uid_offset=9_200_000,
+    )
+    return PhaseProfile(
+        name="kernel",
+        code_pool=pool,
+        code_region=R.CODE_KERNEL,
+        active_units=24,
+        block_mean=6.0,
+        mem_per_instr=0.46,
+        load_fraction=0.66,
+        load_mix=(
+            (R.NATIVE_DATA, 0.46),
+            (R.STACK, 0.44),
+            (R.DB_BUFFER, 0.10),
+        ),
+        store_mix=((R.NATIVE_DATA, 0.52), (R.STACK, 0.48)),
+        seq_load_fraction=0.25,
+        seq_store_fraction=0.30,
+        page_dwell=10.0,
+        indirect_fraction=0.04,
+        larx_per_instr=0.0022,
+        sync_per_instr=0.0062,
+    )
+
+
+def idle_profile(rng, space) -> PhaseProfile:
+    """The OS idle loop: tiny, cache-resident, highly predictable.
+
+    Produces the ~0.7 CPI the paper quotes for the unloaded system.
+    """
+    pool = build_pool(
+        rng,
+        space[R.CODE_IDLE].base,
+        space[R.CODE_IDLE].size_bytes,
+        n_units=1,
+        mean_size=256,
+        weights=[1.0],
+        bias_classes=GC_BIAS,
+        poly_classes=MONO_POLY,
+        uid_offset=9_300_000,
+    )
+    return PhaseProfile(
+        name="idle",
+        code_pool=pool,
+        code_region=R.CODE_IDLE,
+        active_units=1,
+        block_mean=4.0,
+        mem_per_instr=0.22,
+        load_fraction=0.70,
+        load_mix=((R.STACK, 1.0),),
+        store_mix=((R.STACK, 1.0),),
+        seq_load_fraction=0.0,
+        seq_store_fraction=0.0,
+        page_dwell=16.0,
+        indirect_fraction=0.0,
+        call_fraction=0.02,
+        larx_per_instr=0.0,
+        sync_per_instr=0.0018,
+    )
+
+
+def interpreter_profile(rng, space) -> PhaseProfile:
+    """The bytecode interpreter: what not-yet-JITed Java runs on.
+
+    A small, hot native dispatch loop whose defining feature is the
+    *megamorphic indirect branch* per bytecode (the dispatch table):
+    branch-dense code with a high target-misprediction rate, reading
+    bytecode arrays and an operand stack.  This is why the paper had
+    to run for an hour before profiling — until the JIT catches up,
+    windows look like this instead of like compiled code.
+    """
+    # Dispatch sites get many equally-likely targets: megamorphic.
+    dispatch_poly: PolyClasses = ((1.0, 12, 24),)
+    pool = build_pool(
+        rng,
+        space[R.CODE_NATIVE].base,
+        128 * 1024,
+        n_units=12,
+        mean_size=1536,
+        weights=[1.0 / (i + 2) for i in range(12)],
+        bias_classes=GC_BIAS,  # the loop itself is predictable
+        poly_classes=dispatch_poly,
+        uid_offset=9_400_000,
+    )
+    return PhaseProfile(
+        name="interpreter",
+        code_pool=pool,
+        code_region=R.CODE_NATIVE,
+        active_units=6,
+        block_mean=4.5,
+        mem_per_instr=0.55,
+        load_fraction=0.70,
+        load_mix=(
+            (R.STACK, 0.40),
+            (R.HEAP_HOT, 0.24),
+            (R.HEAP_MEDIUM, 0.16),  # bytecode arrays
+            (R.HEAP_COLD, 0.02),
+            (R.HEAP_ALLOC, 0.03),
+            (R.NATIVE_DATA, 0.15),  # dispatch tables, frames
+        ),
+        store_mix=(
+            (R.STACK, 0.62),
+            (R.HEAP_HOT, 0.14),
+            (R.HEAP_ALLOC, 0.12),
+            (R.NATIVE_DATA, 0.12),
+        ),
+        seq_load_fraction=0.10,
+        seq_store_fraction=0.10,
+        page_dwell=14.0,
+        indirect_fraction=0.18,  # one dispatch per few bytecodes
+        call_fraction=0.08,
+        larx_per_instr=0.0012,
+        sync_per_instr=0.0004,
+    )

@@ -1,0 +1,64 @@
+"""Where a memory access was satisfied from.
+
+These enums mirror the POWER4 HPM's data-source breakdown (Figure 9 of
+the paper) and instruction-source breakdown.  ``L25``/``L275`` denote an
+L2 on another chip of the same MCM / of a different MCM; ``SHR``/``MOD``
+are the MESI state the line was found in.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.hpm.events import Event
+
+
+class DataSource(enum.Enum):
+    """Source of data for an L1D load miss."""
+
+    L2 = "L2"
+    L25_SHR = "L2.5 shared"
+    L25_MOD = "L2.5 modified"
+    L275_SHR = "L2.75 shared"
+    L275_MOD = "L2.75 modified"
+    L3 = "L3"
+    L35 = "L3.5"
+    MEM = "memory"
+
+    @property
+    def event(self) -> Event:
+        """The HPM event counting loads satisfied from this source."""
+        return _DATA_SOURCE_EVENTS[self]
+
+
+_DATA_SOURCE_EVENTS = {
+    DataSource.L2: Event.PM_DATA_FROM_L2,
+    DataSource.L25_SHR: Event.PM_DATA_FROM_L25_SHR,
+    DataSource.L25_MOD: Event.PM_DATA_FROM_L25_MOD,
+    DataSource.L275_SHR: Event.PM_DATA_FROM_L275_SHR,
+    DataSource.L275_MOD: Event.PM_DATA_FROM_L275_MOD,
+    DataSource.L3: Event.PM_DATA_FROM_L3,
+    DataSource.L35: Event.PM_DATA_FROM_L35,
+    DataSource.MEM: Event.PM_DATA_FROM_MEM,
+}
+
+
+class InstSource(enum.Enum):
+    """Source of an instruction fetch."""
+
+    L1 = "L1I"
+    L2 = "L2"
+    L3 = "L3"
+    MEM = "memory"
+
+    @property
+    def event(self) -> Event:
+        return _INST_SOURCE_EVENTS[self]
+
+
+_INST_SOURCE_EVENTS = {
+    InstSource.L1: Event.PM_INST_FROM_L1,
+    InstSource.L2: Event.PM_INST_FROM_L2,
+    InstSource.L3: Event.PM_INST_FROM_L3,
+    InstSource.MEM: Event.PM_INST_FROM_MEM,
+}

@@ -1,0 +1,141 @@
+"""Address translation: I/D ERATs and the unified TLB.
+
+POWER4 translates an effective address through one of two
+effective-to-real address translation tables (instruction and data
+ERATs) probed in parallel with the L1s.  An ERAT miss triggers a TLB
+lookup (>=14 cycles including the segment-lookaside buffer); a TLB miss
+walks the page table.
+
+Two modeling details matter for reproducing the paper's Section 4.2.2:
+
+* **ERAT entries are 4 KB-granular regardless of the underlying page
+  size.**  Large pages therefore do *not* relieve ERAT pressure — which
+  is why the paper still sees frequent DERAT misses and says "there is
+  room for improving ERAT hit rates" even with the heap in 16 MB pages.
+* **The TLB is unified and indexed by the true page.**  Moving the heap
+  to 16 MB pages collapses hundreds of megabytes of data into a handful
+  of TLB entries, which both slashes DTLB misses (+25% hit rate in the
+  paper) and frees capacity for instruction pages (+15% ITLB hit rate)
+  — the cross-side effect falls out of the shared structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import TranslationConfig
+from repro.cpu.cache import SetAssociativeCache
+from repro.cpu.regions import Region
+
+
+@dataclass(frozen=True)
+class TranslationResult:
+    """Outcome of translating one access."""
+
+    erat_miss: bool
+    tlb_miss: bool
+
+    @property
+    def tlb_hit(self) -> bool:
+        """True when the ERAT missed but the TLB satisfied the request."""
+        return self.erat_miss and not self.tlb_miss
+
+
+class _Erat:
+    """One ERAT: a small cache of 4 KB-granule translations."""
+
+    def __init__(self, entries: int, associativity: int, granule_bytes: int):
+        if entries % associativity != 0:
+            raise ValueError("ERAT entries must divide evenly into ways")
+        self.granule_bytes = granule_bytes
+        self.cache = SetAssociativeCache(entries // associativity, associativity, "lru")
+
+    def access(self, addr: int) -> bool:
+        """Translate; returns True on hit, filling on miss."""
+        granule = addr // self.granule_bytes
+        if self.cache.lookup(granule):
+            return True
+        self.cache.fill(granule)
+        return False
+
+
+class _UnifiedTlb:
+    """The unified TLB, indexed by (page number, page size class)."""
+
+    def __init__(self, entries: int, associativity: int):
+        if entries % associativity != 0:
+            raise ValueError("TLB entries must divide evenly into ways")
+        self.cache = SetAssociativeCache(entries // associativity, associativity, "lru")
+        self.data_hits = 0
+        self.data_misses = 0
+        self.inst_hits = 0
+        self.inst_misses = 0
+
+    @staticmethod
+    def _key(addr: int, page_bytes: int) -> int:
+        # Distinguish equal page numbers of different page sizes.
+        return (addr // page_bytes) * 2 + (1 if page_bytes > 4096 else 0)
+
+    def access(self, addr: int, page_bytes: int, is_data: bool) -> bool:
+        key = self._key(addr, page_bytes)
+        hit = self.cache.lookup(key)
+        if not hit:
+            self.cache.fill(key)
+        if is_data:
+            if hit:
+                self.data_hits += 1
+            else:
+                self.data_misses += 1
+        else:
+            if hit:
+                self.inst_hits += 1
+            else:
+                self.inst_misses += 1
+        return hit
+
+    def data_hit_rate(self) -> float:
+        total = self.data_hits + self.data_misses
+        return self.data_hits / total if total else 0.0
+
+    def inst_hit_rate(self) -> float:
+        total = self.inst_hits + self.inst_misses
+        return self.inst_hits / total if total else 0.0
+
+
+class TranslationUnit:
+    """IERAT + DERAT + unified TLB for one core."""
+
+    def __init__(self, config: TranslationConfig):
+        self.config = config
+        self.ierat = _Erat(
+            config.ierat_entries, config.erat_associativity, config.erat_page_bytes
+        )
+        self.derat = _Erat(
+            config.derat_entries, config.erat_associativity, config.erat_page_bytes
+        )
+        self.tlb = _UnifiedTlb(config.tlb_entries, config.tlb_associativity)
+
+    def translate_data(self, addr: int, region: Region) -> TranslationResult:
+        """Translate a load/store address."""
+        if self.derat.access(addr):
+            return TranslationResult(erat_miss=False, tlb_miss=False)
+        tlb_hit = self.tlb.access(addr, region.page_bytes, is_data=True)
+        return TranslationResult(erat_miss=True, tlb_miss=not tlb_hit)
+
+    def translate_inst(self, addr: int, region: Region) -> TranslationResult:
+        """Translate an instruction-fetch address."""
+        if self.ierat.access(addr):
+            return TranslationResult(erat_miss=False, tlb_miss=False)
+        tlb_hit = self.tlb.access(addr, region.page_bytes, is_data=False)
+        return TranslationResult(erat_miss=True, tlb_miss=not tlb_hit)
+
+    # Convenience accessors for the large-page ablation report.
+    @property
+    def dtlb_hit_rate(self) -> float:
+        """Hit rate of TLB lookups made on behalf of data accesses."""
+        return self.tlb.data_hit_rate()
+
+    @property
+    def itlb_hit_rate(self) -> float:
+        """Hit rate of TLB lookups made on behalf of instruction fetches."""
+        return self.tlb.inst_hit_rate()

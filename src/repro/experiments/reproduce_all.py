@@ -1,0 +1,140 @@
+"""Regenerate the entire paper in one call.
+
+Runs every figure, every in-text table and every extension study at
+the chosen scale, concatenates the rendered outputs into one document
+(with a pass/off summary up front), and optionally writes it — the
+single artifact answering "does this reproduction still hold?".
+
+Exposed on the CLI as ``python -m repro reproduce-all [--output FILE]``.
+"""
+
+from __future__ import annotations
+
+import importlib
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.config import ExperimentConfig
+from repro.experiments.common import bench_config
+
+#: (experiment name, module, extra run() kwargs) in paper order.
+CATALOG: Tuple[Tuple[str, str, dict], ...] = (
+    ("Figure 2", "fig02_throughput", {}),
+    ("Figure 3", "fig03_gc", {}),
+    ("Figure 4", "fig04_profile", {}),
+    ("Figure 5", "fig05_cpi", {}),
+    ("Figure 6", "fig06_branch", {}),
+    ("Figure 7", "fig07_tlb", {}),
+    ("Figure 8", "fig08_l1d", {}),
+    ("Figure 9", "fig09_sources", {}),
+    ("Figure 10", "fig10_correlation", {}),
+    ("Utilization/disks (§4.1)", "tab_utilization", {}),
+    ("Large pages (§4.2.2)", "tab_large_pages", {}),
+    ("Locking/SYNC (§4.2.4)", "tab_locking", {}),
+    ("Baselines (§5)", "tab_baselines", {}),
+    ("JIT warm-up (§4.1.2)", "exp_warmup", {}),
+    ("What-if ablation", "exp_whatif", {}),
+    ("Heap sweep", "exp_heap_sweep", {}),
+    ("Tuning walk (§3.3)", "exp_tuning", {}),
+    ("Scaling (§7)", "exp_scaling", {}),
+    ("Cluster (§7)", "exp_cluster", {}),
+    ("Sampling methodology", "exp_methodology", {}),
+)
+
+
+@dataclass
+class ReproductionRecord:
+    """Outcome of one experiment in the sweep."""
+
+    title: str
+    module: str
+    seconds: float
+    rows_total: int
+    rows_off: List[str]
+    lines: List[str] = field(repr=False, default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.rows_off
+
+
+@dataclass
+class ReproduceAllResult:
+    config: ExperimentConfig
+    records: Dict[str, ReproductionRecord]
+    total_seconds: float
+
+    @property
+    def rows_total(self) -> int:
+        return sum(r.rows_total for r in self.records.values())
+
+    @property
+    def rows_off(self) -> List[Tuple[str, str]]:
+        return [
+            (r.title, label)
+            for r in self.records.values()
+            for label in r.rows_off
+        ]
+
+    def summary_lines(self) -> List[str]:
+        lines = [
+            "=" * 72,
+            "FULL REPRODUCTION SWEEP",
+            "=" * 72,
+            f"experiments: {len(self.records)}   "
+            f"paper-vs-measured rows: {self.rows_total}   "
+            f"off-band: {len(self.rows_off)}   "
+            f"wall clock: {self.total_seconds:.0f}s",
+            "",
+            f"  {'experiment':30s} {'rows':>5} {'off':>4} {'time':>7}",
+        ]
+        for r in self.records.values():
+            lines.append(
+                f"  {r.title:30s} {r.rows_total:>5} {len(r.rows_off):>4} "
+                f"{r.seconds:>6.1f}s"
+            )
+        if self.rows_off:
+            lines.append("")
+            lines.append("  off-band rows (see EXPERIMENTS.md known gaps):")
+            for title, label in self.rows_off:
+                lines.append(f"    {title}: {label}")
+        return lines
+
+    def render_lines(self) -> List[str]:
+        lines = self.summary_lines()
+        for r in self.records.values():
+            lines.append("")
+            lines.extend(r.lines)
+        return lines
+
+
+def run(
+    config: Optional[ExperimentConfig] = None,
+    only: Optional[List[str]] = None,
+) -> ReproduceAllResult:
+    """Run the full catalog (or the named subset of module names)."""
+    config = config if config is not None else bench_config()
+    records: Dict[str, ReproductionRecord] = {}
+    sweep_start = time.time()
+    for title, module_name, kwargs in CATALOG:
+        if only is not None and module_name not in only:
+            continue
+        module = importlib.import_module(f"repro.experiments.{module_name}")
+        started = time.time()
+        result = module.run(config, **kwargs)
+        elapsed = time.time() - started
+        rows = result.rows()
+        records[module_name] = ReproductionRecord(
+            title=title,
+            module=module_name,
+            seconds=elapsed,
+            rows_total=len(rows),
+            rows_off=[r.label for r in rows if r.ok is False],
+            lines=result.render_lines(),
+        )
+    return ReproduceAllResult(
+        config=config,
+        records=records,
+        total_seconds=time.time() - sweep_start,
+    )

@@ -1,0 +1,34 @@
+"""Hardware performance monitor (HPM) model.
+
+The paper collects its microarchitectural data with the POWER4 HPM via
+the AIX ``hpmstat`` tool.  Two properties of that facility shape the
+whole methodology and are modeled faithfully here:
+
+* Counters are read in *groups of eight*; only one group can be active
+  at a time, so events in different groups can never be correlated
+  against each other directly (Section 3.3 of the paper).
+* Every group carries cycles and completed instructions, so CPI can be
+  computed — and correlated against the other six events — *within*
+  any group.  This is the workaround the paper's Section 4.3 relies on.
+
+:mod:`repro.hpm.events` defines the event vocabulary,
+:mod:`repro.hpm.counters` the accumulation primitives,
+:mod:`repro.hpm.groups` the group catalog, and
+:mod:`repro.hpm.hpmstat` the interval sampler.
+"""
+
+from repro.hpm.counters import CounterSnapshot, CounterBank
+from repro.hpm.events import Event
+from repro.hpm.groups import CounterGroup, GroupCatalog, default_catalog
+from repro.hpm.hpmstat import HpmSample, HpmStat
+
+__all__ = [
+    "Event",
+    "CounterSnapshot",
+    "CounterBank",
+    "CounterGroup",
+    "GroupCatalog",
+    "default_catalog",
+    "HpmSample",
+    "HpmStat",
+]

@@ -1,0 +1,116 @@
+"""The hardware event vocabulary.
+
+Event names follow the POWER4 ``PM_*`` convention used by hpmstat so
+that the benchmark output reads like the paper's figures.  The docstring
+of each member says which figure or finding of the paper consumes it.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Event(enum.Enum):
+    """One countable hardware event."""
+
+    # --- Base events present in every counter group -------------------
+    #: Processor cycles.  Present in every group; the denominator of CPI.
+    PM_CYC = "PM_CYC"
+    #: Instructions completed (retired).  Present in every group.
+    PM_INST_CMPL = "PM_INST_CMPL"
+
+    # --- Pipeline / speculation (Figure 5) -----------------------------
+    #: Instructions dispatched.  Dispatched/completed is the paper's
+    #: "speculation rate" (~2.2-2.5 on the loaded system).
+    PM_INST_DISP = "PM_INST_DISP"
+    #: Cycles in which at least one instruction completed.  Negatively
+    #: correlated with CPI in Figure 10 ("Cyc w/ Instr. Comp.").
+    PM_CYC_INST_CMPL = "PM_CYC_INST_CMPL"
+
+    # --- L1 data cache (Figures 5, 8) ----------------------------------
+    PM_LD_REF_L1 = "PM_LD_REF_L1"
+    PM_ST_REF_L1 = "PM_ST_REF_L1"
+    PM_LD_MISS_L1 = "PM_LD_MISS_L1"
+    PM_ST_MISS_L1 = "PM_ST_MISS_L1"
+
+    # --- Where L1D load misses were satisfied from (Figure 9) ----------
+    PM_DATA_FROM_L2 = "PM_DATA_FROM_L2"
+    #: Off-chip L2 on the same MCM.  Zero on the paper's system (only
+    #: one live L2 per MCM), and zero here with the default topology.
+    PM_DATA_FROM_L25_SHR = "PM_DATA_FROM_L25_SHR"
+    PM_DATA_FROM_L25_MOD = "PM_DATA_FROM_L25_MOD"
+    #: L2 on a different MCM, line in Shared state.
+    PM_DATA_FROM_L275_SHR = "PM_DATA_FROM_L275_SHR"
+    #: L2 on a different MCM, line in Modified state.  "Very little"
+    #: of this traffic is a headline finding of the paper.
+    PM_DATA_FROM_L275_MOD = "PM_DATA_FROM_L275_MOD"
+    PM_DATA_FROM_L3 = "PM_DATA_FROM_L3"
+    #: L3 attached to a different MCM.
+    PM_DATA_FROM_L35 = "PM_DATA_FROM_L35"
+    PM_DATA_FROM_MEM = "PM_DATA_FROM_MEM"
+
+    # --- Instruction fetch (Figure 10's instruction-side bars) ---------
+    PM_INST_FROM_L1 = "PM_INST_FROM_L1"
+    PM_INST_FROM_L2 = "PM_INST_FROM_L2"
+    PM_INST_FROM_L3 = "PM_INST_FROM_L3"
+    PM_INST_FROM_MEM = "PM_INST_FROM_MEM"
+
+    # --- Branch prediction (Figure 6) -----------------------------------
+    #: Branches completed.
+    PM_BR_CMPL = "PM_BR_CMPL"
+    #: Conditional (direction) mispredictions — ~6% of branches.
+    PM_BR_MPRED_CR = "PM_BR_MPRED_CR"
+    #: Target-address mispredictions of indirect branches — ~5%.
+    PM_BR_MPRED_TA = "PM_BR_MPRED_TA"
+    #: Indirect branches executed (virtual calls and returns).
+    PM_BR_INDIRECT = "PM_BR_INDIRECT"
+
+    # --- Address translation (Figure 7) ---------------------------------
+    PM_DERAT_MISS = "PM_DERAT_MISS"
+    PM_IERAT_MISS = "PM_IERAT_MISS"
+    PM_DTLB_MISS = "PM_DTLB_MISS"
+    PM_ITLB_MISS = "PM_ITLB_MISS"
+
+    # --- Hardware prefetcher (Figure 10's strongest positive bars) ------
+    PM_L1_PREF = "PM_L1_PREF"
+    PM_L2_PREF = "PM_L2_PREF"
+    PM_STREAM_ALLOC = "PM_STREAM_ALLOC"
+
+    # --- Locking and ordering (Section 4.2.4) ----------------------------
+    PM_LARX = "PM_LARX"
+    PM_STCX = "PM_STCX"
+    PM_STCX_FAIL = "PM_STCX_FAIL"
+    #: SYNC-family instructions completed.
+    PM_SYNC_CNT = "PM_SYNC_CNT"
+    #: Cycles during which a SYNC request sat in the store reorder
+    #: queue (<1% user-level, ~7% privileged in the paper).
+    PM_SYNC_SRQ_CYC = "PM_SYNC_SRQ_CYC"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+#: Events that every counter group must contain (the POWER4 group sets
+#: used by the paper all carried cycles and completed instructions).
+BASE_EVENTS = (Event.PM_CYC, Event.PM_INST_CMPL)
+
+#: Events counting where an L1D load miss was satisfied from, in the
+#: order Figure 9 stacks them.
+DATA_SOURCE_EVENTS = (
+    Event.PM_DATA_FROM_L2,
+    Event.PM_DATA_FROM_L25_SHR,
+    Event.PM_DATA_FROM_L25_MOD,
+    Event.PM_DATA_FROM_L275_SHR,
+    Event.PM_DATA_FROM_L275_MOD,
+    Event.PM_DATA_FROM_L3,
+    Event.PM_DATA_FROM_L35,
+    Event.PM_DATA_FROM_MEM,
+)
+
+#: Events counting where instruction fetches were satisfied from.
+INST_SOURCE_EVENTS = (
+    Event.PM_INST_FROM_L1,
+    Event.PM_INST_FROM_L2,
+    Event.PM_INST_FROM_L3,
+    Event.PM_INST_FROM_MEM,
+)

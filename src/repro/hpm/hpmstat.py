@@ -1,0 +1,138 @@
+"""The interval sampler — our ``hpmstat``.
+
+``hpmstat`` on AIX periodically reads the active counter group and
+emits one row per interval.  Here the "machine" being sampled is a
+:class:`WindowExecutor`: anything that can execute sampling window *i*
+of a benchmark run and return the full :class:`CounterSnapshot` for it
+(in practice :class:`repro.cpu.core_model.CoreModel`).
+
+Faithfulness note: :meth:`HpmStat.sample_group` restricts each snapshot
+to the eight events of one group before handing it to the caller, and
+records which group produced it.  Analyses that want cross-group event
+pairs must either use a group that contains both events or fall back to
+:meth:`HpmStat.sample_all`, which is explicitly labeled as the
+simulator-only omniscient view (no real HPM can produce it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Protocol, Sequence
+
+from repro.hpm.counters import CounterSnapshot
+from repro.hpm.events import Event
+from repro.hpm.groups import CounterGroup, GroupCatalog, default_catalog
+from repro.util.timeline import SeriesBundle, TimeGrid
+
+
+class WindowExecutor(Protocol):
+    """Anything hpmstat can sample: executes one window, returns counts."""
+
+    def execute_window(self, window_index: int) -> CounterSnapshot:
+        """Run sampling window ``window_index`` and return its counters."""
+        ...
+
+
+@dataclass(frozen=True)
+class HpmSample:
+    """One sampled interval: when, which group, and the visible counts."""
+
+    window_index: int
+    time_s: float
+    group_name: Optional[str]
+    snapshot: CounterSnapshot
+
+
+class HpmStat:
+    """Samples a :class:`WindowExecutor` one counter group at a time."""
+
+    def __init__(
+        self,
+        executor: WindowExecutor,
+        window_interval_s: float,
+        catalog: Optional[GroupCatalog] = None,
+    ):
+        if window_interval_s <= 0:
+            raise ValueError("window interval must be positive")
+        self._executor = executor
+        self._interval = window_interval_s
+        self.catalog = catalog if catalog is not None else default_catalog()
+
+    # ------------------------------------------------------------------
+    # Sampling
+    # ------------------------------------------------------------------
+    def sample_group(
+        self, group_name: str, window_indices: Sequence[int]
+    ) -> List[HpmSample]:
+        """Sample ``window_indices`` with only ``group_name`` active.
+
+        This is the faithful measurement path: the returned snapshots
+        contain only the group's eight events.
+        """
+        group = self.catalog[group_name]
+        samples = []
+        for idx in window_indices:
+            full = self._executor.execute_window(idx)
+            samples.append(
+                HpmSample(
+                    window_index=idx,
+                    time_s=idx * self._interval,
+                    group_name=group.name,
+                    snapshot=full.restricted_to(group.events),
+                )
+            )
+        return samples
+
+    def sample_all(self, window_indices: Sequence[int]) -> List[HpmSample]:
+        """Omniscient sampling of every event at once.
+
+        No real HPM offers this; it exists because a simulator can, and
+        it is convenient for validation.  Samples carry
+        ``group_name=None`` so downstream analyses can tell the two
+        modes apart.
+        """
+        samples = []
+        for idx in window_indices:
+            full = self._executor.execute_window(idx)
+            samples.append(
+                HpmSample(
+                    window_index=idx,
+                    time_s=idx * self._interval,
+                    group_name=None,
+                    snapshot=full,
+                )
+            )
+        return samples
+
+    # ------------------------------------------------------------------
+    # Shaping results for analysis
+    # ------------------------------------------------------------------
+    @staticmethod
+    def to_bundle(samples: Sequence[HpmSample], events: Sequence[Event]) -> SeriesBundle:
+        """Convert samples into a :class:`SeriesBundle` of raw counts.
+
+        The bundle's grid is synthesized from the samples' spacing; the
+        samples must be evenly spaced (hpmstat output always is).
+        """
+        if not samples:
+            raise ValueError("no samples")
+        if len(samples) == 1:
+            interval = 1.0
+        else:
+            interval = samples[1].time_s - samples[0].time_s
+            for a, b in zip(samples, samples[1:]):
+                if abs((b.time_s - a.time_s) - interval) > 1e-9:
+                    raise ValueError("samples are not evenly spaced")
+        grid = TimeGrid(start=samples[0].time_s, interval=interval, count=len(samples))
+        bundle = SeriesBundle(grid)
+        for event in events:
+            bundle.add_series(event.value)
+        for sample in samples:
+            bundle.append_row({e.value: float(sample.snapshot[e]) for e in events})
+        return bundle
+
+    def group_of(self, sample: HpmSample) -> Optional[CounterGroup]:
+        """The catalog group a sample was taken with (None if omniscient)."""
+        if sample.group_name is None:
+            return None
+        return self.catalog[sample.group_name]

@@ -1,0 +1,116 @@
+"""Reading and writing hpmstat sample files.
+
+The real methodology leaves a trail of hpmstat output files; analyses
+are re-run offline against them.  This module provides the same
+workflow: :func:`write_samples` serializes a sampling campaign to a
+simple self-describing CSV (one row per interval, one column per
+event, plus window index, timestamp and the active group), and
+:func:`read_samples` loads it back into :class:`HpmSample` objects that
+every analysis in :mod:`repro.core` accepts.
+
+The format is deliberately plain so users can export counter data from
+*real* tools into it and run this package's correlation study on real
+measurements.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import List, Sequence, TextIO, Union
+
+from repro.hpm.counters import CounterSnapshot
+from repro.hpm.events import Event
+from repro.hpm.hpmstat import HpmSample
+
+_META_COLUMNS = ("window_index", "time_s", "group")
+
+
+def write_samples(
+    samples: Sequence[HpmSample], destination: Union[str, Path, TextIO]
+) -> None:
+    """Write samples as CSV.
+
+    Events that a sample cannot see (outside its active group) are
+    written as empty cells, preserving the one-group-at-a-time
+    structure of a real campaign.
+    """
+    if not samples:
+        raise ValueError("no samples to write")
+    events = [e.value for e in Event]
+
+    def _write(handle: TextIO) -> None:
+        writer = csv.writer(handle)
+        writer.writerow(list(_META_COLUMNS) + events)
+        for sample in samples:
+            visible = sample.snapshot.counts
+            row = [
+                sample.window_index,
+                f"{sample.time_s:.6f}",
+                sample.group_name or "",
+            ]
+            for event in Event:
+                row.append(visible[event] if event in visible else "")
+            writer.writerow(row)
+
+    if isinstance(destination, (str, Path)):
+        with open(destination, "w", newline="") as handle:
+            _write(handle)
+    else:
+        _write(destination)
+
+
+def read_samples(source: Union[str, Path, TextIO]) -> List[HpmSample]:
+    """Load samples previously written by :func:`write_samples`.
+
+    Unknown event columns are ignored (a file from a newer or foreign
+    tool may carry extras); unknown *rows* are an error.
+    """
+
+    def _read(handle: TextIO) -> List[HpmSample]:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise ValueError("empty sample file") from None
+        for column in _META_COLUMNS:
+            if column not in header:
+                raise ValueError(f"missing column {column!r}")
+        index = {name: i for i, name in enumerate(header)}
+        event_columns = [
+            (Event(name), i)
+            for name, i in index.items()
+            if name not in _META_COLUMNS and name in Event._value2member_map_
+        ]
+        samples: List[HpmSample] = []
+        for row in reader:
+            if not row:
+                continue
+            counts = {}
+            for event, i in event_columns:
+                cell = row[i]
+                if cell != "":
+                    counts[event] = int(cell)
+            samples.append(
+                HpmSample(
+                    window_index=int(row[index["window_index"]]),
+                    time_s=float(row[index["time_s"]]),
+                    group_name=row[index["group"]] or None,
+                    snapshot=CounterSnapshot(counts=counts),
+                )
+            )
+        return samples
+
+    if isinstance(source, (str, Path)):
+        with open(source, newline="") as handle:
+            return _read(handle)
+    return _read(source)
+
+
+def round_trip_text(samples: Sequence[HpmSample]) -> List[HpmSample]:
+    """Serialize + parse in memory (convenience for tests/pipelines)."""
+    buffer = io.StringIO()
+    write_samples(samples, buffer)
+    buffer.seek(0)
+    return read_samples(buffer)

@@ -1,0 +1,34 @@
+"""The managed-runtime model: methods/JIT, heap, and garbage collector.
+
+This package supplies the software-stack structure the paper's findings
+hinge on:
+
+* :mod:`repro.jvm.methods` — the population of JIT-compiled methods
+  with jas2004's famously *flat* execution profile (hottest method
+  <1% of time; 224 of 8500 methods cover 50% of JITed time), plus the
+  native code pools for the non-JITed half of the stack.
+* :mod:`repro.jvm.heap` / :mod:`repro.jvm.gc` — a 1 GB flat
+  (non-generational) heap with a throughput-tuned mark-sweep-compact
+  collector, reproducing Figure 3's inset: GC every 25-28 s, 300-400 ms
+  pauses, >80% of pause time in mark, ~1.3% of runtime, "dark matter"
+  fragmentation growing ~1 MB/min, and no compaction in a 60-minute
+  run.
+* :mod:`repro.jvm.jit` — a hotness-driven compilation timeline (why
+  the paper profiles the *last* five minutes of a one-hour run).
+* :mod:`repro.jvm.runtime` — mutator phase-profile builders: how each
+  software component's code behaves microarchitecturally.
+"""
+
+from repro.jvm.gc import GcEvent, MarkSweepCompactCollector
+from repro.jvm.heap import FlatHeap
+from repro.jvm.jit import JitCompiler
+from repro.jvm.methods import MethodInfo, MethodRegistry
+
+__all__ = [
+    "GcEvent",
+    "MarkSweepCompactCollector",
+    "FlatHeap",
+    "JitCompiler",
+    "MethodInfo",
+    "MethodRegistry",
+]

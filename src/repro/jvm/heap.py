@@ -1,0 +1,103 @@
+"""The flat, non-generational Java heap.
+
+The paper's JVM uses "a flat-heap non-generational mark-sweep-compact
+garbage collector that is optimized for throughput" with a 1 GB heap.
+The heap model tracks four byte populations:
+
+* **live** — reachable data (the workload's session state, caches and
+  in-flight request data; <200 MB at the end of the paper's run);
+* **fresh garbage** — bytes allocated since the last collection, most
+  of which die young and are reclaimed by the next sweep;
+* **dark matter** — small free chunks the sweep cannot reclaim
+  (reclaimable only by compaction or by neighbors dying); the paper
+  measures this growing at ~1 MB/min;
+* **free** — everything else.
+
+A collection is requested when free space falls below the trigger
+fraction.  The actual collection (phase costs, dark-matter deposit,
+compaction policy) is the collector's job (:mod:`repro.jvm.gc`).
+"""
+
+from __future__ import annotations
+
+from repro.config import JvmConfig
+from repro.util.units import MB
+
+
+class HeapExhaustedError(RuntimeError):
+    """Live data plus fragmentation no longer fit the heap."""
+
+
+class FlatHeap:
+    """Byte-level accounting for a flat (single-space) heap."""
+
+    def __init__(self, jvm: JvmConfig):
+        self.capacity_bytes = jvm.heap_mb * MB
+        self._trigger_free = jvm.gc.trigger_free_fraction * self.capacity_bytes
+        self.live_bytes = 0
+        self.allocated_since_gc = 0
+        self.dark_matter_bytes = 0
+
+    # ------------------------------------------------------------------
+    # Occupancy
+    # ------------------------------------------------------------------
+    @property
+    def used_bytes(self) -> int:
+        """Bytes not available for allocation."""
+        return self.live_bytes + self.allocated_since_gc + self.dark_matter_bytes
+
+    @property
+    def free_bytes(self) -> int:
+        return self.capacity_bytes - self.used_bytes
+
+    @property
+    def occupancy(self) -> float:
+        return self.used_bytes / self.capacity_bytes
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def set_live(self, live_bytes: int) -> None:
+        """Update the reachable set (the workload tracks this)."""
+        if live_bytes < 0:
+            raise ValueError("live bytes cannot be negative")
+        self.live_bytes = live_bytes
+
+    def allocate(self, n_bytes: int) -> bool:
+        """Allocate ``n_bytes``; returns True if a GC should run.
+
+        Raises:
+            HeapExhaustedError: if the heap cannot hold the allocation
+                even after a hypothetical perfect collection.
+        """
+        if n_bytes < 0:
+            raise ValueError("cannot allocate a negative amount")
+        if self.live_bytes + self.dark_matter_bytes + n_bytes > self.capacity_bytes:
+            raise HeapExhaustedError(
+                f"live {self.live_bytes} + dark {self.dark_matter_bytes} "
+                f"+ request {n_bytes} exceeds {self.capacity_bytes}"
+            )
+        self.allocated_since_gc += n_bytes
+        return self.free_bytes < self._trigger_free
+
+    def reclaim(self, surviving_fraction: float, dark_matter_added: int) -> int:
+        """Apply a collection's outcome; returns bytes freed.
+
+        ``surviving_fraction`` of the fresh allocations since the last
+        GC are promoted into the live set (most objects die young);
+        the sweep deposits ``dark_matter_added`` bytes of fragmentation.
+        """
+        if not 0.0 <= surviving_fraction <= 1.0:
+            raise ValueError("surviving fraction must be in [0, 1]")
+        survivors = int(self.allocated_since_gc * surviving_fraction)
+        garbage = self.allocated_since_gc - survivors
+        self.live_bytes += survivors
+        self.allocated_since_gc = 0
+        self.dark_matter_bytes += dark_matter_added
+        return garbage - dark_matter_added
+
+    def compact(self) -> int:
+        """Compaction folds all dark matter back into free space."""
+        recovered = self.dark_matter_bytes
+        self.dark_matter_bytes = 0
+        return recovered

@@ -1,0 +1,271 @@
+"""Mutator phase-profile builders: the software stack's microbehavior.
+
+Each software component of Figure 4 (JITed WebSphere/benchmark code,
+non-JITed WAS process code, the web server, DB2) gets a phase-profile
+builder describing how its code behaves at the microarchitectural
+level: where its loads and stores go, how sequential they are, its
+virtual-call density, and its locking/SYNC rates.
+
+The builders accept a :class:`MutatorIntensity` — per-window scaling of
+streaming, cold-data, locking and shared-data activity derived from the
+transaction mix active in that window.  This is the causal chain that
+produces the paper's Figure 10 correlations: a Browse-heavy window
+scans more (prefetch streams + bursty misses + DERAT pressure), a
+Purchase-heavy window locks more, and CPI moves accordingly.
+
+Calibration targets (paper, Section 4.2): ~1 memory op per 2
+instructions (1 load per 3.2, 1 store per 4.5), a LARX every ~600
+user-level instructions, SYNC-in-SRQ under 1% of user cycles.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Iterable, Mapping, Tuple
+
+from repro.cpu import regions as R
+from repro.cpu.phases import PhaseProfile
+from repro.cpu.regions import AddressSpace
+from repro.jvm.methods import MethodRegistry
+
+#: The Figure 4 software components built here (kernel and GC phases
+#: come from :mod:`repro.cpu.phases`).
+MUTATOR_COMPONENTS = ("was_jited", "was_nonjited", "web", "db2")
+
+
+@dataclass(frozen=True)
+class MutatorIntensity:
+    """Per-window scaling of transaction-mix-dependent behavior."""
+
+    stream: float = 1.0
+    cold: float = 1.0
+    lock: float = 1.0
+    shared: float = 1.0
+
+    @staticmethod
+    def blend(pairs: Iterable[Tuple["MutatorIntensity", float]]) -> "MutatorIntensity":
+        """Weight-average intensities (weights need not be normalized)."""
+        total = stream = cold = lock = shared = 0.0
+        for intensity, weight in pairs:
+            total += weight
+            stream += intensity.stream * weight
+            cold += intensity.cold * weight
+            lock += intensity.lock * weight
+            shared += intensity.shared * weight
+        if total <= 0:
+            return MutatorIntensity()
+        return MutatorIntensity(
+            stream=stream / total,
+            cold=cold / total,
+            lock=lock / total,
+            shared=shared / total,
+        )
+
+
+def _scaled_mix(
+    mix: Tuple[Tuple[str, float], ...], factors: Mapping[str, float]
+) -> Tuple[Tuple[str, float], ...]:
+    """Scale selected regions' weights and renormalize."""
+    scaled = [(name, w * factors.get(name, 1.0)) for name, w in mix]
+    total = sum(w for _, w in scaled)
+    return tuple((name, w / total) for name, w in scaled)
+
+
+def _jitter(rng: random.Random, base: int, low: float = 0.75, high: float = 1.30) -> int:
+    return max(1, int(base * rng.uniform(low, high)))
+
+
+def mutator_profiles(
+    registry: MethodRegistry,
+    space: AddressSpace,
+    rng: random.Random,
+    intensity: MutatorIntensity,
+    devirtualize_fraction: float = 0.0,
+) -> Dict[str, PhaseProfile]:
+    """Build this window's four mutator profiles.
+
+    Besides the transaction-mix intensity, each window draws a set of
+    *behavioral temperature* factors (lognormal around 1).  Real 0.1 s
+    windows differ substantially in what the requests inside them do —
+    which entities they touch, how much they scan, how contended their
+    locks are — and this per-window rate variance is what Section 4.3's
+    correlations measure.  Without it every event count would be a
+    throughput proxy and the correlation study would degenerate.
+    """
+    def noise(sigma: float) -> float:
+        # Lognormal with mean exactly 1.
+        return rng.lognormvariate(-0.5 * sigma * sigma, sigma)
+
+    # A common per-window "pressure" factor: windows whose requests do
+    # heavier work run more scans, touch more cold data, lock more and
+    # branch less predictably *per instruction* — all at once.  This
+    # shared component is what makes the stall-causing event families
+    # co-vary with CPI (Figure 10's positive bars) instead of merely
+    # tracking throughput.
+    pressure = noise(0.32)
+    stream_f = (pressure ** 1.4) * noise(0.35)
+    cold_f = (pressure ** 0.7) * noise(0.30)
+    lock_f = (pressure ** 1.8) * noise(0.20)
+    hard_f = (pressure ** 1.8) * noise(0.30)
+    dwell_f = (pressure ** 1.6) * noise(0.25)
+    page_dwell = min(60.0, max(6.0, 20.0 / dwell_f))
+    #: Heavier windows also span more code (more complex requests).
+    code_f = pressure * noise(0.20)
+
+    cold_factors = {
+        R.HEAP_COLD: intensity.cold * cold_f,
+        R.DB_BUFFER: intensity.cold * cold_f,
+    }
+    shared_factors = {R.HEAP_SHARED: intensity.shared}
+
+    def mixed(mix: Tuple[Tuple[str, float], ...]) -> Tuple[Tuple[str, float], ...]:
+        return _scaled_mix(_scaled_mix(mix, cold_factors), shared_factors)
+
+    seq = lambda base: min(0.9, base * intensity.stream * stream_f)  # noqa: E731
+    lock = intensity.lock * lock_f
+    #: Devirtualized call sites branch directly: fewer indirect
+    #: branches reach the target predictor.
+    virt = max(0.0, 1.0 - devirtualize_fraction)
+
+    profiles: Dict[str, PhaseProfile] = {}
+
+    profiles["was_jited"] = PhaseProfile(
+        name="was_jited",
+        code_pool=registry.jited_pool,
+        code_region=R.CODE_JIT,
+        active_units=_jitter(rng, max(4, int(34 * code_f)), 0.8, 1.25),
+        block_mean=7.0,
+        mem_per_instr=0.535,
+        load_fraction=0.585,
+        load_mix=mixed(
+            (
+                (R.STACK, 0.507),
+                (R.HEAP_HOT, 0.43),
+                (R.HEAP_MEDIUM, 0.028),
+                (R.HEAP_COLD, 0.009),
+                (R.HEAP_ALLOC, 0.015),
+                (R.HEAP_SHARED, 0.003),
+                (R.NATIVE_DATA, 0.006),
+                (R.DB_BUFFER, 0.002),
+            )
+        ),
+        store_mix=mixed(
+            (
+                (R.STACK, 0.50),
+                (R.HEAP_HOT, 0.19),
+                (R.HEAP_ALLOC, 0.18),
+                (R.HEAP_MEDIUM, 0.05),
+                (R.HEAP_SHARED, 0.02),
+                (R.NATIVE_DATA, 0.06),
+            )
+        ),
+        seq_load_fraction=seq(0.10),
+        seq_store_fraction=min(0.5, 0.15 * stream_f),
+        page_dwell=page_dwell,
+        indirect_fraction=min(0.20, 0.085 * code_f * virt),
+        call_fraction=0.12,
+        larx_per_instr=0.0021 * lock,
+        sync_per_instr=0.0005 * lock_f,
+        hard_branch_fraction=min(0.30, 0.072 * hard_f),
+    )
+
+    profiles["was_nonjited"] = PhaseProfile(
+        name="was_nonjited",
+        code_pool=registry.native_pool("was_nonjited"),
+        code_region=R.CODE_NATIVE,
+        active_units=_jitter(rng, max(4, int(20 * code_f)), 0.8, 1.25),
+        block_mean=6.5,
+        mem_per_instr=0.52,
+        load_fraction=0.62,
+        load_mix=mixed(
+            (
+                (R.NATIVE_DATA, 0.17),
+                (R.STACK, 0.565),
+                (R.HEAP_HOT, 0.18),
+                (R.HEAP_MEDIUM, 0.030),
+                (R.HEAP_COLD, 0.005),
+                (R.DB_BUFFER, 0.010),
+                (R.HEAP_SHARED, 0.002),
+                (R.HEAP_ALLOC, 0.018),
+            )
+        ),
+        store_mix=mixed(
+            (
+                (R.STACK, 0.56),
+                (R.NATIVE_DATA, 0.24),
+                (R.HEAP_HOT, 0.10),
+                (R.HEAP_ALLOC, 0.08),
+                (R.HEAP_MEDIUM, 0.02),
+            )
+        ),
+        seq_load_fraction=seq(0.08),
+        seq_store_fraction=min(0.5, 0.12 * stream_f),
+        page_dwell=page_dwell,
+        indirect_fraction=min(0.20, 0.05 * code_f * virt),
+        call_fraction=0.11,
+        larx_per_instr=0.0018 * lock,
+        sync_per_instr=0.0006 * lock_f,
+        hard_branch_fraction=min(0.30, 0.062 * hard_f),
+    )
+
+    profiles["web"] = PhaseProfile(
+        name="web",
+        code_pool=registry.native_pool("web"),
+        code_region=R.CODE_NATIVE,
+        active_units=_jitter(rng, max(3, int(12 * code_f)), 0.8, 1.25),
+        block_mean=6.5,
+        mem_per_instr=0.50,
+        load_fraction=0.64,
+        load_mix=mixed(
+            (
+                (R.NATIVE_DATA, 0.30),
+                (R.STACK, 0.675),
+                (R.DB_BUFFER, 0.025),
+            )
+        ),
+        store_mix=(
+            (R.STACK, 0.62),
+            (R.NATIVE_DATA, 0.38),
+        ),
+        seq_load_fraction=seq(0.10),
+        seq_store_fraction=min(0.5, 0.08 * stream_f),
+        page_dwell=page_dwell,
+        indirect_fraction=min(0.20, 0.04 * code_f * virt),
+        call_fraction=0.10,
+        larx_per_instr=0.0010 * lock,
+        sync_per_instr=0.0003 * lock_f,
+        hard_branch_fraction=min(0.30, 0.054 * hard_f),
+    )
+
+    profiles["db2"] = PhaseProfile(
+        name="db2",
+        code_pool=registry.native_pool("db2"),
+        code_region=R.CODE_NATIVE,
+        active_units=_jitter(rng, max(4, int(17 * code_f)), 0.8, 1.25),
+        block_mean=6.5,
+        mem_per_instr=0.54,
+        load_fraction=0.63,
+        load_mix=mixed(
+            (
+                (R.DB_BUFFER, 0.085),
+                (R.NATIVE_DATA, 0.20),
+                (R.STACK, 0.715),
+            )
+        ),
+        store_mix=(
+            (R.STACK, 0.56),
+            (R.NATIVE_DATA, 0.36),
+            (R.DB_BUFFER, 0.08),
+        ),
+        seq_load_fraction=seq(0.16),
+        seq_store_fraction=min(0.5, 0.10 * stream_f),
+        page_dwell=page_dwell,
+        indirect_fraction=min(0.20, 0.045 * code_f * virt),
+        call_fraction=0.10,
+        larx_per_instr=0.0015 * lock,
+        sync_per_instr=0.0005 * lock_f,
+        hard_branch_fraction=min(0.30, 0.058 * hard_f),
+    )
+
+    return profiles

@@ -1,0 +1,22 @@
+"""Software observation tools: the paper's measurement suite.
+
+The study's methodology (Section 3.2) used three AIX-side tools besides
+the HPM: ``vmstat`` for system-level CPU/memory, ``tprof`` (plus JIT
+symbol output) for function-level profiling, and the JVM's
+``-verbosegc`` log for collection statistics.  This package provides
+equivalents that consume the simulator's run results and render output
+shaped like the originals, so the analysis layer exercises the same
+interfaces the authors did.
+"""
+
+from repro.tools.tprof import TprofReport
+from repro.tools.verbosegc import GcSummary, VerboseGcLog
+from repro.tools.vmstat import VmstatReport, VmstatRow
+
+__all__ = [
+    "TprofReport",
+    "GcSummary",
+    "VerboseGcLog",
+    "VmstatReport",
+    "VmstatRow",
+]

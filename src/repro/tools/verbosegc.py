@@ -1,0 +1,128 @@
+"""The verbosegc log: rendering and summarizing GC events.
+
+Produces Figure 3's content: the per-collection series (pause, mark,
+sweep, heap used) and the inset table — time between GCs (25-28 s),
+GC time (300-400 ms), and average percent of runtime (~1.3%).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.jvm.gc import GcEvent
+from repro.util.units import MB
+
+
+@dataclass(frozen=True)
+class GcSummary:
+    """The Figure 3 inset table plus supporting statistics."""
+
+    collections: int
+    mean_period_s: Optional[float]
+    min_period_s: Optional[float]
+    max_period_s: Optional[float]
+    mean_pause_ms: Optional[float]
+    min_pause_ms: Optional[float]
+    max_pause_ms: Optional[float]
+    percent_of_runtime: float
+    mean_mark_fraction: float
+    mean_sweep_fraction: float
+    compactions: int
+    #: Rate at which unreclaimable "dark matter" accumulates.
+    dark_matter_mb_per_min: float
+    final_live_mb: float
+    final_used_mb: float
+
+    def table_lines(self) -> List[str]:
+        """Render the inset table the paper prints next to Figure 3."""
+
+        def rng(lo, hi, unit, nd=0):
+            if lo is None:
+                return "n/a"
+            return f"{lo:.{nd}f}-{hi:.{nd}f} {unit}"
+
+        return [
+            f"Time Between GC            {rng(self.min_period_s, self.max_period_s, 's')}",
+            f"GC Time                    {rng(self.min_pause_ms, self.max_pause_ms, 'ms')}",
+            f"Average Percent of Runtime {self.percent_of_runtime * 100:.1f}%",
+            f"Mark / Sweep split         {self.mean_mark_fraction * 100:.0f}% / "
+            f"{self.mean_sweep_fraction * 100:.0f}%",
+            f"Compactions                {self.compactions}",
+            f"Dark matter growth         {self.dark_matter_mb_per_min:.2f} MB/min",
+        ]
+
+
+class VerboseGcLog:
+    """Renders and summarizes a sequence of GC events."""
+
+    def __init__(self, events: Sequence[GcEvent], run_duration_s: float):
+        if run_duration_s <= 0:
+            raise ValueError("run duration must be positive")
+        self.events = list(events)
+        self.run_duration_s = run_duration_s
+
+    def render_lines(self, limit: Optional[int] = None) -> List[str]:
+        """verbosegc-style text, one line per collection."""
+        events = self.events if limit is None else self.events[:limit]
+        lines = []
+        for i, e in enumerate(events):
+            lines.append(
+                f"<gc({i}) t={e.start_time_s:8.1f}s pause={e.pause_ms:6.1f}ms "
+                f"mark={e.mark_ms:6.1f}ms sweep={e.sweep_ms:5.1f}ms"
+                + (f" compact={e.compact_ms:.1f}ms" if e.compacted else "")
+                + f" freed={e.freed_bytes / MB:6.1f}MB"
+                f" used={e.used_bytes_after / MB:6.1f}MB"
+                f" dark={e.dark_matter_bytes / MB:5.1f}MB>"
+            )
+        return lines
+
+    def summary(self) -> GcSummary:
+        events = self.events
+        if not events:
+            return GcSummary(
+                collections=0,
+                mean_period_s=None,
+                min_period_s=None,
+                max_period_s=None,
+                mean_pause_ms=None,
+                min_pause_ms=None,
+                max_pause_ms=None,
+                percent_of_runtime=0.0,
+                mean_mark_fraction=0.0,
+                mean_sweep_fraction=0.0,
+                compactions=0,
+                dark_matter_mb_per_min=0.0,
+                final_live_mb=0.0,
+                final_used_mb=0.0,
+            )
+        periods = [
+            b.start_time_s - a.start_time_s for a, b in zip(events, events[1:])
+        ]
+        pauses = [e.pause_ms for e in events]
+        mark_fracs = [e.mark_fraction for e in events if e.pause_ms > 0]
+        total_pause_s = sum(pauses) / 1000.0
+        span_min = max(
+            1e-9, (events[-1].start_time_s - events[0].start_time_s) / 60.0
+        )
+        dark_delta = events[-1].dark_matter_bytes - events[0].dark_matter_bytes
+        return GcSummary(
+            collections=len(events),
+            mean_period_s=sum(periods) / len(periods) if periods else None,
+            min_period_s=min(periods) if periods else None,
+            max_period_s=max(periods) if periods else None,
+            mean_pause_ms=sum(pauses) / len(pauses),
+            min_pause_ms=min(pauses),
+            max_pause_ms=max(pauses),
+            percent_of_runtime=total_pause_s / self.run_duration_s,
+            mean_mark_fraction=(
+                sum(mark_fracs) / len(mark_fracs) if mark_fracs else 0.0
+            ),
+            mean_sweep_fraction=(
+                1.0 - sum(mark_fracs) / len(mark_fracs) if mark_fracs else 0.0
+            ),
+            compactions=sum(1 for e in events if e.compacted),
+            dark_matter_mb_per_min=dark_delta / MB / span_min,
+            final_live_mb=events[-1].live_bytes_after / MB,
+            final_used_mb=events[-1].used_bytes_after / MB,
+        )

@@ -1,0 +1,34 @@
+"""Shared low-level utilities: seeded RNG streams, statistics, time series.
+
+These helpers are deliberately dependency-light; every other subpackage of
+:mod:`repro` builds on them.  Nothing in here knows about workloads or
+processors.
+"""
+
+from repro.util.rng import RngFactory, derive_seed
+from repro.util.stats import (
+    RunningStats,
+    pearson,
+    percentile,
+    shifted_zipf_weights,
+    summarize,
+)
+from repro.util.timeline import SampleSeries, TimeGrid
+from repro.util.units import KB, MB, GB, MS, US
+
+__all__ = [
+    "RngFactory",
+    "derive_seed",
+    "RunningStats",
+    "pearson",
+    "percentile",
+    "shifted_zipf_weights",
+    "summarize",
+    "SampleSeries",
+    "TimeGrid",
+    "KB",
+    "MB",
+    "GB",
+    "MS",
+    "US",
+]

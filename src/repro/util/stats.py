@@ -1,0 +1,195 @@
+"""Statistics primitives used by the characterization methodology.
+
+The paper's core analytical tool is the Pearson product-moment
+correlation between sampled hardware events and CPI (Section 4.3).  The
+formula implemented by :func:`pearson` is exactly the one printed in the
+paper:
+
+.. math::
+
+    r = \\frac{\\Sigma(x-\\bar{x})(y-\\bar{y})}
+             {\\sqrt{\\Sigma(x-\\bar{x})^2\\,\\Sigma(y-\\bar{y})^2}}
+
+This module also provides the profile-shape helper
+:func:`shifted_zipf_weights` used to synthesize "flat" method profiles,
+plus small summary-statistics utilities.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+
+def pearson(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Pearson correlation coefficient of two equal-length samples.
+
+    Returns a value in ``[-1, 1]``.  If either sample has zero variance
+    the correlation is undefined; we return ``0.0`` in that case, which
+    matches how the paper treats flat counter series (no co-variation,
+    no evidence of a relationship).
+
+    Raises:
+        ValueError: if the samples differ in length or have fewer than
+            two points.
+    """
+    if len(xs) != len(ys):
+        raise ValueError(f"length mismatch: {len(xs)} vs {len(ys)}")
+    n = len(xs)
+    if n < 2:
+        raise ValueError("correlation needs at least two samples")
+    mean_x = math.fsum(xs) / n
+    mean_y = math.fsum(ys) / n
+    sxy = math.fsum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    sxx = math.fsum((x - mean_x) ** 2 for x in xs)
+    syy = math.fsum((y - mean_y) ** 2 for y in ys)
+    if sxx <= 0.0 or syy <= 0.0:
+        return 0.0
+    # sqrt the factors separately: the product can underflow to zero
+    # for tiny variances even when both factors are positive.
+    denom = math.sqrt(sxx) * math.sqrt(syy)
+    if denom == 0.0:
+        return 0.0
+    r = sxy / denom
+    # Guard against floating point overshoot.
+    return max(-1.0, min(1.0, r))
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile (0..100) using linear interpolation.
+
+    The benchmark's pass criteria are phrased as percentiles ("90% of
+    web requests under 2 seconds"), so this is the definition the
+    workload metrics use.
+    """
+    if not values:
+        raise ValueError("percentile of empty sequence")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile out of range: {q}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (q / 100.0) * (len(ordered) - 1)
+    low = int(math.floor(rank))
+    high = int(math.ceil(rank))
+    if low == high or ordered[low] == ordered[high]:
+        return ordered[low]
+    frac = rank - low
+    return ordered[low] * (1.0 - frac) + ordered[high] * frac
+
+
+def shifted_zipf_weights(n: int, shift: float = 0.0, exponent: float = 1.0) -> List[float]:
+    """Normalized weights ``w_i ∝ (i + shift)^-exponent`` for ``i=1..n``.
+
+    A plain Zipf distribution concentrates far too much weight in the
+    head to model the paper's *flat* method profile (hottest method
+    <1% of time).  Adding a ``shift`` flattens the head while keeping a
+    long, slowly decaying tail — the shape tprof reported for jas2004.
+    """
+    if n <= 0:
+        raise ValueError("need at least one weight")
+    if shift < 0:
+        raise ValueError("shift must be non-negative")
+    raw = [(i + shift) ** -exponent for i in range(1, n + 1)]
+    total = math.fsum(raw)
+    return [w / total for w in raw]
+
+
+@dataclass
+class SummaryStats:
+    """Five-number-ish summary of a sample."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "std": self.std,
+            "min": self.minimum,
+            "max": self.maximum,
+        }
+
+
+def summarize(values: Sequence[float]) -> SummaryStats:
+    """Compute a :class:`SummaryStats` over ``values`` (population std)."""
+    if not values:
+        raise ValueError("summarize of empty sequence")
+    n = len(values)
+    mean = math.fsum(values) / n
+    var = math.fsum((v - mean) ** 2 for v in values) / n
+    return SummaryStats(
+        count=n,
+        mean=mean,
+        std=math.sqrt(var),
+        minimum=min(values),
+        maximum=max(values),
+    )
+
+
+class RunningStats:
+    """Welford-style online mean/variance accumulator.
+
+    Used by long-running simulations to summarize per-interval samples
+    without retaining them all.
+    """
+
+    def __init__(self) -> None:
+        self.count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+
+    def add(self, value: float) -> None:
+        """Fold one observation into the accumulator."""
+        self.count += 1
+        delta = value - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (value - self._mean)
+        self._min = min(self._min, value)
+        self._max = max(self._max, value)
+
+    @property
+    def mean(self) -> float:
+        if self.count == 0:
+            raise ValueError("no observations")
+        return self._mean
+
+    @property
+    def variance(self) -> float:
+        """Population variance of the observations seen so far."""
+        if self.count == 0:
+            raise ValueError("no observations")
+        return self._m2 / self.count
+
+    @property
+    def std(self) -> float:
+        return math.sqrt(self.variance)
+
+    @property
+    def minimum(self) -> float:
+        if self.count == 0:
+            raise ValueError("no observations")
+        return self._min
+
+    @property
+    def maximum(self) -> float:
+        if self.count == 0:
+            raise ValueError("no observations")
+        return self._max
+
+    def snapshot(self) -> SummaryStats:
+        """Freeze the accumulated statistics into a :class:`SummaryStats`."""
+        return SummaryStats(
+            count=self.count,
+            mean=self.mean,
+            std=self.std,
+            minimum=self.minimum,
+            maximum=self.maximum,
+        )

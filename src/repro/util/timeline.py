@@ -1,0 +1,134 @@
+"""Time-indexed sample series.
+
+Every measurement tool in this reproduction — hpmstat, vmstat, the GC
+log, tprof — produces values sampled on a regular grid of wall-clock
+intervals.  :class:`TimeGrid` describes the grid and :class:`SampleSeries`
+holds one named series on it.  The vertical-profiling analysis in
+:mod:`repro.core.vertical` aligns series from different tools by their
+grids.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class TimeGrid:
+    """A regular sampling grid: ``start``, ``interval`` and ``count``.
+
+    Times are virtual seconds since the beginning of the benchmark run.
+    """
+
+    start: float
+    interval: float
+    count: int
+
+    def __post_init__(self) -> None:
+        if self.interval <= 0:
+            raise ValueError("interval must be positive")
+        if self.count < 0:
+            raise ValueError("count must be non-negative")
+
+    def times(self) -> List[float]:
+        """Midpoint timestamps of every interval on the grid."""
+        return [self.start + (i + 0.5) * self.interval for i in range(self.count)]
+
+    def index_of(self, t: float) -> int:
+        """Index of the interval containing time ``t``.
+
+        Raises:
+            ValueError: if ``t`` falls outside the grid.
+        """
+        idx = int((t - self.start) / self.interval)
+        if t < self.start or idx >= self.count:
+            raise ValueError(f"time {t} outside grid")
+        return idx
+
+    @property
+    def end(self) -> float:
+        return self.start + self.interval * self.count
+
+
+@dataclass
+class SampleSeries:
+    """One named series of samples on a :class:`TimeGrid`."""
+
+    name: str
+    grid: TimeGrid
+    values: List[float] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if len(self.values) > self.grid.count:
+            raise ValueError("more values than grid slots")
+
+    def append(self, value: float) -> None:
+        if len(self.values) >= self.grid.count:
+            raise ValueError("series already full")
+        self.values.append(value)
+
+    def is_complete(self) -> bool:
+        return len(self.values) == self.grid.count
+
+    def mean(self) -> float:
+        if not self.values:
+            raise ValueError("empty series")
+        return sum(self.values) / len(self.values)
+
+    def window(self, t_from: float, t_to: float) -> List[float]:
+        """Values whose interval midpoints fall in ``[t_from, t_to)``."""
+        out = []
+        for t, v in zip(self.grid.times(), self.values):
+            if t_from <= t < t_to:
+                out.append(v)
+        return out
+
+    def __iter__(self) -> Iterator[Tuple[float, float]]:
+        return iter(zip(self.grid.times(), self.values))
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+
+class SeriesBundle:
+    """A set of :class:`SampleSeries` sharing one grid.
+
+    This is the in-memory equivalent of one hpmstat output file: one
+    column per event, one row per sampling interval.
+    """
+
+    def __init__(self, grid: TimeGrid):
+        self.grid = grid
+        self._series: Dict[str, SampleSeries] = {}
+
+    def add_series(self, name: str) -> SampleSeries:
+        if name in self._series:
+            raise ValueError(f"duplicate series {name!r}")
+        series = SampleSeries(name=name, grid=self.grid)
+        self._series[name] = series
+        return series
+
+    def append_row(self, row: Dict[str, float]) -> None:
+        """Append one sampling interval worth of values.
+
+        Every known series must be present in ``row`` — a partial row
+        would silently desynchronize the bundle.
+        """
+        missing = set(self._series) - set(row)
+        if missing:
+            raise ValueError(f"row missing series: {sorted(missing)}")
+        for name, series in self._series.items():
+            series.append(row[name])
+
+    def __getitem__(self, name: str) -> SampleSeries:
+        return self._series[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._series
+
+    def names(self) -> List[str]:
+        return sorted(self._series)
+
+    def as_columns(self) -> Dict[str, Sequence[float]]:
+        return {name: series.values for name, series in self._series.items()}

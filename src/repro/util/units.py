@@ -1,0 +1,25 @@
+"""Unit constants used throughout the simulator.
+
+Sizes are in bytes and times are in seconds unless a name says otherwise.
+Keeping the constants in one place avoids the classic KB-vs-KiB drift
+between modules.
+"""
+
+KB = 1024
+MB = 1024 * KB
+GB = 1024 * MB
+
+#: One millisecond, expressed in seconds.
+MS = 1e-3
+#: One microsecond, expressed in seconds.
+US = 1e-6
+
+
+def bytes_to_mb(n_bytes: float) -> float:
+    """Convert a byte count to (binary) megabytes."""
+    return n_bytes / MB
+
+
+def mb_to_bytes(n_mb: float) -> int:
+    """Convert (binary) megabytes to a whole number of bytes."""
+    return int(n_mb * MB)

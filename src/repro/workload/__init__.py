@@ -1,0 +1,33 @@
+"""The SPECjAppServer2004-like multi-tier workload simulator.
+
+A driver injects dealer-domain (web) and manufacturing (RMI)
+transactions at a configured injection rate into a simulated SUT — web
+server, application server (thread pool + component CPU demands),
+database (buffer pool + disks), JVM heap and garbage collector — all
+advanced by a fixed-tick discrete simulation.
+
+The run produces a :class:`~repro.workload.timeline.RunTimeline` whose
+per-tick records (throughput by transaction type, CPU time by software
+component and by transaction type, GC activity, heap occupancy, I/O
+wait) feed three consumers:
+
+* the high-level figures (2, 3, 4) and benchmark metrics directly;
+* the software tools (:mod:`repro.tools`);
+* the workload-to-microarchitecture bridge
+  (:mod:`repro.workload.bridge`), which turns each hpmstat window's
+  tick into a phase descriptor for the CPU model.
+"""
+
+from repro.workload.metrics import BenchmarkReport, evaluate_run
+from repro.workload.sut import RunResult, SystemUnderTest
+from repro.workload.timeline import COMPONENTS, RunTimeline, TickRecord
+
+__all__ = [
+    "BenchmarkReport",
+    "evaluate_run",
+    "RunResult",
+    "SystemUnderTest",
+    "COMPONENTS",
+    "RunTimeline",
+    "TickRecord",
+]

@@ -1,0 +1,117 @@
+"""The application-server tier: admission, thread pool, CPU scheduling.
+
+WebSphere-like behavior at the level this study needs:
+
+* at most ``thread_pool`` transactions execute concurrently; the rest
+  wait in an accept queue (their queueing time counts toward response
+  time, which is how an overloaded SUT fails its deadlines);
+* running transactions share the CPUs processor-sharing style;
+* consumed CPU time is attributed to software components using the
+  transaction spec's per-component demand proportions — the source of
+  Figure 4's breakdown — and to transaction types — the source of the
+  per-window intensity mix used by the microarchitecture bridge.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Tuple
+
+from repro.config import WorkloadConfig
+from repro.workload.timeline import COMPONENTS
+from repro.workload.transactions import Request
+
+
+class AppServer:
+    """Admission control + processor-sharing CPU scheduler."""
+
+    def __init__(self, config: WorkloadConfig, n_cores: int):
+        self.config = config
+        self.n_cores = n_cores
+        self.accept_queue: Deque[Request] = deque()
+        self.running: List[Request] = []
+        self.io_blocked = 0
+        # Per-spec component proportions (normalized once).
+        self._proportions: Dict[str, Tuple[float, ...]] = {}
+        for spec in config.transactions:
+            total = spec.total_cpu_ms
+            self._proportions[spec.name] = tuple(
+                spec.cpu_ms.get(name, 0.0) / total for name in COMPONENTS
+            )
+
+    # ------------------------------------------------------------------
+    # Admission
+    # ------------------------------------------------------------------
+    def admit(self, request: Request) -> None:
+        self.accept_queue.append(request)
+
+    def _fill_pool(self) -> None:
+        capacity = self.config.thread_pool - len(self.running) - self.io_blocked
+        while capacity > 0 and self.accept_queue:
+            self.running.append(self.accept_queue.popleft())
+            capacity -= 1
+
+    def resume(self, request: Request) -> None:
+        """A request's I/O finished; it becomes runnable again."""
+        self.io_blocked -= 1
+        self.running.append(request)
+
+    # ------------------------------------------------------------------
+    # One scheduling quantum
+    # ------------------------------------------------------------------
+    def serve(
+        self, capacity_ms: float
+    ) -> Tuple[List[Request], List[Request], List[float], List[float], float]:
+        """Run the pool for one tick of CPU capacity.
+
+        Returns ``(completed, io_submissions, cpu_by_component,
+        cpu_by_type, used_ms)``.
+        """
+        self._fill_pool()
+        cpu_by_component = [0.0] * len(COMPONENTS)
+        cpu_by_type = [0.0] * len(self.config.transactions)
+        completed: List[Request] = []
+        io_submissions: List[Request] = []
+        used = 0.0
+
+        remaining = capacity_ms
+        # Processor sharing via repeated equal division: requests that
+        # finish (or block on I/O) early return their unused share.
+        while remaining > 1e-9 and self.running:
+            share = remaining / len(self.running)
+            still_running: List[Request] = []
+            consumed_this_round = 0.0
+            for request in self.running:
+                want = min(share, request.remaining_cpu_ms)
+                budget = request.cpu_until_next_io()
+                if budget is not None:
+                    want = min(want, budget + 1e-12)
+                before = request.consumed_cpu_ms
+                hit_io = request.consume(want)
+                delta = request.consumed_cpu_ms - before
+                consumed_this_round += delta
+                proportions = self._proportions[request.spec.name]
+                for i, p in enumerate(proportions):
+                    cpu_by_component[i] += delta * p
+                cpu_by_type[request.type_index] += delta
+                if hit_io:
+                    io_submissions.append(request)
+                    self.io_blocked += 1
+                elif request.done:
+                    completed.append(request)
+                else:
+                    still_running.append(request)
+            self.running = still_running
+            used += consumed_this_round
+            remaining -= consumed_this_round
+            # If nothing was consumed this round every runnable request
+            # is finished/blocked; stop to avoid spinning.
+            if consumed_this_round <= 1e-12:
+                break
+            self._fill_pool()
+
+        return completed, io_submissions, cpu_by_component, cpu_by_type, used
+
+    @property
+    def in_flight(self) -> int:
+        return len(self.running) + len(self.accept_queue) + self.io_blocked

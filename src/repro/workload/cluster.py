@@ -1,0 +1,338 @@
+"""Future work (Section 7): the SUT as a cluster of blades.
+
+"Another direction is to analyze the jas2004 workload on relatively
+inexpensive blade systems and to place a web server, an application
+server and a DBMS onto a cluster of interconnected blades."
+
+This module deploys the same workload across three tiers on separate
+nodes instead of one shared box:
+
+* a **web blade** runs the web server's CPU demand,
+* one or more **app blades** run the WAS demand (JITed + non-JITed)
+  plus the JVM heap/GC (each app blade collects independently),
+* a **db blade** runs the DB2 demand and owns the disks.
+
+Requests hop web -> app -> db and back; each hop adds interconnect
+latency, and each tier is its own processor-sharing queue.  Kernel
+demand lands on whichever tier does the work.  The single-server
+deployment the paper uses folds all tiers onto one node — which is why
+it is "considerably easier to manage and tends to deliver excellent
+performance" (no network hops, shared capacity).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.config import ExperimentConfig, TransactionSpec
+from repro.jvm.gc import GcEvent, MarkSweepCompactCollector
+from repro.jvm.heap import FlatHeap
+from repro.util.rng import RngFactory
+from repro.util.stats import percentile
+from repro.util.units import KB, MB
+from repro.workload.disk import DiskModel
+from repro.workload.driver import Driver
+
+#: One-way interconnect latency per hop between blades.
+HOP_LATENCY_MS = 0.4
+
+
+@dataclass(frozen=True)
+class ClusterLayout:
+    """How many cores each tier's blades contribute."""
+
+    web_cores: int = 1
+    app_blades: int = 2
+    app_cores_per_blade: int = 2
+    db_cores: int = 1
+
+    @property
+    def total_cores(self) -> int:
+        return (
+            self.web_cores
+            + self.app_blades * self.app_cores_per_blade
+            + self.db_cores
+        )
+
+
+class _Job:
+    """One transaction flowing through the tier pipeline."""
+
+    __slots__ = (
+        "type_index",
+        "arrival_s",
+        "stage",
+        "remaining_ms",
+        "app_blade",
+        "extra_latency_s",
+        "demands",
+    )
+
+    STAGES = ("web_in", "app_in", "db", "app_out", "web_out")
+
+    def __init__(self, type_index, arrival_s, demands, app_blade, extra_latency_s):
+        self.type_index = type_index
+        self.arrival_s = arrival_s
+        self.demands = demands  # per-stage CPU ms
+        self.stage = 0
+        self.remaining_ms = demands[0]
+        self.app_blade = app_blade
+        self.extra_latency_s = extra_latency_s
+
+    def advance_stage(self) -> bool:
+        """Move to the next stage; returns True when finished."""
+        self.stage += 1
+        if self.stage >= len(self.STAGES):
+            return True
+        self.remaining_ms = self.demands[self.stage]
+        return False
+
+    def tier(self) -> Tuple[str, int]:
+        name = self.STAGES[self.stage]
+        if name.startswith("web"):
+            return ("web", 0)
+        if name.startswith("app"):
+            return ("app", self.app_blade)
+        return ("db", 0)
+
+
+class _TierQueue:
+    """A processor-sharing queue for one blade."""
+
+    def __init__(self, cores: int, tick_ms: float):
+        self.capacity_ms = cores * tick_ms
+        self.jobs: List[_Job] = []
+        self.busy_ms = 0.0
+        self.ticks = 0
+
+    def serve(self, pause_fraction: float = 0.0) -> List[_Job]:
+        """One tick of processor sharing; returns stage-finished jobs."""
+        self.ticks += 1
+        budget = self.capacity_ms * (1.0 - pause_fraction)
+        finished: List[_Job] = []
+        while budget > 1e-9 and self.jobs:
+            share = budget / len(self.jobs)
+            still: List[_Job] = []
+            consumed = 0.0
+            for job in self.jobs:
+                want = min(share, job.remaining_ms)
+                job.remaining_ms -= want
+                consumed += want
+                if job.remaining_ms <= 1e-9:
+                    finished.append(job)
+                else:
+                    still.append(job)
+            self.jobs = still
+            self.busy_ms += consumed
+            budget -= consumed
+            if consumed <= 1e-12:
+                break
+        return finished
+
+    @property
+    def utilization(self) -> float:
+        if self.ticks == 0:
+            return 0.0
+        return self.busy_ms / (self.capacity_ms * self.ticks)
+
+
+@dataclass
+class ClusterRunResult:
+    """Summary of a cluster deployment run."""
+
+    layout: ClusterLayout
+    jops: float
+    p90_web_s: Optional[float]
+    passed: bool
+    tier_utilization: Dict[str, float]
+    bottleneck_tier: str
+    gc_events_per_blade: List[int]
+    response_samples: List[float] = field(repr=False, default_factory=list)
+
+
+class ClusterSUT:
+    """The three-tier deployment of a workload configuration."""
+
+    def __init__(
+        self,
+        config: ExperimentConfig,
+        layout: Optional[ClusterLayout] = None,
+        rng_factory: Optional[RngFactory] = None,
+    ):
+        self.config = config
+        self.layout = layout if layout is not None else ClusterLayout()
+        self.rngs = (
+            rng_factory if rng_factory is not None else RngFactory(config.seed)
+        )
+
+    # ------------------------------------------------------------------
+    def _stage_demands(self, spec: TransactionSpec, jitter: float) -> List[float]:
+        """Split a spec's CPU demand across the five pipeline stages.
+
+        Kernel time follows the work: half to the app tier, and a
+        quarter each to web and db (network and I/O handling).
+        """
+        kernel = spec.cpu_ms.get("kernel", 0.0)
+        web = spec.cpu_ms.get("web", 0.0) + 0.25 * kernel
+        app = (
+            spec.cpu_ms.get("was_jited", 0.0)
+            + spec.cpu_ms.get("was_nonjited", 0.0)
+            + 0.5 * kernel
+        )
+        db = spec.cpu_ms.get("db2", 0.0) + 0.25 * kernel
+        return [
+            0.5 * web * jitter,
+            0.55 * app * jitter,
+            db * jitter,
+            0.45 * app * jitter,
+            0.5 * web * jitter,
+        ]
+
+    def run(self) -> ClusterRunResult:
+        cfg = self.config.workload
+        jvm = self.config.jvm
+        layout = self.layout
+        tick_s = cfg.tick_s
+        tick_ms = tick_s * 1000.0
+
+        driver = Driver(cfg, self.rngs.stream("cluster.arrivals"))
+        job_rng = self.rngs.stream("cluster.jobs")
+        disk = DiskModel(cfg.disk, tick_s)
+
+        tiers: Dict[Tuple[str, int], _TierQueue] = {
+            ("web", 0): _TierQueue(layout.web_cores, tick_ms),
+            ("db", 0): _TierQueue(layout.db_cores, tick_ms),
+        }
+        for blade in range(layout.app_blades):
+            tiers[("app", blade)] = _TierQueue(
+                layout.app_cores_per_blade, tick_ms
+            )
+
+        # Each app blade gets its own heap/collector, sized as a share
+        # of the single-server heap.
+        heaps = [
+            FlatHeap(
+                dataclasses.replace(
+                    jvm, heap_mb=max(128, jvm.heap_mb // layout.app_blades)
+                )
+            )
+            for _ in range(layout.app_blades)
+        ]
+        collectors = [
+            MarkSweepCompactCollector(jvm.gc, self.rngs.stream(f"cluster.gc{i}"))
+            for i in range(layout.app_blades)
+        ]
+        gc_remaining_ms = [0.0] * layout.app_blades
+        gc_counts = [0] * layout.app_blades
+        live_share = jvm.live_set_mb * MB / layout.app_blades
+        # Mean allocation per millisecond of app-tier CPU, blended over
+        # the transaction mix.
+        total_alloc = sum(s_.share * s_.alloc_kb * KB for s_ in cfg.transactions)
+        total_app_ms = sum(
+            s_.share
+            * (self._stage_demands(s_, 1.0)[1] + self._stage_demands(s_, 1.0)[3])
+            for s_ in cfg.transactions
+        )
+        alloc_per_app_ms = total_alloc / max(1e-9, total_app_ms)
+        prev_busy = [0.0] * layout.app_blades
+
+        responses: List[Tuple[float, float, int]] = []
+        n_ticks = int(round(cfg.duration_s / tick_s))
+        rr_blade = 0
+
+        for tick_index in range(n_ticks):
+            now = tick_index * tick_s
+
+            # Arrivals (round-robin across app blades).
+            for type_index, count in enumerate(driver.arrivals(now)):
+                spec = cfg.transactions[type_index]
+                for _ in range(count):
+                    jitter = job_rng.uniform(0.7, 1.35)
+                    hops = 4 if spec.protocol == "web" else 2
+                    extra = hops * HOP_LATENCY_MS / 1000.0
+                    job = _Job(
+                        type_index,
+                        now,
+                        self._stage_demands(spec, jitter),
+                        rr_blade,
+                        extra,
+                    )
+                    rr_blade = (rr_blade + 1) % layout.app_blades
+                    tiers[("web", 0)].jobs.append(job)
+
+            # GC per app blade.
+            pause_fraction = [0.0] * layout.app_blades
+            for blade in range(layout.app_blades):
+                gc_ms = min(tick_ms, gc_remaining_ms[blade])
+                gc_remaining_ms[blade] -= gc_ms
+                pause_fraction[blade] = gc_ms / tick_ms
+
+            # Serve every tier.
+            for key, queue in tiers.items():
+                tier_name, blade = key
+                pause = (
+                    pause_fraction[blade] if tier_name == "app" else 0.0
+                )
+                for job in queue.serve(pause):
+                    done = job.advance_stage()
+                    if done:
+                        rt = (now + tick_s) - job.arrival_s + job.extra_latency_s
+                        responses.append((now + tick_s, rt, job.type_index))
+                    else:
+                        tiers[job.tier()].jobs.append(job)
+
+            # Allocation and GC triggering per app blade: allocation
+            # tracks the app-tier CPU actually consumed this tick.
+            for blade in range(layout.app_blades):
+                queue = tiers[("app", blade)]
+                heap = heaps[blade]
+                max_live = heap.capacity_bytes - heap.dark_matter_bytes - 24 * MB
+                heap.set_live(
+                    min(max_live, int(live_share) + len(queue.jobs) * 256 * KB)
+                )
+                consumed_ms = queue.busy_ms - prev_busy[blade]
+                prev_busy[blade] = queue.busy_ms
+                alloc = int(consumed_ms * alloc_per_app_ms)
+                needs_gc = heap.allocate(alloc) if alloc else False
+                if needs_gc and gc_remaining_ms[blade] <= 0.0:
+                    event: GcEvent = collectors[blade].collect(heap, now)
+                    gc_remaining_ms[blade] = event.pause_ms
+                    gc_counts[blade] += 1
+
+            disk.tick()
+
+        # Metrics over the steady window.
+        t0 = cfg.ramp_up_s
+        t1 = cfg.duration_s - cfg.ramp_down_s
+        steady = [(t, rt, k) for t, rt, k in responses if t0 <= t < t1]
+        jops = len(steady) / max(1e-9, t1 - t0)
+        web_rts = [
+            rt
+            for _, rt, k in steady
+            if cfg.transactions[k].protocol == "web"
+        ]
+        p90 = percentile(web_rts, 90.0) if web_rts else None
+        passed = bool(
+            steady and (p90 is None or p90 <= cfg.requirements.web_deadline_s)
+        )
+        utilization = {
+            "web": tiers[("web", 0)].utilization,
+            "app": sum(
+                tiers[("app", b)].utilization for b in range(layout.app_blades)
+            )
+            / layout.app_blades,
+            "db": tiers[("db", 0)].utilization,
+        }
+        bottleneck = max(utilization, key=utilization.get)
+        return ClusterRunResult(
+            layout=self.layout,
+            jops=jops,
+            p90_web_s=p90,
+            passed=passed,
+            tier_utilization=utilization,
+            bottleneck_tier=bottleneck,
+            gc_events_per_blade=gc_counts,
+            response_samples=[rt for _, rt, _ in steady[:5000]],
+        )

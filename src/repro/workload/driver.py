@@ -1,0 +1,44 @@
+"""The benchmark driver: injects load at the configured IR.
+
+The driver runs on a separate system in the real benchmark and does
+not consume SUT resources; here it is a pure arrival generator.  Each
+transaction type arrives as an independent Poisson process whose rate
+is its share of the total operation rate (``IR x ops_per_ir``), with a
+ramp-up/ramp-down envelope at the run's edges (the paper discards a
+5-minute ramp-up and 2-minute ramp-down).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.config import WorkloadConfig
+from repro.workload.transactions import poisson
+
+
+class Driver:
+    """Per-tick arrival generation."""
+
+    def __init__(self, config: WorkloadConfig, rng: random.Random):
+        self.config = config
+        self.rng = rng
+        self._rates = [
+            config.target_ops_per_s * spec.share for spec in config.transactions
+        ]
+
+    def load_factor(self, t_s: float) -> float:
+        """Ramp envelope: 0..1 over ramp-up, 1..0 over ramp-down."""
+        cfg = self.config
+        if cfg.ramp_up_s > 0 and t_s < cfg.ramp_up_s:
+            return t_s / cfg.ramp_up_s
+        down_start = cfg.duration_s - cfg.ramp_down_s
+        if cfg.ramp_down_s > 0 and t_s > down_start:
+            return max(0.0, (cfg.duration_s - t_s) / cfg.ramp_down_s)
+        return 1.0
+
+    def arrivals(self, t_s: float) -> List[int]:
+        """Number of new transactions per type arriving this tick."""
+        factor = self.load_factor(t_s)
+        tick = self.config.tick_s
+        return [poisson(self.rng, rate * factor * tick) for rate in self._rates]

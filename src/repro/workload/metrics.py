@@ -1,0 +1,139 @@
+"""Benchmark metrics: JOPS, response-time percentiles, pass/fail.
+
+The benchmark's reported metric is "jAppServer2004 Operations per
+Second" (JOPS); a run passes only if 90% of web requests complete in
+under 2 seconds and 90% of RMI requests in under 5 seconds.  On a
+tuned system the paper observes ~1.6 JOPS per unit of injection rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.util.stats import percentile
+from repro.workload.sut import RunResult
+
+
+@dataclass(frozen=True)
+class BenchmarkReport:
+    """Steady-state summary of one run."""
+
+    injection_rate: int
+    jops: float
+    jops_per_ir: float
+    p90_web_s: Optional[float]
+    p90_rmi_s: Optional[float]
+    passed: bool
+    utilization: float
+    user_fraction: float
+    kernel_fraction: float
+    gc_fraction: float
+    gc_count: int
+    mean_gc_period_s: Optional[float]
+    mean_gc_pause_ms: Optional[float]
+    disk_utilization: float
+    io_wait_mean_queue: float
+    component_shares: Dict[str, float]
+    rejected_ops: int = 0
+
+    def summary_lines(self) -> List[str]:
+        """Human-readable rows (used by examples and benches)."""
+        lines = [
+            f"IR {self.injection_rate}: {self.jops:.1f} JOPS "
+            f"({self.jops_per_ir:.2f} JOPS/IR), "
+            f"CPU {self.utilization * 100:.1f}% "
+            f"(user {self.user_fraction * 100:.0f}% / "
+            f"kernel {self.kernel_fraction * 100:.0f}%)",
+            f"  response p90: web "
+            f"{self._fmt(self.p90_web_s)} s, rmi {self._fmt(self.p90_rmi_s)} s "
+            f"-> {'PASS' if self.passed else 'FAIL'}",
+            f"  GC: {self.gc_count} collections, "
+            f"period {self._fmt(self.mean_gc_period_s)} s, "
+            f"pause {self._fmt(self.mean_gc_pause_ms)} ms, "
+            f"{self.gc_fraction * 100:.2f}% of runtime",
+            f"  disk: {self.disk_utilization * 100:.1f}% busy, "
+            f"mean queue {self.io_wait_mean_queue:.1f}",
+        ]
+        return lines
+
+    @staticmethod
+    def _fmt(value: Optional[float]) -> str:
+        return f"{value:.2f}" if value is not None else "n/a"
+
+
+def evaluate_run(result: RunResult) -> BenchmarkReport:
+    """Compute the steady-state benchmark report for a run."""
+    cfg = result.config.workload
+    t0, t1 = result.steady_window()
+    steady_s = t1 - t0
+    if steady_s <= 0:
+        raise ValueError("run has no steady-state window")
+
+    # Throughput.
+    total_ops = 0
+    web_rts: List[float] = []
+    rmi_rts: List[float] = []
+    for type_index, spec in enumerate(cfg.transactions):
+        rts = result.steady_responses(type_index)
+        total_ops += len(rts)
+        if spec.protocol == "web":
+            web_rts.extend(rts)
+        else:
+            rmi_rts.extend(rts)
+    jops = total_ops / steady_s
+
+    req = cfg.requirements
+    p90_web = percentile(web_rts, req.quantile) if web_rts else None
+    p90_rmi = percentile(rmi_rts, req.quantile) if rmi_rts else None
+    rejected_total = sum(result.rejected)
+    # Rejected operations are unbounded-response-time failures: a run
+    # that sheds more than a sliver of its load cannot pass.
+    reject_ok = rejected_total <= 0.005 * max(1, total_ops)
+    passed = bool(
+        (p90_web is None or p90_web <= req.web_deadline_s)
+        and (p90_rmi is None or p90_rmi <= req.rmi_deadline_s)
+        and total_ops > 0
+        and reject_ok
+    )
+
+    # CPU accounting.
+    utilization = result.timeline.mean_utilization(t0, t1)
+    shares = result.timeline.component_shares(t0, t1)
+    kernel_fraction = shares.get("kernel", 0.0)
+    user_fraction = 1.0 - kernel_fraction
+
+    # GC accounting over the steady window.
+    steady_gcs = [e for e in result.gc_events if t0 <= e.start_time_s < t1]
+    gc_count = len(steady_gcs)
+    mean_period = None
+    if gc_count >= 2:
+        gaps = [
+            b.start_time_s - a.start_time_s
+            for a, b in zip(steady_gcs, steady_gcs[1:])
+        ]
+        mean_period = sum(gaps) / len(gaps)
+    mean_pause = (
+        sum(e.pause_ms for e in steady_gcs) / gc_count if gc_count else None
+    )
+    gc_fraction = sum(e.pause_ms for e in steady_gcs) / 1000.0 / steady_s
+
+    return BenchmarkReport(
+        injection_rate=cfg.injection_rate,
+        jops=jops,
+        jops_per_ir=jops / cfg.injection_rate,
+        p90_web_s=p90_web,
+        p90_rmi_s=p90_rmi,
+        passed=passed,
+        utilization=utilization,
+        user_fraction=user_fraction,
+        kernel_fraction=kernel_fraction,
+        gc_fraction=gc_fraction,
+        gc_count=gc_count,
+        mean_gc_period_s=mean_period,
+        mean_gc_pause_ms=mean_pause,
+        disk_utilization=result.disk_utilization,
+        io_wait_mean_queue=result.disk_mean_queue,
+        component_shares=shares,
+        rejected_ops=rejected_total,
+    )

@@ -1,0 +1,201 @@
+"""The System Under Test: the complete tick-driven simulation.
+
+One :class:`SystemUnderTest` binds the driver, web server, application
+server, database, disks, heap and collector, advances them on a fixed
+0.1 s tick, and produces a :class:`RunResult` with the full timeline,
+the GC event log, and every response-time sample.
+
+Stop-the-world collections suspend mutator service: while a pause is
+draining, the tick's CPU capacity goes to the collector and admitted
+requests wait — which is how GC pauses show up in response times
+without any special-casing in the metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.config import ExperimentConfig
+from repro.jvm.gc import GcEvent, MarkSweepCompactCollector
+from repro.jvm.heap import FlatHeap
+from repro.util.rng import RngFactory
+from repro.util.units import KB, MB
+from repro.workload.appserver import AppServer
+from repro.workload.database import Database
+from repro.workload.disk import DiskModel
+from repro.workload.driver import Driver
+from repro.workload.timeline import COMPONENTS, RunTimeline, TickRecord
+from repro.workload.transactions import Request
+from repro.workload.webserver import WebServer
+
+#: Seconds for the live set to ramp to its steady-state size (session
+#: state accumulation and cache warm-up).
+LIVE_RAMP_S = 180.0
+#: Fraction of the steady live set present at t=0 (preloaded data).
+LIVE_FLOOR = 0.30
+#: Transient live bytes per in-flight request.
+LIVE_PER_REQUEST = 256 * KB
+
+
+@dataclass
+class RunResult:
+    """Everything a benchmark run produced."""
+
+    config: ExperimentConfig
+    timeline: RunTimeline
+    gc_events: List[GcEvent]
+    #: Per transaction type: list of (completion time, response seconds).
+    responses: List[List[Tuple[float, float]]]
+    #: Per transaction type: operations rejected by admission control.
+    rejected: List[int]
+    db_hit_ratio: float
+    disk_utilization: float
+    disk_mean_queue: float
+    final_heap_used: int
+    final_dark_matter: int
+
+    def steady_window(self) -> Tuple[float, float]:
+        """The (start, end) of the steady-state measurement window."""
+        cfg = self.config.workload
+        return cfg.ramp_up_s, cfg.duration_s - cfg.ramp_down_s
+
+    def steady_responses(self, type_index: int) -> List[float]:
+        t0, t1 = self.steady_window()
+        return [rt for t, rt in self.responses[type_index] if t0 <= t < t1]
+
+
+class SystemUnderTest:
+    """Runs the whole benchmark."""
+
+    def __init__(self, config: ExperimentConfig, rng_factory: RngFactory = None):
+        self.config = config
+        self.rngs = rng_factory if rng_factory is not None else RngFactory(config.seed)
+
+    def run(self) -> RunResult:
+        cfg = self.config.workload
+        jvm = self.config.jvm
+        n_cores = self.config.machine.topology.n_cores
+        tick_s = cfg.tick_s
+        tick_ms = tick_s * 1000.0
+        capacity_ms = n_cores * tick_ms
+
+        driver = Driver(cfg, self.rngs.stream("workload.arrivals"))
+        webserver = WebServer(self.rngs.stream("workload.web"))
+        appserver = AppServer(cfg, n_cores)
+        database = Database(cfg, self.rngs.stream("workload.db"))
+        disk = DiskModel(cfg.disk, tick_s)
+        heap = FlatHeap(jvm)
+        collector = MarkSweepCompactCollector(jvm.gc, self.rngs.stream("jvm.gc"))
+        request_rng = self.rngs.stream("workload.requests")
+
+        specs = cfg.transactions
+        alloc_per_cpu_ms = [
+            spec.alloc_kb * KB / spec.total_cpu_ms for spec in specs
+        ]
+        live_target = jvm.live_set_mb * MB
+
+        timeline = RunTimeline(tick_s, [s.name for s in specs], n_cores)
+        gc_events: List[GcEvent] = []
+        responses: List[List[Tuple[float, float]]] = [[] for _ in specs]
+        rejected: List[int] = [0 for _ in specs]
+
+        n_ticks = int(round(cfg.duration_s / tick_s))
+        gc_wall_remaining_ms = 0.0
+
+        for tick_index in range(n_ticks):
+            now = tick_index * tick_s
+
+            # --- Arrivals -------------------------------------------------
+            arrivals = driver.arrivals(now)
+            for type_index, count in enumerate(arrivals):
+                spec = specs[type_index]
+                for _ in range(count):
+                    if appserver.in_flight >= cfg.max_in_flight:
+                        # Overloaded: shed load rather than grow without
+                        # bound (connection refused / timeout upstream).
+                        rejected[type_index] += 1
+                        continue
+                    webserver.route(spec)
+                    io_count = database.plan_ios(spec)
+                    appserver.admit(
+                        Request(type_index, spec, now, request_rng, io_count)
+                    )
+
+            # --- Live-set evolution ----------------------------------------
+            ramp = min(1.0, LIVE_FLOOR + (1.0 - LIVE_FLOOR) * now / LIVE_RAMP_S)
+            desired_live = (
+                int(live_target * ramp) + appserver.in_flight * LIVE_PER_REQUEST
+            )
+            # An undersized heap cannot hold the desired live set; the
+            # application stalls allocations instead of growing, which
+            # manifests as constant GC thrash (the untuned-system
+            # behavior the tuning walk demonstrates).
+            max_live = heap.capacity_bytes - heap.dark_matter_bytes - 24 * MB
+            heap.set_live(max(0, min(desired_live, max_live)))
+
+            # --- GC pause accounting ---------------------------------------
+            gc_wall_ms = min(tick_ms, gc_wall_remaining_ms)
+            gc_wall_remaining_ms -= gc_wall_ms
+            gc_cpu_ms = capacity_ms * (gc_wall_ms / tick_ms)
+            mutator_capacity = capacity_ms - gc_cpu_ms
+
+            # --- Mutator service -------------------------------------------
+            completed, io_submissions, by_component, by_type, used_ms = (
+                appserver.serve(mutator_capacity)
+                if mutator_capacity > 0
+                else ([], [], [0.0] * len(COMPONENTS), [0.0] * len(specs), 0.0)
+            )
+            for request in io_submissions:
+                disk.submit(request)
+
+            # --- Allocation and GC triggering -------------------------------
+            alloc_bytes = 0
+            for type_index, cpu_ms in enumerate(by_type):
+                alloc_bytes += int(cpu_ms * alloc_per_cpu_ms[type_index])
+            needs_gc = heap.allocate(alloc_bytes) if alloc_bytes else False
+            if needs_gc and gc_wall_remaining_ms <= 0.0:
+                event = collector.collect(heap, now)
+                gc_events.append(event)
+                gc_wall_remaining_ms = event.pause_ms
+
+            # --- Disk progress ----------------------------------------------
+            for request in disk.tick():
+                appserver.resume(request)
+
+            # --- Completions -------------------------------------------------
+            completions = [0] * len(specs)
+            for request in completed:
+                completions[request.type_index] += 1
+                rt = request.response_time_s(now + tick_s)
+                rt += webserver.response_overhead_s(request.spec)
+                responses[request.type_index].append((now + tick_s, rt))
+
+            idle_ms = max(0.0, capacity_ms - used_ms - gc_cpu_ms)
+            timeline.append(
+                TickRecord(
+                    index=tick_index,
+                    arrivals=tuple(arrivals),
+                    completions=tuple(completions),
+                    cpu_ms_by_component=tuple(by_component),
+                    cpu_ms_by_type=tuple(by_type),
+                    gc_ms=gc_cpu_ms,
+                    idle_ms=idle_ms,
+                    io_waiting=disk.queue_length,
+                    heap_used_bytes=heap.used_bytes,
+                    queue_length=appserver.in_flight,
+                )
+            )
+
+        return RunResult(
+            config=self.config,
+            timeline=timeline,
+            gc_events=gc_events,
+            responses=responses,
+            rejected=rejected,
+            db_hit_ratio=database.observed_hit_ratio,
+            disk_utilization=disk.utilization(n_ticks),
+            disk_mean_queue=disk.mean_queue_length(n_ticks),
+            final_heap_used=heap.used_bytes,
+            final_dark_matter=heap.dark_matter_bytes,
+        )

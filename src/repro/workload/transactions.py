@@ -1,0 +1,108 @@
+"""Runtime transaction state.
+
+A :class:`Request` is one in-flight benchmark operation.  Its CPU
+demand and I/O plan are drawn once at creation (jittered around the
+:class:`~repro.config.TransactionSpec`); the SUT's scheduler then
+advances it tick by tick.  I/O points are expressed as CPU-progress
+thresholds: when the request's consumed CPU crosses the next threshold
+it suspends into the disk queue (a DB2 buffer-pool miss).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from repro.config import TransactionSpec
+
+
+def poisson(rng: random.Random, lam: float) -> int:
+    """Knuth's Poisson sampler (fine for the small per-tick rates)."""
+    if lam <= 0.0:
+        return 0
+    threshold = pow(2.718281828459045, -lam)
+    k = 0
+    p = 1.0
+    while True:
+        p *= rng.random()
+        if p <= threshold:
+            return k
+        k += 1
+
+
+class Request:
+    """One in-flight transaction."""
+
+    __slots__ = (
+        "type_index",
+        "spec",
+        "arrival_s",
+        "total_cpu_ms",
+        "consumed_cpu_ms",
+        "io_thresholds",
+        "next_io",
+        "in_io",
+    )
+
+    def __init__(
+        self,
+        type_index: int,
+        spec: TransactionSpec,
+        arrival_s: float,
+        rng: random.Random,
+        io_count: int,
+    ):
+        self.type_index = type_index
+        self.spec = spec
+        self.arrival_s = arrival_s
+        self.total_cpu_ms = spec.total_cpu_ms * rng.uniform(0.7, 1.35)
+        self.consumed_cpu_ms = 0.0
+        # I/O points spread uniformly over the request's CPU progress.
+        points = sorted(rng.random() for _ in range(io_count))
+        self.io_thresholds: List[float] = [p * self.total_cpu_ms for p in points]
+        self.next_io = 0
+        self.in_io = False
+
+    @property
+    def remaining_cpu_ms(self) -> float:
+        return max(0.0, self.total_cpu_ms - self.consumed_cpu_ms)
+
+    @property
+    def done(self) -> bool:
+        return (
+            self.consumed_cpu_ms >= self.total_cpu_ms
+            and self.next_io >= len(self.io_thresholds)
+            and not self.in_io
+        )
+
+    def cpu_until_next_io(self) -> Optional[float]:
+        """CPU ms this request may consume before its next I/O point.
+
+        Returns None if no I/O points remain.
+        """
+        if self.next_io >= len(self.io_thresholds):
+            return None
+        return max(0.0, self.io_thresholds[self.next_io] - self.consumed_cpu_ms)
+
+    def consume(self, cpu_ms: float) -> bool:
+        """Advance by ``cpu_ms``; returns True if an I/O point was hit."""
+        if self.in_io:
+            raise RuntimeError("request is waiting on I/O")
+        if cpu_ms < 0:
+            raise ValueError("cannot consume negative CPU")
+        budget = self.cpu_until_next_io()
+        if budget is not None and cpu_ms >= budget:
+            self.consumed_cpu_ms += budget
+            self.next_io += 1
+            self.in_io = True
+            return True
+        self.consumed_cpu_ms += cpu_ms
+        return False
+
+    def io_complete(self) -> None:
+        if not self.in_io:
+            raise RuntimeError("request was not waiting on I/O")
+        self.in_io = False
+
+    def response_time_s(self, now_s: float) -> float:
+        return now_s - self.arrival_s

@@ -1,0 +1,77 @@
+"""Shared fixtures.
+
+Expensive artifacts (a full workload run, a warmed core model) are
+session-scoped: they are deterministic in the config seed, so sharing
+them across tests changes nothing about what is being verified.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.config import ExperimentConfig, SamplingConfig
+from repro.core.characterization import Characterization
+from repro.cpu.regions import AddressSpace
+from repro.jvm.methods import MethodRegistry
+from repro.util.rng import RngFactory
+from repro.workload.presets import jas2004
+from repro.workload.sut import SystemUnderTest
+
+
+def make_quick_config(seed: int = 2007) -> ExperimentConfig:
+    cfg = jas2004(duration_s=300.0, seed=seed)
+    return dataclasses.replace(
+        cfg,
+        jvm=dataclasses.replace(cfg.jvm, n_jited_methods=800, warm_methods=40),
+        sampling=SamplingConfig(window_cycles=20000, warmup_windows=5),
+    )
+
+
+@pytest.fixture(scope="session")
+def quick_config() -> ExperimentConfig:
+    return make_quick_config()
+
+
+@pytest.fixture(scope="session")
+def quick_run(quick_config):
+    """A finished 5-minute workload run."""
+    return SystemUnderTest(quick_config).run()
+
+
+@pytest.fixture(scope="session")
+def quick_space(quick_config) -> AddressSpace:
+    return AddressSpace.build(
+        quick_config.machine, quick_config.jvm, quick_config.workload.sharing
+    )
+
+
+@pytest.fixture(scope="session")
+def quick_registry(quick_config, quick_space) -> MethodRegistry:
+    return MethodRegistry(
+        quick_config.jvm, quick_space, RngFactory(quick_config.seed).stream("registry")
+    )
+
+
+@pytest.fixture(scope="session")
+def quick_study(quick_config) -> Characterization:
+    """A warmed characterization study (workload + CPU model)."""
+    study = Characterization(quick_config)
+    study.ensure_warm()
+    return study
+
+
+@pytest.fixture(scope="session")
+def hw_snapshots(quick_study):
+    """Forty omniscient window snapshots from the warmed study."""
+    samples = quick_study.sample_windows(40)
+    return [s.snapshot for s in samples]
+
+
+@pytest.fixture(scope="session")
+def hw_aggregate(hw_snapshots):
+    agg = hw_snapshots[0]
+    for s in hw_snapshots[1:]:
+        agg = agg.merged_with(s)
+    return agg

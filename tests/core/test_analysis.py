@@ -1,0 +1,221 @@
+"""Tests for the analysis primitives: steady state, smoothing,
+profile analysis, vertical profiling."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.profile_analysis import analyze_profile, compare_profiles
+from repro.core.smoothing import bezier_smooth, moving_average
+from repro.core.steady_state import (
+    coefficient_of_variation,
+    detect_steady_start,
+    is_steady,
+)
+from repro.core.vertical import dominant_period, gc_alignment, gc_indicator
+from repro.jvm.gc import GcEvent
+from repro.util.timeline import SampleSeries, TimeGrid
+
+
+def series_of(values, interval=1.0):
+    grid = TimeGrid(0.0, interval, len(values))
+    return SampleSeries("x", grid, values=list(values))
+
+
+class TestSteadyState:
+    def test_ramp_then_flat(self):
+        values = [i / 20.0 for i in range(20)] + [1.0] * 60
+        s = series_of(values)
+        start = detect_steady_start(s, window=5, tolerance=0.1)
+        assert start is not None
+        assert 10.0 <= start <= 30.0
+
+    def test_already_steady(self):
+        s = series_of([5.0] * 50)
+        start = detect_steady_start(s, window=5)
+        assert start is not None and start < 10.0
+        assert is_steady(s, 10.0)
+
+    def test_never_settles(self):
+        values = [float(i) for i in range(60)]  # unbounded ramp
+        assert detect_steady_start(series_of(values), window=5) is None
+
+    def test_too_short_raises(self):
+        with pytest.raises(ValueError):
+            detect_steady_start(series_of([1.0] * 5), window=5)
+
+    def test_cov(self):
+        assert coefficient_of_variation([2.0, 2.0, 2.0]) == 0.0
+        assert coefficient_of_variation([1.0, 3.0]) > 0.3
+        assert coefficient_of_variation([0.0, 0.0]) == float("inf")
+
+
+class TestSmoothing:
+    def test_moving_average_flattens(self):
+        noisy = [0.0, 10.0] * 10
+        smooth = moving_average(noisy, 4)
+        assert max(smooth[3:-3]) - min(smooth[3:-3]) < 6.0
+
+    def test_moving_average_preserves_mean(self):
+        values = [1.0, 2.0, 3.0, 4.0, 5.0]
+        smooth = moving_average(values, 3)
+        assert sum(smooth) / len(smooth) == pytest.approx(3.0, abs=0.4)
+
+    def test_bezier_endpoints_exact(self):
+        xs = [0.0, 1.0, 2.0, 3.0]
+        ys = [0.0, 5.0, -5.0, 1.0]
+        sx, sy = bezier_smooth(xs, ys, n_points=30)
+        assert sx[0] == xs[0] and sy[0] == ys[0]
+        assert sx[-1] == xs[-1] and sy[-1] == ys[-1]
+
+    def test_bezier_within_hull(self):
+        xs = list(range(10))
+        ys = [float(i % 3) for i in range(10)]
+        _, sy = bezier_smooth(xs, ys, n_points=50)
+        assert all(min(ys) - 1e-9 <= v <= max(ys) + 1e-9 for v in sy)
+
+    def test_bezier_handles_many_points(self):
+        """Log-space Bernstein weights stay finite for large n."""
+        n = 400
+        xs = list(range(n))
+        ys = [math.sin(i / 10.0) for i in range(n)]
+        _, sy = bezier_smooth(xs, ys, n_points=20)
+        assert all(math.isfinite(v) for v in sy)
+
+    def test_bezier_single_point(self):
+        sx, sy = bezier_smooth([1.0], [2.0], n_points=5)
+        assert set(sx) == {1.0} and set(sy) == {2.0}
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.floats(-100, 100), min_size=2, max_size=60))
+    def test_bezier_bounded_by_data(self, ys):
+        xs = list(range(len(ys)))
+        _, sy = bezier_smooth(xs, ys, n_points=15)
+        assert all(min(ys) - 1e-6 <= v <= max(ys) + 1e-6 for v in sy)
+
+
+class TestProfileAnalysis:
+    def test_flat_profile_detected(self):
+        analysis = analyze_profile([1.0] * 1000)
+        assert analysis.is_flat
+        assert not analysis.ninety_ten_applies
+        assert analysis.concentration < 0.1
+        assert analysis.items_for_half == 500
+
+    def test_hot_profile_detected(self):
+        weights = [1000.0] + [0.1] * 99
+        analysis = analyze_profile(weights)
+        assert not analysis.is_flat
+        assert analysis.ninety_ten_applies
+        assert analysis.hottest_share > 0.9
+
+    def test_paper_shape(self):
+        """224-of-8500-for-50% with hottest <1% classifies as flat."""
+        import random
+
+        from repro.jvm.methods import flat_profile_weights
+
+        weights = flat_profile_weights(8500, 224, 0.5, random.Random(0))
+        analysis = analyze_profile(weights)
+        assert analysis.is_flat
+        assert analysis.hottest_share < 0.01
+        assert 150 <= analysis.items_for_half <= 300
+
+    def test_compare_profiles(self):
+        flat = analyze_profile([1.0] * 100)
+        hot = analyze_profile([100.0] + [1.0] * 99)
+        rows = compare_profiles(flat, hot)
+        assert rows[0][1] < rows[0][2]  # hottest share differs
+
+    def test_invalid_input(self):
+        with pytest.raises(ValueError):
+            analyze_profile([])
+        with pytest.raises(ValueError):
+            analyze_profile([0.0, 0.0])
+
+
+class TestVertical:
+    def make_gc_events(self, period=25.0, pause_ms=300.0, n=5):
+        return [
+            GcEvent(
+                start_time_s=10.0 + i * period,
+                mark_ms=pause_ms * 0.8,
+                sweep_ms=pause_ms * 0.2,
+                compact_ms=0.0,
+                freed_bytes=1,
+                live_bytes_after=1,
+                used_bytes_after=1,
+                dark_matter_bytes=0,
+                compacted=False,
+            )
+            for i in range(n)
+        ]
+
+    def test_gc_indicator_covers_pauses(self):
+        events = self.make_gc_events()
+        times = [i * 0.1 for i in range(1500)]
+        indicator = gc_indicator(events, times, 0.1)
+        assert max(indicator) == pytest.approx(1.0)
+        covered = sum(indicator) * 0.1
+        expected = 5 * 0.3
+        assert covered == pytest.approx(expected, rel=0.1)
+
+    def test_gc_alignment_positive_for_gc_elevated_series(self):
+        gc_fracs = [0.0] * 40 + [1.0] * 10
+        values = [1.0] * 40 + [5.0] * 10
+        alignment = gc_alignment(values, gc_fracs)
+        assert alignment.r_with_gc > 0.9
+        assert alignment.gc_ratio == pytest.approx(5.0)
+
+    def test_gc_alignment_handles_missing_pools(self):
+        alignment = gc_alignment([1.0, 2.0], [0.0, 0.0])
+        assert alignment.mean_in_gc is None
+        assert alignment.gc_ratio is None
+
+    def test_dominant_period_finds_cycle(self):
+        period = 40
+        values = [1.0 if i % period < 3 else 0.0 for i in range(400)]
+        found = dominant_period(values, 1.0, 20.0, 80.0)
+        assert found is not None
+        assert found[0] == pytest.approx(period, abs=1.0)
+        assert found[1] > 0.5
+
+    def test_dominant_period_range_too_small(self):
+        assert dominant_period([1.0, 2.0], 1.0, 5.0, 6.0) is None
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            gc_alignment([1.0], [0.0, 1.0])
+
+
+class TestAttribution:
+    def test_ranking_by_strength(self):
+        from repro.core.vertical import attribute_series
+
+        target = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0]
+        ranked = attribute_series(
+            target,
+            {
+                "strong": [1.1, 2.0, 3.2, 3.9, 5.1, 6.0],
+                "weak": [2.0, 1.0, 2.0, 1.0, 2.0, 1.0],
+            },
+        )
+        assert ranked[0].factor == "strong"
+        assert ranked[0].strength == "strong"
+        assert abs(ranked[1].r) < 0.5
+
+    def test_length_mismatch_raises(self):
+        import pytest as _pytest
+
+        from repro.core.vertical import attribute_series
+
+        with _pytest.raises(ValueError):
+            attribute_series([1.0, 2.0], {"f": [1.0]})
+
+    def test_strength_labels(self):
+        from repro.core.vertical import Attribution
+
+        assert Attribution("x", 0.9).strength == "strong"
+        assert Attribution("x", -0.45).strength == "moderate"
+        assert Attribution("x", 0.1).strength == "weak"

@@ -1,0 +1,63 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_all_commands_registered(self):
+        parser = build_parser()
+        actions = [
+            a for a in parser._actions if hasattr(a, "choices") and a.choices
+        ]
+        commands = set(actions[0].choices)
+        assert commands == {
+            "characterize",
+            "figure",
+            "tables",
+            "whatif",
+            "scaling",
+            "tuning",
+            "cluster",
+            "warmup",
+            "heap-sweep",
+            "methodology",
+            "compare",
+            "save-config",
+            "reproduce-all",
+        }
+
+    def test_scale_flag_after_subcommand(self):
+        parser = build_parser()
+        args = parser.parse_args(["figure", "3", "--scale", "bench"])
+        assert args.scale == "bench"
+        assert args.number == 3
+
+    def test_missing_command_errors(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestExecution:
+    def test_figure_command_runs(self, capsys):
+        assert main(["figure", "3", "--scale", "quick"]) == 0
+        out = capsys.readouterr().out
+        assert "Garbage Collection" in out
+        assert "[ok]" in out
+
+    def test_unknown_figure_number(self, capsys):
+        assert main(["figure", "99"]) == 2
+        assert "no figure 99" in capsys.readouterr().out
+
+    def test_compare_command_runs(self, capsys):
+        assert main(["compare", "--scale", "quick"]) == 0
+        assert "Simple Java Benchmarks" in capsys.readouterr().out
+
+    def test_save_and_reuse_config(self, capsys, tmp_path):
+        path = tmp_path / "manifest.json"
+        assert main(["save-config", str(path), "--seed", "123"]) == 0
+        assert path.exists()
+        # The manifest drives another command.
+        assert main(["figure", "3", "--config", str(path)]) == 0
+        assert "Garbage Collection" in capsys.readouterr().out

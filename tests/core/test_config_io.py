@@ -1,0 +1,85 @@
+"""Tests for config JSON serialization (experiment manifests)."""
+
+import json
+
+import pytest
+
+from repro.config import ExperimentConfig
+from repro.config_io import (
+    FORMAT,
+    config_from_dict,
+    config_to_dict,
+    load_config,
+    save_config,
+)
+from repro.workload.presets import (
+    jas2004,
+    jas2004_sovereign,
+    jbb2000_like,
+    jvm98_like,
+    tpcw_like,
+    trade6,
+)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            ExperimentConfig,
+            jas2004,
+            jbb2000_like,
+            jvm98_like,
+            tpcw_like,
+            jas2004_sovereign,
+            trade6,
+        ],
+    )
+    def test_every_preset_round_trips(self, factory):
+        config = factory()
+        rebuilt = config_from_dict(config_to_dict(config))
+        assert rebuilt == config
+
+    def test_file_round_trip(self, tmp_path):
+        path = tmp_path / "experiment.json"
+        config = jas2004(ir=47, duration_s=777.0, seed=99)
+        save_config(config, path)
+        assert load_config(path) == config
+
+    def test_json_is_plain(self):
+        """The payload survives a strict JSON round trip."""
+        data = config_to_dict(jas2004())
+        rebuilt = config_from_dict(json.loads(json.dumps(data)))
+        assert rebuilt == jas2004()
+
+    def test_format_marker_present(self, tmp_path):
+        path = tmp_path / "c.json"
+        save_config(ExperimentConfig(), path)
+        assert json.loads(path.read_text())["_format"] == FORMAT
+
+
+class TestValidation:
+    def test_missing_marker_rejected(self):
+        data = config_to_dict(ExperimentConfig())
+        del data["_format"]
+        with pytest.raises(ValueError):
+            config_from_dict(data)
+
+    def test_wrong_marker_rejected(self):
+        data = config_to_dict(ExperimentConfig())
+        data["_format"] = "something/else"
+        with pytest.raises(ValueError):
+            config_from_dict(data)
+
+    def test_loaded_config_is_usable(self, tmp_path):
+        """A reloaded config drives a run to identical results."""
+        from repro.workload.metrics import evaluate_run
+        from repro.workload.sut import SystemUnderTest
+
+        config = jas2004(duration_s=120.0, seed=5)
+        path = tmp_path / "c.json"
+        save_config(config, path)
+        a = evaluate_run(SystemUnderTest(config).run())
+        b = evaluate_run(SystemUnderTest(load_config(path)).run())
+        assert a.jops == b.jops
+        assert a.gc_count == b.gc_count

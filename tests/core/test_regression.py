@@ -1,0 +1,111 @@
+"""Tests for the CPI regression decomposition.
+
+The decisive validation: the simulator's pipeline charges known
+per-event penalties, so regressing real window samples must recover
+coefficients close to the configured latencies.
+"""
+
+import random
+
+import pytest
+
+from repro.config import PipelineLatencies
+from repro.core.regression import DEFAULT_PREDICTORS, decompose_cpi
+from repro.hpm.counters import CounterBank, CounterSnapshot
+from repro.hpm.events import Event
+
+
+def synthetic_snapshots(n=60, seed=3):
+    """Windows whose cycles follow an exact known linear model."""
+    rng = random.Random(seed)
+    snaps = []
+    for _ in range(n):
+        instr = rng.randint(8000, 12000)
+        mem = rng.randint(0, 60)
+        sync = rng.randint(0, 10)
+        cycles = int(0.5 * instr + 250 * mem + 40 * sync)
+        bank = CounterBank()
+        bank.add(Event.PM_INST_CMPL, instr)
+        bank.add(Event.PM_CYC, cycles)
+        bank.add(Event.PM_DATA_FROM_MEM, mem)
+        bank.add(Event.PM_SYNC_CNT, sync)
+        snaps.append(bank.snapshot())
+    return snaps
+
+
+class TestSyntheticRecovery:
+    def test_exact_model_recovered(self):
+        model = decompose_cpi(
+            synthetic_snapshots(),
+            predictors=(Event.PM_DATA_FROM_MEM, Event.PM_SYNC_CNT),
+        )
+        assert model.base_cpi == pytest.approx(0.5, abs=0.02)
+        assert model.penalties[Event.PM_DATA_FROM_MEM] == pytest.approx(250, rel=0.05)
+        assert model.penalties[Event.PM_SYNC_CNT] == pytest.approx(40, rel=0.1)
+        assert model.r_squared > 0.999
+
+    def test_irrelevant_predictor_near_zero(self):
+        snaps = []
+        for s in synthetic_snapshots():
+            counts = dict(s.counts)
+            counts[Event.PM_LARX] = 17  # constant: no explanatory power
+            snaps.append(CounterSnapshot(counts=counts))
+        model = decompose_cpi(
+            snaps, predictors=(Event.PM_DATA_FROM_MEM, Event.PM_SYNC_CNT, Event.PM_LARX)
+        )
+        assert abs(model.penalties[Event.PM_LARX]) < 5.0
+
+    def test_too_few_windows_rejected(self):
+        with pytest.raises(ValueError):
+            decompose_cpi(synthetic_snapshots(n=3))
+
+    def test_cycle_share_attribution(self):
+        model = decompose_cpi(
+            synthetic_snapshots(),
+            predictors=(Event.PM_DATA_FROM_MEM, Event.PM_SYNC_CNT),
+        )
+        shares = model.cycle_share(synthetic_snapshots(n=1, seed=9)[0])
+        assert sum(shares.values()) == pytest.approx(1.0, abs=0.02)
+        assert shares["base"] > 0
+
+    def test_render(self):
+        model = decompose_cpi(
+            synthetic_snapshots(),
+            predictors=(Event.PM_DATA_FROM_MEM,),
+        )
+        text = "\n".join(model.render_lines())
+        assert "base CPI" in text and "PM_DATA_FROM_MEM" in text
+
+
+class TestSimulatorRecovery:
+    """Regression on real simulator windows recovers the configured
+    exposed penalties (the ground-truth validation)."""
+
+    @pytest.fixture(scope="class")
+    def model(self, quick_study):
+        samples = quick_study.sample_windows(120, start=1500)
+        return decompose_cpi([s.snapshot for s in samples])
+
+    def test_fit_quality(self, model):
+        # Fixed-cycle windows make R^2 uninformative; the prediction
+        # error itself must be small.
+        assert model.relative_rmse < 0.05
+
+    def test_memory_penalty_recovered(self, model):
+        lat = PipelineLatencies()
+        estimated = model.penalties[Event.PM_DATA_FROM_MEM]
+        assert estimated == pytest.approx(lat.data_from_mem, rel=0.6)
+        # And it is clearly the most expensive data event.
+        assert estimated > model.penalties[Event.PM_DATA_FROM_L3] * 0.8
+
+    def test_base_cpi_plausible(self, model):
+        lat = PipelineLatencies()
+        assert model.base_cpi == pytest.approx(lat.base_cpi, rel=1.2)
+        assert model.base_cpi > 0
+
+    def test_penalties_non_negative(self, model):
+        assert all(b >= 0.0 for b in model.penalties.values())
+
+    def test_default_predictors_all_reported(self, model):
+        for event in DEFAULT_PREDICTORS:
+            assert event in model.penalties

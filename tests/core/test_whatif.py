@@ -1,0 +1,101 @@
+"""Tests for the what-if estimator and its scenario transforms."""
+
+import pytest
+
+from repro.config import ExperimentConfig, PipelineLatencies
+from repro.core.characterization import HardwareSummary
+from repro.core.whatif import Estimate, WhatIfAnalyzer, default_scenarios
+
+
+@pytest.fixture(scope="module")
+def hw(hw_snapshots):
+    return HardwareSummary.from_snapshots(hw_snapshots)
+
+
+@pytest.fixture(scope="module")
+def analyzer():
+    return WhatIfAnalyzer()
+
+
+class TestScenarios:
+    def test_all_default_scenarios_named(self, analyzer):
+        names = {s.name for s in analyzer.scenarios}
+        assert names == {
+            "faster-l3",
+            "code-large-pages",
+            "devirtualization",
+            "bigger-erat",
+        }
+
+    def test_every_estimate_is_an_improvement(self, hw, analyzer):
+        """Every Section 4 proposal should estimate as a (possibly
+        small) CPI reduction on the measured system."""
+        for estimate in analyzer.estimate_all(hw, PipelineLatencies()):
+            assert estimate.cpi_delta <= 0.0
+            assert estimate.estimated_cpi > 0.0
+            assert estimate.speedup >= 1.0
+
+    def test_faster_l3_is_the_big_lever(self, hw, analyzer):
+        """The paper singles out L2/L3 capacity/latency as the sizeable
+        opportunity; it should out-estimate the niche fixes."""
+        estimates = {e.scenario: e for e in analyzer.estimate_all(hw, PipelineLatencies())}
+        assert (
+            estimates["faster-l3"].cpi_delta
+            < estimates["devirtualization"].cpi_delta
+        )
+
+    def test_estimates_sorted_best_first(self, hw, analyzer):
+        estimates = analyzer.estimate_all(hw, PipelineLatencies())
+        cpis = [e.estimated_cpi for e in estimates]
+        assert cpis == sorted(cpis)
+
+    def test_scenario_lookup(self, analyzer):
+        assert analyzer.scenario("faster-l3").name == "faster-l3"
+        with pytest.raises(KeyError):
+            analyzer.scenario("warp-drive")
+
+    def test_render(self, hw, analyzer):
+        lines = analyzer.render_lines(analyzer.estimate_all(hw, PipelineLatencies()))
+        assert any("faster-l3" in l for l in lines)
+
+
+class TestTransforms:
+    def test_transforms_are_pure(self, analyzer):
+        base = ExperimentConfig()
+        for scenario in analyzer.scenarios:
+            enhanced = scenario.apply(base)
+            assert enhanced is not base
+        # The base config is untouched.
+        assert base.jvm.code_large_pages is False
+        assert base.jvm.devirtualize_fraction == 0.0
+
+    def test_code_large_pages_transform(self, analyzer):
+        enhanced = analyzer.scenario("code-large-pages").apply(ExperimentConfig())
+        assert enhanced.jvm.code_large_pages
+
+    def test_faster_l3_transform(self, analyzer):
+        base = ExperimentConfig()
+        enhanced = analyzer.scenario("faster-l3").apply(base)
+        assert (
+            enhanced.machine.latencies.data_from_l3
+            < base.machine.latencies.data_from_l3
+        )
+
+    def test_bigger_erat_transform(self, analyzer):
+        base = ExperimentConfig()
+        enhanced = analyzer.scenario("bigger-erat").apply(base)
+        assert (
+            enhanced.machine.translation.derat_entries
+            == base.machine.translation.derat_entries * 2
+        )
+
+    def test_devirtualization_transform(self, analyzer):
+        enhanced = analyzer.scenario("devirtualization").apply(ExperimentConfig())
+        assert enhanced.jvm.devirtualize_fraction == pytest.approx(0.5)
+
+
+class TestEstimateMath:
+    def test_speedup_definition(self):
+        e = Estimate(scenario="x", baseline_cpi=3.0, estimated_cpi=2.5)
+        assert e.speedup == pytest.approx(1.2)
+        assert e.cpi_delta == pytest.approx(-0.5)

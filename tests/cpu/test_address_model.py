@@ -1,0 +1,158 @@
+"""Behavioral tests of the stream generator's address model.
+
+The locality model (scan / dwell / fresh) is the load-bearing piece of
+the whole memory calibration, so its properties are tested directly by
+recording the addresses a running slice issues.
+"""
+
+import random
+from collections import defaultdict
+
+import pytest
+
+from repro.config import JvmConfig, MachineConfig
+from repro.cpu import regions as R
+from repro.cpu.branch import BranchUnit
+from repro.cpu.hierarchy import MemorySystem
+from repro.cpu.phases import PhaseProfile, build_pool
+from repro.cpu.pipeline import PipelineAccountant
+from repro.cpu.regions import AddressSpace
+from repro.cpu.stream import SliceRunner
+from repro.cpu.translation import TranslationUnit
+from repro.hpm.counters import CounterBank
+from repro.util.rng import RngFactory
+
+
+@pytest.fixture(scope="module")
+def space():
+    return AddressSpace.build(MachineConfig(), JvmConfig())
+
+
+def make_profile(space, load_mix, seq=0.0, dwell=8.0):
+    pool = build_pool(
+        random.Random(0),
+        space[R.CODE_GC].base,
+        space[R.CODE_GC].size_bytes,
+        n_units=4,
+        mean_size=512,
+        weights=[1.0] * 4,
+    )
+    return PhaseProfile(
+        name="probe",
+        code_pool=pool,
+        code_region=R.CODE_GC,
+        active_units=4,
+        block_mean=6.0,
+        mem_per_instr=0.5,
+        load_fraction=1.0,  # loads only: simplest to reason about
+        load_mix=load_mix,
+        store_mix=((R.STACK, 1.0),),
+        seq_load_fraction=seq,
+        page_dwell=dwell,
+    )
+
+
+def record_addresses(space, profile, cycles=40000, seed=5):
+    machine = MachineConfig()
+    bank = CounterBank()
+    rngs = RngFactory(seed)
+    memory = MemorySystem(machine, bank, rngs.stream("b"))
+    recorded = defaultdict(list)
+    original = memory.load
+
+    def spy(addr, region):
+        recorded[region.name].append(addr)
+        return original(addr, region)
+
+    memory.load = spy
+    accountant = PipelineAccountant(machine.latencies, rngs.stream("p"))
+    runner = SliceRunner(
+        profile,
+        space,
+        memory,
+        TranslationUnit(machine.translation),
+        BranchUnit(machine.branch),
+        accountant,
+        bank,
+        rngs.stream("s"),
+    )
+    runner.run_until(cycles)
+    return recorded
+
+
+class TestBounds:
+    def test_all_addresses_within_their_region(self, space):
+        mix = ((R.HEAP_COLD, 0.5), (R.DB_BUFFER, 0.5))
+        recorded = record_addresses(space, make_profile(space, mix))
+        for name, addrs in recorded.items():
+            region = space[name]
+            assert all(region.base <= a < region.end for a in addrs)
+
+    def test_every_mixed_region_receives_traffic(self, space):
+        mix = ((R.HEAP_COLD, 0.4), (R.DB_BUFFER, 0.3), (R.STACK, 0.3))
+        recorded = record_addresses(space, make_profile(space, mix))
+        assert set(recorded) == {R.HEAP_COLD, R.DB_BUFFER, R.STACK}
+
+    def test_mix_weights_respected(self, space):
+        mix = ((R.HEAP_COLD, 0.8), (R.DB_BUFFER, 0.2))
+        # Deep-miss regions execute few ops per cycle: use a big
+        # budget so the binomial noise is small.
+        recorded = record_addresses(
+            space, make_profile(space, mix), cycles=400000
+        )
+        total = sum(len(v) for v in recorded.values())
+        share = len(recorded[R.HEAP_COLD]) / total
+        assert share == pytest.approx(0.8, abs=0.05)
+
+
+class TestLocalityModes:
+    def test_dwell_concentrates_accesses(self, space):
+        """High dwell: consecutive addresses mostly share a small
+        neighborhood; low dwell: they scatter."""
+
+        def mean_gap(dwell):
+            mix = ((R.HEAP_COLD, 1.0),)
+            recorded = record_addresses(
+                space, make_profile(space, mix, dwell=dwell)
+            )
+            addrs = recorded[R.HEAP_COLD]
+            gaps = [abs(b - a) for a, b in zip(addrs, addrs[1:])]
+            return sum(gaps) / len(gaps)
+
+        assert mean_gap(30.0) < mean_gap(1.5) / 3
+
+    def test_scans_are_sequential_runs(self, space):
+        """With a pure scan profile, most consecutive address pairs
+        advance by exactly the scan step."""
+        mix = ((R.HEAP_COLD, 1.0),)
+        profile = make_profile(space, mix, seq=1.0, dwell=1.0)
+        recorded = record_addresses(space, profile)
+        addrs = recorded[R.HEAP_COLD]
+        steps = [b - a for a, b in zip(addrs, addrs[1:])]
+        sequential = sum(1 for s in steps if s == 128)
+        assert sequential / len(steps) > 0.7  # chunk resets break some
+
+    def test_scan_chunks_reset(self, space):
+        """A scan must not run forever: chunk resets produce large
+        jumps at roughly the configured chunk rate."""
+        mix = ((R.HEAP_COLD, 1.0),)
+        profile = make_profile(space, mix, seq=1.0, dwell=1.0)
+        recorded = record_addresses(space, profile)
+        addrs = recorded[R.HEAP_COLD]
+        jumps = sum(
+            1 for a, b in zip(addrs, addrs[1:]) if abs(b - a) > 4096
+        )
+        # Mean chunk is 24 accesses: expect roughly len/24 resets.
+        expected = len(addrs) / 24.0
+        assert expected * 0.4 < jumps < expected * 2.5
+
+    def test_scan_affinity_zero_means_no_scans(self, space):
+        """Stack-like regions (affinity 0.1) barely scan even under a
+        scan-heavy profile."""
+        mix = ((R.STACK, 1.0),)
+        profile = make_profile(space, mix, seq=0.9, dwell=2.0)
+        recorded = record_addresses(space, profile)
+        addrs = recorded[R.STACK]
+        steps = [b - a for a, b in zip(addrs, addrs[1:])]
+        sequential = sum(1 for s in steps if s == 128)
+        assert sequential / max(1, len(steps)) < 0.35

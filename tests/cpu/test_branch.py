@@ -1,0 +1,78 @@
+"""Tests for the branch predictors."""
+
+import random
+
+from repro.config import BranchPredictorConfig
+from repro.cpu.branch import BranchUnit, DirectionPredictor, TargetPredictor
+
+
+class TestDirectionPredictor:
+    def test_biased_site_learns(self):
+        p = DirectionPredictor(64)
+        site = 5
+        mispredicts = sum(p.execute(site, True) for _ in range(100))
+        # After warmup, an always-taken site should stop mispredicting.
+        assert mispredicts <= 2
+
+    def test_alternating_site_mispredicts_heavily(self):
+        p = DirectionPredictor(64)
+        site = 9
+        outcomes = [bool(i % 2) for i in range(200)]
+        mispredicts = sum(p.execute(site, t) for t in outcomes)
+        assert mispredicts > 60
+
+    def test_aliasing_interferes(self):
+        """Two opposite-biased sites sharing an entry hurt each other —
+        the capacity effect of a large code footprint."""
+        p = DirectionPredictor(4)
+        a, b = 0, 4  # alias to the same entry
+        mispredicts = 0
+        for _ in range(100):
+            mispredicts += p.execute(a, True)
+            mispredicts += p.execute(b, False)
+        assert mispredicts >= 100  # thrashes between states
+
+    def test_random_site_near_half(self):
+        p = DirectionPredictor(64)
+        rng = random.Random(3)
+        mispredicts = sum(
+            p.execute(2, rng.random() < 0.5) for _ in range(1000)
+        )
+        assert 350 < mispredicts < 650
+
+
+class TestTargetPredictor:
+    def test_monomorphic_site_sticks(self):
+        p = TargetPredictor(32)
+        misses = sum(p.execute(7, 42) for _ in range(50))
+        assert misses == 1  # only the cold miss
+
+    def test_alternating_targets_always_miss(self):
+        p = TargetPredictor(32)
+        misses = sum(p.execute(7, i % 2) for i in range(50))
+        assert misses == 50
+
+    def test_dominant_target_mostly_hits(self):
+        p = TargetPredictor(32)
+        rng = random.Random(5)
+        misses = 0
+        for _ in range(1000):
+            target = 1 if rng.random() < 0.95 else 2
+            misses += p.execute(3, target)
+        # Last-value predictor on p=0.95: ~2*p*(1-p) ~ 9.5% misses.
+        assert 40 < misses < 200
+
+    def test_aliasing_between_sites(self):
+        p = TargetPredictor(2)
+        misses = 0
+        for _ in range(50):
+            misses += p.execute(0, 10)
+            misses += p.execute(2, 20)  # aliases with site 0
+        assert misses == 100  # constant mutual eviction
+
+
+class TestBranchUnit:
+    def test_wraps_both_predictors(self):
+        unit = BranchUnit(BranchPredictorConfig(direction_entries=16, target_entries=16))
+        assert isinstance(unit.conditional(1, True), bool)
+        assert isinstance(unit.indirect(1, 99), bool)

@@ -1,0 +1,140 @@
+"""Tests for the set-associative cache, including replacement-policy
+semantics and hypothesis invariants."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import CacheGeometry
+from repro.cpu.cache import SetAssociativeCache
+
+
+class TestBasics:
+    def test_miss_then_hit_after_fill(self):
+        cache = SetAssociativeCache(4, 2)
+        assert not cache.lookup(10)
+        cache.fill(10)
+        assert cache.lookup(10)
+
+    def test_lookup_does_not_insert(self):
+        cache = SetAssociativeCache(4, 2)
+        cache.lookup(10)
+        assert not cache.contains(10)
+
+    def test_contains_does_not_count(self):
+        cache = SetAssociativeCache(4, 2)
+        cache.fill(1)
+        cache.contains(1)
+        assert cache.hits == 0 and cache.misses == 0
+
+    def test_eviction_returns_victim(self):
+        cache = SetAssociativeCache(1, 2)
+        cache.fill(0)
+        cache.fill(1)
+        victim = cache.fill(2)
+        assert victim == 0
+        assert not cache.contains(0)
+
+    def test_refill_present_block_is_noop(self):
+        cache = SetAssociativeCache(1, 2)
+        cache.fill(0)
+        assert cache.fill(0) is None
+        assert cache.occupancy == 1
+
+    def test_invalidate(self):
+        cache = SetAssociativeCache(2, 2)
+        cache.fill(4)
+        assert cache.invalidate(4)
+        assert not cache.contains(4)
+        assert not cache.invalidate(4)
+
+    def test_flush_keeps_stats(self):
+        cache = SetAssociativeCache(2, 2)
+        cache.lookup(1)
+        cache.fill(1)
+        cache.flush()
+        assert cache.occupancy == 0
+        assert cache.misses == 1
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ValueError):
+            SetAssociativeCache(0, 2)
+        with pytest.raises(ValueError):
+            SetAssociativeCache(2, 2, policy="random")
+
+
+class TestReplacementPolicies:
+    def test_lru_protects_recently_used(self):
+        cache = SetAssociativeCache(1, 2, policy="lru")
+        cache.fill(0)
+        cache.fill(1)
+        cache.lookup(0)  # refresh 0
+        cache.fill(2)  # should evict 1
+        assert cache.contains(0)
+        assert not cache.contains(1)
+
+    def test_fifo_ignores_recency(self):
+        """The POWER4 L1 pathology: a hot block ages out under fills
+        regardless of how often it hits."""
+        cache = SetAssociativeCache(1, 2, policy="fifo")
+        cache.fill(0)
+        cache.fill(1)
+        cache.lookup(0)  # hit does NOT refresh under FIFO
+        cache.fill(2)  # evicts 0, the oldest insertion
+        assert not cache.contains(0)
+        assert cache.contains(1)
+
+
+class TestFromGeometry:
+    def test_dimensions(self):
+        geometry = CacheGeometry(32 * 1024, 128, 2, "fifo")
+        cache = SetAssociativeCache.from_geometry(geometry)
+        assert cache.n_sets == 128
+        assert cache.capacity == 256
+        assert cache.policy == "fifo"
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(st.integers(0, 511), min_size=1, max_size=300),
+    st.sampled_from(["lru", "fifo"]),
+)
+def test_occupancy_never_exceeds_capacity(blocks, policy):
+    cache = SetAssociativeCache(8, 2, policy=policy)
+    for b in blocks:
+        if not cache.lookup(b):
+            cache.fill(b)
+    assert cache.occupancy <= cache.capacity
+    # Every set individually respects associativity.
+    for ways in cache._sets:
+        assert len(ways) <= cache.associativity
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.integers(0, 63), min_size=1, max_size=200))
+def test_fill_then_immediate_lookup_hits(blocks):
+    cache = SetAssociativeCache(4, 4)
+    for b in blocks:
+        cache.fill(b)
+        assert cache.lookup(b)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.integers(0, 1023), min_size=1, max_size=400))
+def test_hits_plus_misses_equals_lookups(blocks):
+    cache = SetAssociativeCache(16, 2)
+    for b in blocks:
+        if not cache.lookup(b):
+            cache.fill(b)
+    assert cache.hits + cache.misses == len(blocks)
+
+
+def test_working_set_within_capacity_converges_to_hits():
+    """A working set that fits the cache stops missing once loaded."""
+    cache = SetAssociativeCache(8, 2)
+    blocks = list(range(16))  # exactly capacity, uniform over sets
+    for b in blocks:
+        cache.lookup(b)
+        cache.fill(b)
+    for _ in range(3):
+        for b in blocks:
+            assert cache.lookup(b)

@@ -1,0 +1,119 @@
+"""Tests for the memory system (L1s + prefetcher + backing)."""
+
+import random
+
+import pytest
+
+from repro.config import JvmConfig, MachineConfig
+from repro.cpu import regions as R
+from repro.cpu.hierarchy import MemorySystem
+from repro.cpu.regions import AddressSpace
+from repro.cpu.sources import DataSource, InstSource
+from repro.hpm.counters import CounterBank
+from repro.hpm.events import Event
+
+
+@pytest.fixture()
+def setup():
+    machine = MachineConfig()
+    space = AddressSpace.build(machine, JvmConfig())
+    bank = CounterBank()
+    mem = MemorySystem(machine, bank, random.Random(7))
+    return machine, space, bank, mem
+
+
+class TestLoads:
+    def test_load_counts_reference(self, setup):
+        _, space, bank, mem = setup
+        mem.load(space[R.STACK].base, space[R.STACK])
+        assert bank.value(Event.PM_LD_REF_L1) == 1
+
+    def test_load_miss_then_hit(self, setup):
+        _, space, bank, mem = setup
+        region = space[R.STACK]
+        source, _ = mem.load(region.base, region)
+        assert source is not None
+        assert bank.value(Event.PM_LD_MISS_L1) == 1
+        source2, _ = mem.load(region.base, region)
+        assert source2 is None  # now cached
+        assert bank.value(Event.PM_LD_MISS_L1) == 1
+
+    def test_miss_source_counted(self, setup):
+        _, space, bank, mem = setup
+        region = space[R.STACK]  # backing is 100% L2
+        source, _ = mem.load(region.base, region)
+        assert source is DataSource.L2
+        assert bank.value(Event.PM_DATA_FROM_L2) == 1
+
+    def test_sequential_misses_allocate_stream_and_cover(self, setup):
+        _, space, bank, mem = setup
+        region = space[R.DB_BUFFER]
+        line = 128
+        for i in range(3):
+            mem.load(region.base + i * line, region)
+        assert bank.value(Event.PM_STREAM_ALLOC) == 1
+        source, outcome = mem.load(region.base + 3 * line, region)
+        assert outcome.covered
+        assert source is None
+        assert bank.value(Event.PM_L1_PREF) == 1
+
+
+class TestStores:
+    def test_store_miss_does_not_allocate(self, setup):
+        """POWER4 L1D store misses write through without filling."""
+        _, space, bank, mem = setup
+        region = space[R.HEAP_ALLOC]
+        addr = region.base + 5 * 128
+        assert not mem.store(addr, region)
+        assert bank.value(Event.PM_ST_MISS_L1) == 1
+        # A subsequent *load* of the same line still misses.
+        source, _ = mem.load(addr, region)
+        assert source is not None
+
+    def test_store_hits_loaded_line(self, setup):
+        _, space, bank, mem = setup
+        region = space[R.STACK]
+        mem.load(region.base, region)
+        assert mem.store(region.base + 8, region)
+        assert bank.value(Event.PM_ST_MISS_L1) == 0
+
+    def test_store_gathering(self, setup):
+        """Back-to-back stores to one line merge in the SRQ."""
+        _, space, bank, mem = setup
+        region = space[R.HEAP_ALLOC]
+        addr = region.base + 999 * 128
+        mem.store(addr, region)
+        assert mem.store(addr + 32, region)  # gathered
+        assert bank.value(Event.PM_ST_MISS_L1) == 1
+
+
+class TestFetch:
+    def test_fetch_hit_and_miss_counters(self, setup):
+        _, space, bank, mem = setup
+        region = space[R.CODE_JIT]
+        source = mem.fetch(region.base, region)
+        assert source in (InstSource.L2, InstSource.L3, InstSource.MEM)
+        assert bank.value(Event.PM_INST_FROM_L1) == 0
+        source2 = mem.fetch(region.base, region)
+        assert source2 is InstSource.L1
+        assert bank.value(Event.PM_INST_FROM_L1) == 1
+
+    def test_reset_structures(self, setup):
+        _, space, _, mem = setup
+        region = space[R.CODE_JIT]
+        mem.fetch(region.base, region)
+        mem.reset_structures()
+        assert mem.fetch(region.base, region) is not InstSource.L1
+
+
+class TestBackingDistributionIntegration:
+    def test_cold_heap_sources_split_l3_memory(self, setup):
+        _, space, bank, mem = setup
+        region = space[R.HEAP_COLD]
+        rng = random.Random(11)
+        for _ in range(800):
+            mem.load(region.random_address(rng), region)
+        l3 = bank.value(Event.PM_DATA_FROM_L3)
+        memory = bank.value(Event.PM_DATA_FROM_MEM)
+        assert l3 > memory  # backing is 70/30
+        assert memory > 0

@@ -1,0 +1,165 @@
+"""Tests for code pools and phase profiles."""
+
+import random
+
+import pytest
+
+from repro.config import JvmConfig, MachineConfig
+from repro.cpu import regions as R
+from repro.cpu.phases import (
+    GC_BIAS,
+    MONO_POLY,
+    MUTATOR_POLY,
+    CodePool,
+    PhaseDescriptor,
+    PhaseProfile,
+    build_pool,
+    gc_mark_profile,
+    gc_sweep_profile,
+    idle_profile,
+    kernel_profile,
+    site_id,
+)
+from repro.cpu.regions import AddressSpace
+
+
+@pytest.fixture(scope="module")
+def space():
+    return AddressSpace.build(MachineConfig(), JvmConfig())
+
+
+@pytest.fixture()
+def pool(space):
+    rng = random.Random(1)
+    region = space[R.CODE_NATIVE]
+    return build_pool(
+        rng,
+        region.base,
+        region.size_bytes,
+        n_units=50,
+        mean_size=1024,
+        weights=[1.0 / (i + 1) for i in range(50)],
+    )
+
+
+class TestSiteId:
+    def test_deterministic(self):
+        assert site_id(3, 4) == site_id(3, 4)
+
+    def test_spreads(self):
+        ids = {site_id(u, i) % 64 for u in range(10) for i in range(10)}
+        assert len(ids) > 30  # well spread over a 64-entry table
+
+
+class TestBuildPool:
+    def test_units_within_region(self, space, pool):
+        region = space[R.CODE_NATIVE]
+        for unit in pool.units:
+            assert region.base <= unit.base < region.end
+
+    def test_every_unit_has_sites(self, pool):
+        for unit in pool.units:
+            assert unit.cond_sites
+            # Exactly one indirect site per unit (see phases.py).
+            assert len(unit.ind_sites) == 1
+
+    def test_biases_within_classes(self, space):
+        rng = random.Random(2)
+        region = space[R.CODE_GC]
+        p = build_pool(
+            rng, region.base, region.size_bytes, 5, 512, [1.0] * 5,
+            bias_classes=GC_BIAS, poly_classes=MONO_POLY,
+        )
+        for unit in p.units:
+            for _, bias in unit.cond_sites:
+                assert 0.96 <= bias <= 0.99
+            for site in unit.ind_sites:
+                assert not site.polymorphic
+
+    def test_weight_mismatch_rejected(self, space):
+        region = space[R.CODE_GC]
+        with pytest.raises(ValueError):
+            build_pool(random.Random(0), region.base, region.size_bytes, 5, 512, [1.0])
+
+    def test_indirect_target_distributions_normalized(self, pool):
+        for unit in pool.units:
+            for site in unit.ind_sites:
+                assert site.cum_weights[-1] == pytest.approx(1.0)
+                assert len(site.cum_weights) == len(site.targets)
+
+    def test_pick_target_respects_dominance(self, pool):
+        rng = random.Random(3)
+        poly_sites = [
+            s for u in pool.units for s in u.ind_sites if len(s.targets) in (2, 3)
+        ]
+        assert poly_sites
+        site = poly_sites[0]
+        draws = [site.pick_target(rng) for _ in range(500)]
+        dominant = draws.count(site.targets[0]) / len(draws)
+        assert dominant > 0.85  # sticky receiver types
+
+
+class TestCodePool:
+    def test_weighted_pick_prefers_head(self, pool):
+        rng = random.Random(4)
+        picks = [pool.pick(rng).uid for _ in range(1000)]
+        head_share = sum(1 for p in picks if p < 5) / len(picks)
+        assert head_share > 0.4
+
+    def test_sample_active_distinct(self, pool):
+        rng = random.Random(5)
+        active = pool.sample_active(rng, 20)
+        assert len({u.uid for u in active}) == len(active)
+        assert 1 <= len(active) <= 20
+
+    def test_empty_pool_rejected(self):
+        with pytest.raises(ValueError):
+            CodePool([])
+
+
+class TestPhaseProfiles:
+    def test_builders_produce_valid_profiles(self, space):
+        rng = random.Random(6)
+        for builder in (gc_mark_profile, gc_sweep_profile, kernel_profile, idle_profile):
+            profile = builder(rng, space)
+            assert sum(w for _, w in profile.load_mix) == pytest.approx(1.0)
+            assert sum(w for _, w in profile.store_mix) == pytest.approx(1.0)
+            assert profile.block_mean >= 1.0
+
+    def test_gc_profiles_are_predictable_and_lock_free(self, space):
+        rng = random.Random(7)
+        mark = gc_mark_profile(rng, space)
+        kernel = kernel_profile(rng, space)
+        assert mark.larx_per_instr < kernel.larx_per_instr / 10
+        assert mark.sync_per_instr < kernel.sync_per_instr / 10
+        assert mark.indirect_fraction < 0.02
+
+    def test_gc_branch_density_exceeds_mutator(self, space):
+        """Shorter blocks mean more branches per instruction (the
+        Figure 6 GC signature)."""
+        rng = random.Random(8)
+        mark = gc_mark_profile(rng, space)
+        assert mark.block_mean < 7.0
+
+    def test_invalid_mix_rejected(self, space, pool):
+        with pytest.raises(ValueError):
+            PhaseProfile(
+                name="bad",
+                code_pool=pool,
+                code_region=R.CODE_NATIVE,
+                active_units=4,
+                block_mean=6.0,
+                mem_per_instr=0.5,
+                load_fraction=0.6,
+                load_mix=((R.STACK, 0.5),),  # does not sum to 1
+                store_mix=((R.STACK, 1.0),),
+            )
+
+
+class TestPhaseDescriptor:
+    def test_fractions_must_sum_to_one(self, space):
+        rng = random.Random(9)
+        idle = idle_profile(rng, space)
+        with pytest.raises(ValueError):
+            PhaseDescriptor(slices=((idle, 0.4),))
+        PhaseDescriptor(slices=((idle, 1.0),))  # valid

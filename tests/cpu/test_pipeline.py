@@ -1,0 +1,124 @@
+"""Tests for the cycle-accounting pipeline model."""
+
+import random
+
+import pytest
+
+from repro.config import PipelineLatencies
+from repro.cpu.pipeline import PipelineAccountant
+from repro.cpu.sources import DataSource, InstSource
+from repro.cpu.translation import TranslationResult
+from repro.hpm.counters import CounterBank
+from repro.hpm.events import Event
+
+
+@pytest.fixture()
+def accountant():
+    return PipelineAccountant(PipelineLatencies(), random.Random(0))
+
+
+LAT = PipelineLatencies()
+
+
+class TestCharging:
+    def test_base_cpi_per_instruction(self, accountant):
+        accountant.add_instructions(100)
+        assert accountant.cycles == pytest.approx(100 * LAT.base_cpi)
+
+    def test_l1_hit_is_free(self, accountant):
+        accountant.charge_load(None, covered=False)
+        assert accountant.cycles == 0.0
+
+    def test_covered_prefetch_is_cheap(self, accountant):
+        accountant.charge_load(DataSource.MEM, covered=True)
+        assert accountant.cycles == LAT.covered_prefetch
+
+    def test_memory_load_costs_most(self, accountant):
+        accountant.charge_load(DataSource.L2, covered=False)
+        l2 = accountant.cycles
+        accountant.charge_load(DataSource.MEM, covered=False)
+        assert accountant.cycles - l2 > l2 * 10
+
+    def test_source_ordering(self):
+        """Deeper sources must cost at least as much as closer ones."""
+        costs = {}
+        for source in DataSource:
+            a = PipelineAccountant(LAT, random.Random(0))
+            a.charge_load(source, covered=False)
+            costs[source] = a.cycles
+        assert costs[DataSource.L2] < costs[DataSource.L3] < costs[DataSource.MEM]
+        assert costs[DataSource.L3] < costs[DataSource.L35]
+
+    def test_fetch_costs(self, accountant):
+        accountant.charge_fetch(InstSource.L1)
+        assert accountant.cycles == 0.0
+        accountant.charge_fetch(InstSource.MEM)
+        assert accountant.cycles == LAT.inst_from_mem
+
+    def test_translation_charges(self, accountant):
+        accountant.charge_data_translation(
+            TranslationResult(erat_miss=False, tlb_miss=False)
+        )
+        assert accountant.cycles == 0.0
+        accountant.charge_data_translation(
+            TranslationResult(erat_miss=True, tlb_miss=True)
+        )
+        assert accountant.cycles == LAT.derat_miss + LAT.tlb_miss
+
+    def test_sync_tracks_srq(self, accountant):
+        accountant.charge_sync()
+        bank = CounterBank()
+        accountant.add_instructions(10)
+        accountant.finalize(bank)
+        assert bank.value(Event.PM_SYNC_SRQ_CYC) == int(round(LAT.sync_srq_cycles))
+
+
+class TestFinalize:
+    def _finalize(self, fill):
+        bank = CounterBank()
+        a = PipelineAccountant(LAT, random.Random(1))
+        fill(a)
+        a.finalize(bank)
+        return bank.snapshot()
+
+    def test_counts_recorded(self):
+        snap = self._finalize(lambda a: a.add_instructions(1000))
+        assert snap.instructions == 1000
+        assert snap.cycles == pytest.approx(1000 * LAT.base_cpi, rel=0.01)
+
+    def test_cyc_inst_cmpl_bounded_by_cycles(self):
+        def fill(a):
+            a.add_instructions(500)
+            for _ in range(20):
+                a.charge_load(DataSource.MEM, covered=False)
+
+        snap = self._finalize(fill)
+        assert snap[Event.PM_CYC_INST_CMPL] <= snap.cycles
+        assert snap[Event.PM_CYC_INST_CMPL] > 0
+
+    def test_speculation_rate_near_base_overdispatch(self):
+        snap = self._finalize(lambda a: a.add_instructions(5000))
+        assert 1.4 < snap.speculation_rate < 2.9
+
+    def test_mispredicts_add_dispatches(self):
+        def with_mispredicts(a):
+            a.add_instructions(1000)
+            for _ in range(50):
+                a.charge_conditional_mispredict()
+
+        def without(a):
+            a.add_instructions(1000)
+
+        with_m = self._finalize(with_mispredicts)[Event.PM_INST_DISP]
+        base = self._finalize(without)[Event.PM_INST_DISP]
+        assert with_m > base
+
+    def test_mispredict_raises_cpi(self):
+        def fill(a):
+            a.add_instructions(100)
+            a.charge_conditional_mispredict()
+            a.charge_target_mispredict()
+
+        snap = self._finalize(fill)
+        expected = 100 * LAT.base_cpi + LAT.branch_mispredict + LAT.target_mispredict
+        assert snap.cycles == pytest.approx(expected, abs=1.0)

@@ -1,0 +1,107 @@
+"""Tests for the sequential stream prefetcher."""
+
+from repro.config import PrefetcherConfig
+from repro.cpu.prefetch import StreamPrefetcher
+
+
+def make(n_streams=4, allocate_after=2, depth=4):
+    return StreamPrefetcher(
+        PrefetcherConfig(n_streams=n_streams, allocate_after=allocate_after, depth=depth)
+    )
+
+
+class TestAllocation:
+    def test_ascending_run_allocates(self):
+        p = make()
+        assert not p.on_miss(100).allocated
+        assert not p.on_miss(101).allocated
+        outcome = p.on_miss(102).allocated  # 3rd consecutive -> stream
+        assert outcome
+        assert p.active_streams == 1
+
+    def test_allocation_primes_l2_stage(self):
+        p = make(depth=5)
+        p.on_miss(10)
+        p.on_miss(11)
+        outcome = p.on_miss(12)
+        assert outcome.l2_prefetches == 5
+
+    def test_scattered_misses_do_not_allocate(self):
+        p = make()
+        for line in (5, 17, 3, 90, 44, 61):
+            assert not p.on_miss(line).allocated
+        assert p.active_streams == 0
+
+    def test_clustered_non_sequential_misses_do_not_allocate(self):
+        """Repeated non-adjacent misses must not look like a stream
+        (clustered dwell misses were a real calibration bug)."""
+        p = make()
+        for line in (3, 9, 3, 9, 3, 9, 3, 9):
+            p.on_miss(line)
+        assert p.active_streams == 0
+
+    def test_interleaved_ascending_progress_allocates(self):
+        """The detector tolerates interleaving: ascending progress
+        built around unrelated misses still forms a stream."""
+        p = make()
+        for line in (5, 90, 6, 91, 7):
+            p.on_miss(line)
+        assert p.active_streams >= 1
+
+    def test_descending_run_does_not_allocate(self):
+        p = make()
+        for line in (10, 9, 8, 7):
+            assert not p.on_miss(line).allocated
+
+    def test_stream_capacity_lru(self):
+        p = make(n_streams=2)
+        for base in (100, 200, 300):  # three streams, capacity two
+            p.on_miss(base)
+            p.on_miss(base + 1)
+            p.on_miss(base + 2)
+        assert p.active_streams == 2
+        # The oldest stream (expecting 103) was evicted.
+        assert not p.cover(103).covered
+
+
+class TestCoverage:
+    def _allocate(self, p, base):
+        p.on_miss(base)
+        p.on_miss(base + 1)
+        p.on_miss(base + 2)
+
+    def test_cover_advances_stream(self):
+        p = make()
+        self._allocate(p, 50)
+        assert p.cover(53).covered  # next expected line
+        assert p.cover(54).covered  # stream advanced
+        assert not p.cover(53).covered  # behind the stream now
+
+    def test_cover_counts_prefetches(self):
+        p = make()
+        self._allocate(p, 50)
+        outcome = p.cover(53)
+        assert outcome.l1_prefetches == 1
+        assert outcome.l2_prefetches == 1
+
+    def test_cover_miss_for_unknown_line(self):
+        p = make()
+        assert not p.cover(999).covered
+
+    def test_reset(self):
+        p = make()
+        self._allocate(p, 10)
+        p.reset()
+        assert p.active_streams == 0
+        assert not p.cover(13).covered
+
+
+def test_interleaved_streams_coexist():
+    """Two concurrent scans build two streams despite interleaving."""
+    p = make(n_streams=4)
+    for i in range(3):
+        p.on_miss(100 + i)
+        p.on_miss(500 + i)
+    assert p.active_streams == 2
+    assert p.cover(103).covered
+    assert p.cover(503).covered

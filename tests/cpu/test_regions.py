@@ -1,0 +1,168 @@
+"""Tests for the address-space layout."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import JvmConfig, MachineConfig, SharingProfile, TopologyConfig
+from repro.cpu import regions as R
+from repro.cpu.regions import AddressSpace, Region
+from repro.cpu.sources import DataSource
+
+
+@pytest.fixture(scope="module")
+def space():
+    return AddressSpace.build(MachineConfig(), JvmConfig())
+
+
+class TestLayout:
+    def test_all_expected_regions_exist(self, space):
+        for name in (
+            R.CODE_JIT,
+            R.CODE_NATIVE,
+            R.CODE_GC,
+            R.CODE_KERNEL,
+            R.CODE_IDLE,
+            R.STACK,
+            R.HEAP_HOT,
+            R.HEAP_MEDIUM,
+            R.HEAP_COLD,
+            R.HEAP_ALLOC,
+            R.HEAP_SHARED,
+            R.GC_BITMAP,
+            R.DB_BUFFER,
+            R.NATIVE_DATA,
+        ):
+            assert name in space
+
+    def test_regions_do_not_overlap(self, space):
+        spans = sorted(
+            (space[name].base, space[name].end) for name in space.names()
+        )
+        for (a0, a1), (b0, b1) in zip(spans, spans[1:]):
+            assert a1 <= b0
+
+    def test_bases_page_aligned(self, space):
+        for name in space.names():
+            region = space[name]
+            assert region.base % region.page_bytes == 0
+
+    def test_heap_regions_use_large_pages_by_default(self, space):
+        for name in (R.HEAP_COLD, R.HEAP_MEDIUM, R.HEAP_ALLOC, R.GC_BITMAP):
+            assert space[name].page_bytes == 16 * 1024 * 1024
+
+    def test_small_pages_without_large_page_config(self):
+        space = AddressSpace.build(
+            MachineConfig(), JvmConfig(heap_large_pages=False)
+        )
+        assert space[R.HEAP_COLD].page_bytes == 4096
+
+    def test_code_large_pages_option(self):
+        space = AddressSpace.build(
+            MachineConfig(), JvmConfig(code_large_pages=True)
+        )
+        assert space[R.CODE_JIT].page_bytes == 16 * 1024 * 1024
+
+    def test_code_footprint_scales_with_methods(self):
+        small = AddressSpace.build(MachineConfig(), JvmConfig(n_jited_methods=1000))
+        large = AddressSpace.build(MachineConfig(), JvmConfig(n_jited_methods=9000))
+        assert large[R.CODE_JIT].size_bytes > small[R.CODE_JIT].size_bytes
+
+    def test_live_set_sizes_cold_region(self):
+        space = AddressSpace.build(MachineConfig(), JvmConfig(live_set_mb=64.0))
+        assert space[R.HEAP_COLD].size_bytes == 64 * 1024 * 1024
+
+    def test_region_of(self, space):
+        stack = space[R.STACK]
+        assert space.region_of(stack.base + 100) is stack
+        assert space.region_of(stack.base - 1) is not stack
+
+
+class TestBackingDistributions:
+    def test_backings_normalized(self, space):
+        for name in space.names():
+            region = space[name]
+            if region.backing:
+                assert sum(p for _, p in region.backing) == pytest.approx(1.0)
+            if region.inst_backing:
+                assert sum(p for _, p in region.inst_backing) == pytest.approx(1.0)
+
+    def test_data_regions_have_backing_and_code_regions_inst(self, space):
+        assert space[R.HEAP_COLD].backing
+        assert space[R.CODE_JIT].inst_backing
+        assert not space[R.CODE_JIT].backing
+
+    def test_pick_source_respects_distribution(self, space):
+        rng = random.Random(0)
+        region = space[R.HEAP_COLD]
+        draws = [region.pick_source(rng) for _ in range(2000)]
+        l3 = sum(1 for d in draws if d is DataSource.L3) / len(draws)
+        expected = dict(region.backing)[DataSource.L3]
+        assert abs(l3 - expected) < 0.05
+
+    def test_shared_region_reflects_topology(self):
+        # Default: two MCMs -> L2.75 sources.
+        default = AddressSpace.build(MachineConfig(), JvmConfig())
+        sources = {s for s, _ in default[R.HEAP_SHARED].backing}
+        assert DataSource.L275_SHR in sources
+        # One MCM, two chips -> L2.5 sources.
+        machine = MachineConfig(
+            topology=TopologyConfig(n_mcms=1, live_chips_per_mcm=2)
+        )
+        single = AddressSpace.build(machine, JvmConfig())
+        sources = {s for s, _ in single[R.HEAP_SHARED].backing}
+        assert DataSource.L25_SHR in sources
+        assert DataSource.L275_SHR not in sources
+
+    def test_sharing_profile_modified_fraction(self):
+        hot_sharing = SharingProfile(remote_fraction=0.9, modified_fraction=0.5)
+        space = AddressSpace.build(MachineConfig(), JvmConfig(), hot_sharing)
+        backing = dict(space[R.HEAP_SHARED].backing)
+        assert backing[DataSource.L275_MOD] > backing.get(DataSource.L275_SHR, 0) * 0.5
+
+
+class TestRegionPrimitives:
+    def test_random_address_in_bounds(self, space):
+        rng = random.Random(1)
+        for name in space.names():
+            region = space[name]
+            for _ in range(20):
+                addr = region.random_address(rng)
+                assert region.contains(addr)
+
+    def test_duplicate_names_rejected(self, space):
+        region = space[R.STACK]
+        with pytest.raises(ValueError):
+            AddressSpace([region, region])
+
+    def test_invalid_region(self):
+        with pytest.raises(ValueError):
+            Region(name="bad", base=0, size_bytes=0, page_bytes=4096)
+        with pytest.raises(ValueError):
+            Region(name="bad", base=123, size_bytes=10, page_bytes=4096)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    heap_mb=st.sampled_from([128, 512, 1024, 4096]),
+    live_mb=st.floats(16.0, 400.0),
+    methods=st.integers(100, 10000),
+    large=st.booleans(),
+)
+def test_layout_invariants_across_configs(heap_mb, live_mb, methods, large):
+    jvm = JvmConfig(
+        heap_mb=heap_mb,
+        live_set_mb=live_mb,
+        n_jited_methods=methods,
+        warm_methods=min(50, methods - 1),
+        heap_large_pages=large,
+    )
+    space = AddressSpace.build(MachineConfig(), jvm)
+    spans = sorted((space[n].base, space[n].end) for n in space.names())
+    for (a0, a1), (b0, b1) in zip(spans, spans[1:]):
+        assert a1 <= b0
+    for n in space.names():
+        region = space[n]
+        assert region.base % region.page_bytes == 0
+        assert region.size_bytes > 0

@@ -1,0 +1,99 @@
+"""Source-enum mappings and randomized memory-system invariants."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import JvmConfig, MachineConfig
+from repro.cpu import regions as R
+from repro.cpu.hierarchy import MemorySystem
+from repro.cpu.regions import AddressSpace
+from repro.cpu.sources import DataSource, InstSource
+from repro.hpm.counters import CounterBank
+from repro.hpm.events import DATA_SOURCE_EVENTS, INST_SOURCE_EVENTS, Event
+
+
+class TestSourceEnums:
+    def test_every_data_source_has_a_distinct_event(self):
+        events = {src.event for src in DataSource}
+        assert len(events) == len(DataSource)
+        assert events == set(DATA_SOURCE_EVENTS)
+
+    def test_every_inst_source_has_a_distinct_event(self):
+        events = {src.event for src in InstSource}
+        assert len(events) == len(InstSource)
+        assert events == set(INST_SOURCE_EVENTS)
+
+    def test_labels_are_human_readable(self):
+        assert DataSource.L275_MOD.value == "L2.75 modified"
+        assert InstSource.L1.value == "L1I"
+
+
+@pytest.fixture(scope="module")
+def space():
+    return AddressSpace.build(MachineConfig(), JvmConfig())
+
+
+REGION_NAMES = [
+    R.STACK,
+    R.HEAP_HOT,
+    R.HEAP_MEDIUM,
+    R.HEAP_COLD,
+    R.HEAP_ALLOC,
+    R.DB_BUFFER,
+    R.NATIVE_DATA,
+]
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.sampled_from(REGION_NAMES),
+            st.booleans(),  # is_load
+            st.integers(0, 10_000_000),
+        ),
+        min_size=1,
+        max_size=300,
+    ),
+    seed=st.integers(0, 1000),
+)
+def test_memory_system_counter_invariants(space, ops, seed):
+    """For any access sequence: misses <= references, every load miss
+    has exactly one data source, and counters never go negative."""
+    bank = CounterBank()
+    mem = MemorySystem(MachineConfig(), bank, random.Random(seed))
+    for name, is_load, offset in ops:
+        region = space[name]
+        addr = region.base + offset % region.size_bytes
+        if is_load:
+            mem.load(addr, region)
+        else:
+            mem.store(addr, region)
+    snap = bank.snapshot()
+    assert snap[Event.PM_LD_MISS_L1] <= snap[Event.PM_LD_REF_L1]
+    assert snap[Event.PM_ST_MISS_L1] <= snap[Event.PM_ST_REF_L1]
+    sources = sum(snap[e] for e in DATA_SOURCE_EVENTS)
+    assert sources == snap[Event.PM_LD_MISS_L1]
+    n_loads = sum(1 for _, is_load, _ in ops if is_load)
+    assert snap[Event.PM_LD_REF_L1] == n_loads
+    assert snap[Event.PM_ST_REF_L1] == len(ops) - n_loads
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    lines=st.lists(st.integers(0, 4000), min_size=1, max_size=200),
+    seed=st.integers(0, 100),
+)
+def test_repeated_load_of_cached_lines_hits(space, lines, seed):
+    """Any line loaded twice in immediate succession hits the second
+    time (fills are unconditional on load misses)."""
+    bank = CounterBank()
+    mem = MemorySystem(MachineConfig(), bank, random.Random(seed))
+    region = space[R.DB_BUFFER]
+    for line in lines:
+        addr = region.base + (line * 128) % region.size_bytes
+        mem.load(addr, region)
+        source, _ = mem.load(addr, region)
+        assert source is None  # immediate re-load always hits

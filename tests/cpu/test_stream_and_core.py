@@ -1,0 +1,167 @@
+"""Tests for the instruction-stream generator and the core model."""
+
+import random
+
+import pytest
+
+from repro.config import ExperimentConfig, JvmConfig, MachineConfig, SamplingConfig
+from repro.cpu import regions as R
+from repro.cpu.branch import BranchUnit
+from repro.cpu.core_model import CoreModel, StaticSchedule
+from repro.cpu.hierarchy import MemorySystem
+from repro.cpu.phases import PhaseDescriptor, gc_mark_profile, idle_profile, kernel_profile
+from repro.cpu.pipeline import PipelineAccountant
+from repro.cpu.regions import AddressSpace
+from repro.cpu.stream import SliceRunner
+from repro.cpu.translation import TranslationUnit
+from repro.hpm.counters import CounterBank
+from repro.hpm.events import Event
+from repro.util.rng import RngFactory
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return MachineConfig()
+
+
+@pytest.fixture(scope="module")
+def space(machine):
+    return AddressSpace.build(machine, JvmConfig())
+
+
+def run_slice(machine, space, profile, cycles=30000, seed=3, warm=False):
+    bank = CounterBank()
+    rngs = RngFactory(seed)
+    memory = MemorySystem(machine, bank, rngs.stream("b"))
+    translation = TranslationUnit(machine.translation)
+    branches = BranchUnit(machine.branch)
+
+    def one_pass(limit):
+        accountant = PipelineAccountant(machine.latencies, rngs.stream("p"))
+        runner = SliceRunner(
+            profile, space, memory, translation, branches, accountant, bank,
+            rngs.stream("s"),
+        )
+        runner.run_until(limit)
+        return accountant
+
+    if warm:
+        # Populate caches/TLBs, then discard the warm-up counts.
+        one_pass(cycles)
+        bank.reset()
+    accountant = one_pass(cycles)
+    accountant.finalize(bank)
+    return bank.snapshot()
+
+
+class TestSliceRunner:
+    def test_reaches_cycle_budget(self, machine, space):
+        profile = kernel_profile(random.Random(0), space)
+        snap = run_slice(machine, space, profile, cycles=20000)
+        assert snap.cycles >= 20000
+        assert snap.instructions > 1000
+
+    def test_event_mix_matches_profile(self, machine, space):
+        profile = kernel_profile(random.Random(0), space)
+        snap = run_slice(machine, space, profile, cycles=60000)
+        n = snap.instructions
+        mem_ops = snap[Event.PM_LD_REF_L1] + snap[Event.PM_ST_REF_L1]
+        assert mem_ops / n == pytest.approx(profile.mem_per_instr, rel=0.15)
+        loads = snap[Event.PM_LD_REF_L1]
+        assert loads / mem_ops == pytest.approx(profile.load_fraction, rel=0.15)
+        branches = snap[Event.PM_BR_CMPL]
+        assert branches / n == pytest.approx(1.0 / profile.block_mean, rel=0.25)
+
+    def test_larx_and_sync_densities(self, machine, space):
+        profile = kernel_profile(random.Random(0), space)
+        snap = run_slice(machine, space, profile, cycles=120000)
+        n = snap.instructions
+        assert snap[Event.PM_LARX] / n == pytest.approx(
+            profile.larx_per_instr, rel=0.4
+        )
+        assert snap[Event.PM_SYNC_CNT] / n == pytest.approx(
+            profile.sync_per_instr, rel=0.4
+        )
+        assert snap[Event.PM_STCX] == snap[Event.PM_LARX]
+        assert snap[Event.PM_STCX_FAIL] <= snap[Event.PM_STCX]
+
+    def test_idle_loop_is_fast_and_quiet(self, machine, space):
+        profile = idle_profile(random.Random(0), space)
+        snap = run_slice(machine, space, profile, cycles=30000, warm=True)
+        assert snap.cpi < 1.1  # the paper's ~0.7 idle CPI
+        assert snap[Event.PM_DTLB_MISS] <= 2
+        assert snap[Event.PM_BR_MPRED_TA] == 0
+
+    def test_gc_mark_touches_large_pages_only(self, machine, space):
+        """GC data accesses land in the large-page heap: almost no
+        D-side TLB misses (Figure 7's GC dips)."""
+        profile = gc_mark_profile(random.Random(0), space)
+        snap = run_slice(machine, space, profile, cycles=60000, warm=True)
+        assert snap[Event.PM_DTLB_MISS] <= 3
+        assert snap[Event.PM_DERAT_MISS] > 0  # ERAT still misses
+
+
+class TestCoreModel:
+    def make_core(self, machine, space, profile, window_cycles=15000, seed=5):
+        schedule = StaticSchedule(
+            PhaseDescriptor(slices=((profile, 1.0),), label="test")
+        )
+        sampling = SamplingConfig(window_cycles=window_cycles, warmup_windows=2)
+        return CoreModel(machine, space, schedule, sampling, RngFactory(seed))
+
+    def test_window_resets_counters_but_keeps_structures(self, machine, space):
+        profile = kernel_profile(random.Random(0), space)
+        core = self.make_core(machine, space, profile)
+        first = core.execute_window(0)
+        second = core.execute_window(1)
+        # Counters are per window (roughly equal cycles), not cumulative.
+        assert second.cycles < first.cycles * 1.5
+        # Structures persist: the second window should fetch more from
+        # the (now warm) L1I than the first.
+        f1 = first[Event.PM_INST_FROM_L1] / max(1, first.instructions)
+        f2 = second[Event.PM_INST_FROM_L1] / max(1, second.instructions)
+        assert f2 >= f1 * 0.9
+
+    def test_windows_consume_budget(self, machine, space):
+        profile = kernel_profile(random.Random(0), space)
+        core = self.make_core(machine, space, profile, window_cycles=9000)
+        snap = core.execute_window(0)
+        assert snap.cycles >= 9000
+        assert snap.cycles < 9000 * 1.3  # no gross overshoot
+
+    def test_multi_slice_window(self, machine, space):
+        rng = random.Random(1)
+        kernel = kernel_profile(rng, space)
+        idle = idle_profile(rng, space)
+        descriptor = PhaseDescriptor(slices=((kernel, 0.5), (idle, 0.5)))
+        sampling = SamplingConfig(window_cycles=20000, warmup_windows=0)
+        core = CoreModel(
+            MachineConfig(), space, StaticSchedule(descriptor), sampling, RngFactory(2)
+        )
+        snap = core.execute_window(0)
+        # SYNC-heavy kernel and quiet idle both contributed.
+        assert snap[Event.PM_SYNC_CNT] > 0
+        assert snap.cycles >= 20000
+
+    def test_warm_up_counts_windows(self, machine, space):
+        profile = idle_profile(random.Random(0), space)
+        core = self.make_core(machine, space, profile)
+        core.warm_up(range(4))
+        assert core.windows_executed == 4
+
+
+def test_determinism_of_core_model(space):
+    cfg = ExperimentConfig()
+    profile = kernel_profile(random.Random(0), space)
+
+    def run(seed):
+        schedule = StaticSchedule(PhaseDescriptor(slices=((profile, 1.0),)))
+        core = CoreModel(
+            cfg.machine, space, schedule,
+            SamplingConfig(window_cycles=8000, warmup_windows=0),
+            RngFactory(seed),
+        )
+        return [core.execute_window(i).counts for i in range(3)]
+
+    assert run(11) == run(11)
+    assert run(11) != run(12)

@@ -1,0 +1,179 @@
+"""Integration tests: every figure experiment reproduces the paper's
+shape at test scale.
+
+Each test asserts (a) the experiment runs and renders, and (b) the
+load-bearing paper-vs-measured rows hold.  Rows that are noise-prone at
+test scale are checked as "mostly ok" rather than individually.
+"""
+
+import pytest
+
+from repro.experiments import (
+    fig02_throughput,
+    fig03_gc,
+    fig04_profile,
+    fig05_cpi,
+    fig06_branch,
+    fig07_tlb,
+    fig08_l1d,
+    fig09_sources,
+    fig10_correlation,
+)
+from tests.conftest import make_quick_config
+
+
+def ok_labels(result):
+    return {r.label for r in result.rows() if r.ok}
+
+
+def off_labels(result):
+    return {r.label for r in result.rows() if r.ok is False}
+
+
+@pytest.fixture(scope="module")
+def config():
+    return make_quick_config()
+
+
+class TestFigure2:
+    @pytest.fixture(scope="class")
+    def result(self, config):
+        return fig02_throughput.run(config)
+
+    def test_all_rows_ok(self, result):
+        assert not off_labels(result)
+
+    def test_series_shape(self, result):
+        assert set(result.series) == {"Browse", "Purchase", "Manage", "WorkOrder"}
+        assert all(len(v) == len(result.times) for v in result.series.values())
+
+    def test_render(self, result):
+        text = "\n".join(result.render_lines())
+        assert "Figure 2" in text and "JOPS" in text
+
+
+class TestFigure3:
+    @pytest.fixture(scope="class")
+    def result(self, config):
+        return fig03_gc.run(config)
+
+    def test_all_rows_ok(self, result):
+        assert not off_labels(result)
+
+    def test_summary_values(self, result):
+        assert 22 <= result.summary.mean_period_s <= 32
+        assert result.summary.compactions == 0
+
+    def test_render(self, result):
+        text = "\n".join(result.render_lines())
+        assert "Garbage Collection" in text
+
+
+class TestFigure4:
+    @pytest.fixture(scope="class")
+    def result(self, config):
+        return fig04_profile.run(config)
+
+    def test_all_rows_ok(self, result):
+        assert not off_labels(result)
+
+    def test_render(self, result):
+        text = "\n".join(result.render_lines())
+        assert "Profile Breakdown" in text
+
+
+class TestFigure5:
+    @pytest.fixture(scope="class")
+    def result(self, config):
+        return fig05_cpi.run(config, n_mutator=30, n_gc_events=3)
+
+    def test_all_rows_ok(self, result):
+        assert not off_labels(result)
+
+    def test_idle_vs_loaded(self, result):
+        assert result.idle_cpi < result.cpi / 2
+
+    def test_render(self, result):
+        assert "Figure 5" in "\n".join(result.render_lines())
+
+
+class TestFigure6:
+    @pytest.fixture(scope="class")
+    def result(self, config):
+        return fig06_branch.run(config, n_mutator=30, n_gc_events=3)
+
+    def test_all_rows_ok(self, result):
+        assert not off_labels(result)
+
+    def test_gc_contrast_measured(self, result):
+        assert result.branches_per_instr_gc is not None
+        assert result.branches_per_instr_gc > result.branches_per_instr_mutator
+
+
+class TestFigure7:
+    @pytest.fixture(scope="class")
+    def result(self, config):
+        return fig07_tlb.run(config, n_mutator=30, n_gc_events=3)
+
+    def test_all_rows_ok(self, result):
+        assert not off_labels(result)
+
+    def test_ordering(self, result):
+        assert result.derat_per_instr > result.dtlb_per_instr
+        assert result.ierat_per_instr > result.itlb_per_instr
+
+    def test_gc_drops_tlb_misses(self, result):
+        assert result.dtlb_gc_ratio is not None
+        assert result.dtlb_gc_ratio < 0.1
+
+
+class TestFigure8:
+    @pytest.fixture(scope="class")
+    def result(self, config):
+        return fig08_l1d.run(config, n_mutator=30, n_gc_events=3)
+
+    def test_all_rows_ok(self, result):
+        assert not off_labels(result)
+
+    def test_store_worse_than_load(self, result):
+        assert result.store_miss > result.load_miss
+
+
+class TestFigure9:
+    @pytest.fixture(scope="class")
+    def result(self, config):
+        return fig09_sources.run(config, hw_windows=24, with_contrasts=True)
+
+    def test_all_rows_ok(self, result):
+        assert not off_labels(result)
+
+    def test_tpcw_contrast(self, result):
+        assert result.tpcw_modified_share > 0.02
+        assert result.modified_share < 0.01
+        assert result.tpcw_modified_share > result.modified_share * 5
+
+    def test_topology_contrast(self, result):
+        assert result.l25_single_mcm > 0.0
+
+
+class TestFigure10:
+    @pytest.fixture(scope="class")
+    def result(self, config):
+        return fig10_correlation.run(config, windows_per_group=60)
+
+    def test_most_rows_ok(self, result):
+        """r estimates at 60 windows/group carry sampling noise; the
+        full bench uses 110+.  Require the decisive majority."""
+        rows = result.rows()
+        n_ok = sum(1 for r in rows if r.ok)
+        assert n_ok >= len(rows) - 2
+
+    def test_signs_of_the_poles(self, result):
+        from repro.hpm.events import Event
+
+        assert result.report.r_of(Event.PM_CYC_INST_CMPL) < -0.3
+        assert result.report.r_of(Event.PM_DATA_FROM_MEM) > 0.0
+
+    def test_render(self, result):
+        text = "\n".join(result.render_lines())
+        assert "CPI Statistical Correlation" in text

@@ -1,0 +1,81 @@
+"""Tests for the experiment-layer helpers: Row tables and the
+GC-aware HPM segment sampler."""
+
+import pytest
+
+from repro.experiments.common import Row, fmt, header, within
+from repro.experiments.hpm_segment import Segment, TaggedWindow, sample_segment
+
+
+class TestRow:
+    def test_render_marks(self):
+        ok = Row("metric", "~1", "1.01", ok=True).render()
+        off = Row("metric", "~1", "9.0", ok=False).render()
+        plain = Row("metric", "~1", "1.0").render()
+        assert "[ok]" in ok
+        assert "[OFF]" in off
+        assert "[" not in plain
+
+    def test_fmt(self):
+        assert fmt(3.14159, 2) == "3.14"
+        assert fmt(5, unit="x") == "5x"
+        assert fmt(0.5, 1, "%") == "0.5%"
+
+    def test_within(self):
+        assert within(1.0, 0.5, 1.5)
+        assert not within(2.0, 0.5, 1.5)
+
+    def test_header(self):
+        lines = header("Title")
+        assert "Title" in lines
+        assert lines[1].startswith("=")
+
+
+class TestSegmentSampler:
+    @pytest.fixture(scope="class")
+    def segment(self, quick_study):
+        return sample_segment(quick_study, n_mutator=20, n_gc_events=2)
+
+    def test_contains_both_populations(self, segment):
+        assert len(segment.mutator) >= 15
+        assert len(segment.gc) >= 1
+
+    def test_gc_windows_flagged_correctly(self, segment):
+        for window in segment.gc:
+            assert window.gc_fraction >= 0.5
+        for window in segment.mutator:
+            assert window.gc_fraction < 0.5
+
+    def test_values_align_with_windows(self, segment):
+        cpis = segment.values(lambda s: s.cpi)
+        assert len(cpis) == len(segment.windows)
+        assert all(c > 0 for c in cpis)
+
+    def test_mean_over_pool(self, segment):
+        overall = segment.mean(lambda s: s.cpi)
+        mut = segment.mean(lambda s: s.cpi, segment.mutator)
+        assert overall > 0 and mut > 0
+
+    def test_mean_empty_pool_raises(self, segment):
+        with pytest.raises(ValueError):
+            segment.mean(lambda s: s.cpi, [])
+
+    def test_no_duplicate_windows(self, segment):
+        indices = [w.window_index for w in segment.windows]
+        assert len(indices) == len(set(indices))
+
+
+class TestSegmentContainer:
+    def test_partitioning(self):
+        from repro.hpm.counters import CounterSnapshot
+
+        snap = CounterSnapshot(counts={})
+        windows = [
+            TaggedWindow(0, snap, 0.0),
+            TaggedWindow(1, snap, 0.9),
+            TaggedWindow(2, snap, 0.4),
+        ]
+        segment = Segment(windows=windows)
+        assert [w.window_index for w in segment.gc] == [1]
+        assert [w.window_index for w in segment.mutator] == [0, 2]
+        assert segment.gc_fractions() == [0.0, 0.9, 0.4]

@@ -1,0 +1,52 @@
+"""Tests for the full-reproduction sweep driver."""
+
+import pytest
+
+from repro.experiments.reproduce_all import CATALOG, run
+from tests.conftest import make_quick_config
+
+
+class TestCatalog:
+    def test_covers_every_paper_figure(self):
+        titles = [title for title, _, _ in CATALOG]
+        for n in range(2, 11):
+            assert any(f"Figure {n}" == t for t in titles)
+
+    def test_module_names_resolve(self):
+        import importlib
+
+        for _, module_name, _ in CATALOG:
+            module = importlib.import_module(
+                f"repro.experiments.{module_name}"
+            )
+            assert hasattr(module, "run")
+
+
+class TestSubsetRun:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run(
+            make_quick_config(),
+            only=["fig03_gc", "fig04_profile", "tab_locking"],
+        )
+
+    def test_records_match_subset(self, result):
+        assert set(result.records) == {"fig03_gc", "fig04_profile", "tab_locking"}
+
+    def test_row_accounting(self, result):
+        assert result.rows_total == sum(
+            r.rows_total for r in result.records.values()
+        )
+        assert len(result.rows_off) == sum(
+            len(r.rows_off) for r in result.records.values()
+        )
+
+    def test_summary_renders(self, result):
+        text = "\n".join(result.summary_lines())
+        assert "FULL REPRODUCTION SWEEP" in text
+        assert "Figure 3" in text
+
+    def test_full_render_includes_experiment_bodies(self, result):
+        text = "\n".join(result.render_lines())
+        assert "Garbage Collection Statistics" in text
+        assert "Locking" in text

@@ -1,0 +1,85 @@
+"""Tests for counter banks and snapshots."""
+
+import pytest
+
+from repro.hpm.counters import CounterBank, CounterSnapshot
+from repro.hpm.events import Event
+
+
+class TestCounterBank:
+    def test_add_and_value(self):
+        bank = CounterBank()
+        bank.add(Event.PM_CYC, 10)
+        bank.add(Event.PM_CYC)
+        assert bank.value(Event.PM_CYC) == 11
+
+    def test_negative_increment_rejected(self):
+        bank = CounterBank()
+        with pytest.raises(ValueError):
+            bank.add(Event.PM_CYC, -1)
+
+    def test_reset(self):
+        bank = CounterBank()
+        bank.add(Event.PM_INST_CMPL, 5)
+        bank.reset()
+        assert bank.value(Event.PM_INST_CMPL) == 0
+
+    def test_snapshot_is_frozen_copy(self):
+        bank = CounterBank()
+        bank.add(Event.PM_CYC, 3)
+        snap = bank.snapshot()
+        bank.add(Event.PM_CYC, 100)
+        assert snap[Event.PM_CYC] == 3
+
+
+class TestSnapshotRatios:
+    def make(self, **counts):
+        return CounterSnapshot(
+            counts={Event[k]: v for k, v in counts.items()}
+        )
+
+    def test_cpi(self):
+        snap = self.make(PM_CYC=300, PM_INST_CMPL=100)
+        assert snap.cpi == 3.0
+
+    def test_cpi_zero_instructions(self):
+        assert self.make(PM_CYC=300).cpi == 0.0
+
+    def test_speculation_rate(self):
+        snap = self.make(PM_INST_DISP=250, PM_INST_CMPL=100)
+        assert snap.speculation_rate == 2.5
+
+    def test_l1d_rates(self):
+        snap = self.make(
+            PM_LD_REF_L1=120, PM_LD_MISS_L1=10, PM_ST_REF_L1=50, PM_ST_MISS_L1=10
+        )
+        assert snap.l1d_load_miss_rate == pytest.approx(10 / 120)
+        assert snap.l1d_store_miss_rate == pytest.approx(0.2)
+        assert snap.l1d_miss_rate == pytest.approx(20 / 170)
+
+    def test_branch_rates(self):
+        snap = self.make(
+            PM_BR_CMPL=100, PM_BR_MPRED_CR=6, PM_BR_INDIRECT=20, PM_BR_MPRED_TA=1
+        )
+        assert snap.branch_mispredict_rate == pytest.approx(0.06)
+        assert snap.indirect_mispredict_rate == pytest.approx(0.05)
+
+    def test_per_instruction(self):
+        snap = self.make(PM_INST_CMPL=1000, PM_DERAT_MISS=5)
+        assert snap.per_instruction(Event.PM_DERAT_MISS) == pytest.approx(0.005)
+
+    def test_sync_srq_fraction(self):
+        snap = self.make(PM_CYC=1000, PM_SYNC_SRQ_CYC=7)
+        assert snap.sync_srq_fraction == pytest.approx(0.007)
+
+    def test_merge(self):
+        a = self.make(PM_CYC=100, PM_INST_CMPL=50)
+        b = self.make(PM_CYC=200, PM_INST_CMPL=50)
+        merged = a.merged_with(b)
+        assert merged.cpi == 3.0
+
+    def test_restricted_to(self):
+        snap = self.make(PM_CYC=100, PM_INST_CMPL=50, PM_LARX=7)
+        restricted = snap.restricted_to([Event.PM_CYC, Event.PM_INST_CMPL])
+        assert restricted[Event.PM_CYC] == 100
+        assert restricted[Event.PM_LARX] == 0

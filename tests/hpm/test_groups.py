@@ -1,0 +1,62 @@
+"""Tests for the counter-group catalog and its HPM constraints."""
+
+import pytest
+
+from repro.hpm.events import BASE_EVENTS, Event
+from repro.hpm.groups import GROUP_SIZE, CounterGroup, GroupCatalog, default_catalog
+
+
+class TestCounterGroup:
+    def test_base_events_required(self):
+        with pytest.raises(ValueError):
+            CounterGroup("bad", (Event.PM_CYC, Event.PM_LARX))
+
+    def test_size_limit(self):
+        too_many = tuple(Event)[:GROUP_SIZE] + (Event.PM_SYNC_CNT,)
+        with pytest.raises(ValueError):
+            CounterGroup("big", too_many)
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(ValueError):
+            CounterGroup(
+                "dup", (Event.PM_CYC, Event.PM_INST_CMPL, Event.PM_CYC)
+            )
+
+    def test_payload_excludes_base(self):
+        group = CounterGroup(
+            "ok", (Event.PM_CYC, Event.PM_INST_CMPL, Event.PM_LARX)
+        )
+        assert group.payload_events == (Event.PM_LARX,)
+
+
+class TestDefaultCatalog:
+    def test_every_group_fits_the_hardware(self):
+        for group in default_catalog():
+            assert len(group.events) <= GROUP_SIZE
+
+    def test_every_group_can_compute_cpi(self):
+        for group in default_catalog():
+            for base in BASE_EVENTS:
+                assert base in group.events
+
+    def test_every_event_is_observable_somewhere(self):
+        catalog = default_catalog()
+        for event in Event:
+            assert catalog.groups_with(event), f"{event} not in any group"
+
+    def test_ifetch_group_pairs_ta_with_icache(self):
+        """The group layout that enables the paper's target-mispredict
+        vs instruction-cache-miss correlation."""
+        group = default_catalog()["ifetch"]
+        assert Event.PM_BR_MPRED_TA in group.events
+        assert Event.PM_INST_FROM_L2 in group.events
+
+    def test_duplicate_names_rejected(self):
+        g = default_catalog()["basic"]
+        with pytest.raises(ValueError):
+            GroupCatalog([g, g])
+
+    def test_names_listing(self):
+        names = default_catalog().names()
+        assert "basic" in names and "prefetch" in names
+        assert len(names) == len(set(names))

@@ -1,0 +1,80 @@
+"""Tests for the hpmstat sampler and its one-group-at-a-time model."""
+
+import pytest
+
+from repro.hpm.counters import CounterBank
+from repro.hpm.events import Event
+from repro.hpm.hpmstat import HpmStat
+
+
+class FakeExecutor:
+    """A deterministic window executor for testing the sampler."""
+
+    def __init__(self):
+        self.calls = []
+
+    def execute_window(self, window_index):
+        self.calls.append(window_index)
+        bank = CounterBank()
+        bank.add(Event.PM_CYC, 1000 + window_index)
+        bank.add(Event.PM_INST_CMPL, 400)
+        bank.add(Event.PM_LARX, 3)
+        bank.add(Event.PM_DERAT_MISS, 9)
+        return bank.snapshot()
+
+
+@pytest.fixture()
+def hpm():
+    return HpmStat(FakeExecutor(), window_interval_s=0.1)
+
+
+class TestSampleGroup:
+    def test_restricts_to_group_events(self, hpm):
+        samples = hpm.sample_group("sync", [0, 1])
+        snap = samples[0].snapshot
+        assert snap[Event.PM_LARX] == 3
+        # DERAT misses are not in the sync group: invisible.
+        assert snap[Event.PM_DERAT_MISS] == 0
+
+    def test_base_events_always_visible(self, hpm):
+        samples = hpm.sample_group("xlate", [5])
+        assert samples[0].snapshot.cpi > 0
+
+    def test_group_name_recorded(self, hpm):
+        sample = hpm.sample_group("basic", [2])[0]
+        assert sample.group_name == "basic"
+        assert hpm.group_of(sample).name == "basic"
+
+    def test_timestamps_follow_indices(self, hpm):
+        samples = hpm.sample_group("basic", [0, 10])
+        assert samples[1].time_s == pytest.approx(1.0)
+
+
+class TestSampleAll:
+    def test_omniscient_sees_everything(self, hpm):
+        sample = hpm.sample_all([1])[0]
+        assert sample.group_name is None
+        assert sample.snapshot[Event.PM_DERAT_MISS] == 9
+        assert sample.snapshot[Event.PM_LARX] == 3
+
+
+class TestToBundle:
+    def test_bundle_columns(self, hpm):
+        samples = hpm.sample_all([0, 1, 2])
+        bundle = HpmStat.to_bundle(samples, [Event.PM_CYC, Event.PM_LARX])
+        assert bundle["PM_CYC"].values == [1000.0, 1001.0, 1002.0]
+        assert bundle["PM_LARX"].values == [3.0, 3.0, 3.0]
+
+    def test_uneven_spacing_rejected(self, hpm):
+        samples = hpm.sample_all([0, 1, 5])
+        with pytest.raises(ValueError):
+            HpmStat.to_bundle(samples, [Event.PM_CYC])
+
+    def test_empty_rejected(self, hpm):
+        with pytest.raises(ValueError):
+            HpmStat.to_bundle([], [Event.PM_CYC])
+
+
+def test_invalid_interval_rejected():
+    with pytest.raises(ValueError):
+        HpmStat(FakeExecutor(), window_interval_s=0.0)

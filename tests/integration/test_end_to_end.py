@@ -1,0 +1,113 @@
+"""Whole-stack integration tests.
+
+These run the complete pipeline (workload -> bridge -> CPU -> HPM ->
+analysis -> findings -> report) and check cross-layer consistency and
+determinism properties no unit test can see.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro import Characterization, render_report
+from repro.config import SamplingConfig
+from repro.hpm.events import Event
+from repro.workload.presets import jas2004
+from tests.conftest import make_quick_config
+
+
+class TestFullPipeline:
+    def test_report_for_default_jas2004_quickrun(self, quick_study):
+        report = quick_study.run(hw_windows=30, correlation_windows_per_group=0)
+        text = render_report(report)
+        assert "WORKLOAD CHARACTERIZATION REPORT" in text
+        assert report.correlations is None  # disabled
+        assert report.findings
+
+    def test_window_counters_internally_consistent(self, hw_snapshots):
+        for snap in hw_snapshots:
+            assert snap[Event.PM_LD_MISS_L1] <= snap[Event.PM_LD_REF_L1]
+            assert snap[Event.PM_ST_MISS_L1] <= snap[Event.PM_ST_REF_L1]
+            assert snap[Event.PM_BR_MPRED_CR] <= snap[Event.PM_BR_CMPL]
+            assert snap[Event.PM_BR_INDIRECT] <= snap[Event.PM_BR_CMPL]
+            assert snap[Event.PM_DTLB_MISS] <= snap[Event.PM_DERAT_MISS]
+            assert snap[Event.PM_ITLB_MISS] <= snap[Event.PM_IERAT_MISS]
+            assert snap[Event.PM_STCX_FAIL] <= snap[Event.PM_STCX]
+            assert snap[Event.PM_SYNC_SRQ_CYC] <= snap[Event.PM_CYC]
+            assert snap[Event.PM_CYC_INST_CMPL] <= snap[Event.PM_CYC]
+            assert snap[Event.PM_INST_DISP] >= snap[Event.PM_INST_CMPL]
+
+    def test_data_source_counts_equal_load_misses(self, hw_snapshots):
+        """Every L1D load miss is satisfied from exactly one source."""
+        from repro.hpm.events import DATA_SOURCE_EVENTS
+
+        for snap in hw_snapshots:
+            sources = sum(snap[e] for e in DATA_SOURCE_EVENTS)
+            assert sources == snap[Event.PM_LD_MISS_L1]
+
+    def test_windows_hit_cycle_budget(self, hw_snapshots, quick_config):
+        budget = quick_config.sampling.window_cycles
+        for snap in hw_snapshots:
+            assert budget <= snap.cycles <= budget * 1.35
+
+
+class TestDeterminism:
+    def test_full_study_reproducible(self):
+        cfg = make_quick_config(seed=321)
+
+        def run():
+            study = Characterization(cfg)
+            report = study.run(hw_windows=12, correlation_windows_per_group=0)
+            return (
+                report.hardware.cpi,
+                report.hardware.l1d_miss_rate,
+                report.benchmark.jops,
+                report.gc.collections,
+            )
+
+        assert run() == run()
+
+    def test_seed_changes_results(self):
+        a = Characterization(make_quick_config(seed=1)).run(
+            hw_windows=8, correlation_windows_per_group=0
+        )
+        b = Characterization(make_quick_config(seed=2)).run(
+            hw_windows=8, correlation_windows_per_group=0
+        )
+        assert a.hardware.cpi != b.hardware.cpi
+
+
+class TestScaleRobustness:
+    def test_window_size_does_not_break_ratios(self):
+        """Counter *ratios* should be stable across window sizes (the
+        scale-invariance DESIGN.md relies on)."""
+        results = {}
+        for cycles in (15000, 30000):
+            cfg = dataclasses.replace(
+                make_quick_config(seed=77),
+                sampling=SamplingConfig(window_cycles=cycles, warmup_windows=4),
+            )
+            study = Characterization(cfg)
+            samples = study.sample_windows(30)
+            agg = samples[0].snapshot
+            for s in samples[1:]:
+                agg = agg.merged_with(s.snapshot)
+            results[cycles] = agg
+        small, large = results[15000], results[30000]
+        # Window length changes per-window working-set churn, so only
+        # coarse invariance holds (which is why the quick test config
+        # pins window_cycles to the benchmark value).
+        assert small.cpi == pytest.approx(large.cpi, rel=0.35)
+        assert small.l1d_load_miss_rate == pytest.approx(
+            large.l1d_load_miss_rate, rel=0.4
+        )
+
+    def test_higher_ir_loads_the_system_harder(self):
+        from repro.workload.metrics import evaluate_run
+        from repro.workload.sut import SystemUnderTest
+
+        low = jas2004(ir=25, duration_s=200.0)
+        high = jas2004(ir=45, duration_s=200.0)
+        r_low = evaluate_run(SystemUnderTest(low).run())
+        r_high = evaluate_run(SystemUnderTest(high).run())
+        assert r_high.utilization > r_low.utilization + 0.2

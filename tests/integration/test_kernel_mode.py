@@ -1,0 +1,55 @@
+"""Tests for the privileged-code (kernel-inclusive) sampling mode.
+
+The paper's HPM data is user-level only, but its Section 4.2.4
+privileged-code observation (~7% SYNC-in-SRQ) requires sampling with
+kernel slices included — the ``include_kernel`` mode.
+"""
+
+import pytest
+
+from repro.core.characterization import Characterization, HardwareSummary
+from tests.conftest import make_quick_config
+
+
+@pytest.fixture(scope="module")
+def kernel_study():
+    study = Characterization(make_quick_config(seed=606), include_kernel=True)
+    study.ensure_warm()
+    return study
+
+
+@pytest.fixture(scope="module")
+def user_study():
+    study = Characterization(make_quick_config(seed=606))
+    study.ensure_warm()
+    return study
+
+
+def summarize(study, n=25):
+    samples = study.sample_windows(n)
+    return HardwareSummary.from_snapshots([s.snapshot for s in samples])
+
+
+class TestKernelMode:
+    def test_kernel_slices_present(self, kernel_study):
+        names = {
+            p.name
+            for idx in range(10)
+            for p, _ in kernel_study.core.schedule.descriptor_for(idx).slices
+        }
+        assert "kernel" in names
+
+    def test_sync_srq_higher_with_kernel(self, kernel_study, user_study):
+        """Privileged code SYNCs an order of magnitude more than user
+        code; including it must raise the SRQ occupancy."""
+        with_kernel = summarize(kernel_study)
+        user_only = summarize(user_study)
+        assert with_kernel.sync_srq_fraction > user_only.sync_srq_fraction * 1.3
+
+    def test_user_mode_stays_under_paper_bound(self, user_study):
+        assert summarize(user_study).sync_srq_fraction < 0.01
+
+    def test_kernel_mode_still_characterizes(self, kernel_study):
+        hw = summarize(kernel_study)
+        assert 2.0 < hw.cpi < 5.0
+        assert hw.instructions > 0

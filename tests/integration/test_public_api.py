@@ -1,0 +1,34 @@
+"""The public API surface: imports, exports, version."""
+
+import repro
+
+
+class TestTopLevelApi:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_quickstart_path(self):
+        """The README's quickstart snippet works verbatim (scaled)."""
+        from repro import Characterization, render_report
+        from repro.experiments.common import quick_config
+
+        report = Characterization(quick_config()).run(
+            hw_windows=10, correlation_windows_per_group=0
+        )
+        text = render_report(report)
+        assert "WORKLOAD CHARACTERIZATION REPORT" in text
+
+    def test_core_exports(self):
+        import repro.core as core
+
+        for name in core.__all__:
+            assert getattr(core, name) is not None
+
+    def test_cli_module_importable(self):
+        from repro.cli import build_parser
+
+        assert build_parser() is not None

@@ -1,0 +1,93 @@
+"""Tests for the mark-sweep-compact collector."""
+
+import random
+
+import pytest
+
+from repro.config import GcCostModel, JvmConfig
+from repro.jvm.gc import MarkSweepCompactCollector
+from repro.jvm.heap import FlatHeap
+from repro.util.units import MB
+
+
+def make(heap_mb=1024, live_mb=190, **gc_kwargs):
+    jvm = JvmConfig(heap_mb=heap_mb, gc=GcCostModel(**gc_kwargs))
+    heap = FlatHeap(jvm)
+    heap.set_live(live_mb * MB)
+    collector = MarkSweepCompactCollector(jvm.gc, random.Random(0))
+    return heap, collector
+
+
+class TestPhaseCosts:
+    def test_mark_dominates_with_paper_parameters(self):
+        """The paper: mark is >80% of a 300-400 ms pause."""
+        heap, collector = make()
+        heap.allocate(700 * MB)
+        event = collector.collect(heap, now_s=100.0)
+        assert 250 < event.pause_ms < 450
+        assert event.mark_fraction > 0.75
+        assert not event.compacted
+
+    def test_mark_scales_with_live_set(self):
+        heap_small, collector = make(live_mb=50)
+        heap_small.allocate(100 * MB)
+        small = collector.collect(heap_small, 0.0).mark_ms
+
+        heap_large, collector2 = make(live_mb=400)
+        heap_large.allocate(100 * MB)
+        large = collector2.collect(heap_large, 0.0).mark_ms
+        assert large > small * 4
+
+    def test_sweep_scales_with_heap_size(self):
+        heap_small, c1 = make(heap_mb=256)
+        heap_small.allocate(30 * MB)
+        heap_large, c2 = make(heap_mb=2048)
+        heap_large.allocate(30 * MB)
+        assert c2.collect(heap_large, 0.0).sweep_ms > c1.collect(
+            heap_small, 0.0
+        ).sweep_ms * 4
+
+
+class TestDarkMatterAndCompaction:
+    def test_dark_matter_accumulates_per_collection(self):
+        heap, collector = make()
+        for i in range(5):
+            heap.allocate(700 * MB)
+            collector.collect(heap, float(i))
+        assert heap.dark_matter_bytes > 0
+
+    def test_compaction_triggers_at_threshold(self):
+        heap, collector = make(compact_dark_matter_fraction=0.0003)
+        heap.allocate(700 * MB)
+        first = collector.collect(heap, 0.0)  # deposits dark matter
+        assert not first.compacted
+        heap.allocate(700 * MB)
+        second = collector.collect(heap, 30.0)
+        assert second.compacted
+        assert second.compact_ms > 0
+        assert heap.dark_matter_bytes == 0
+
+    def test_no_compaction_in_an_hour_at_paper_rates(self):
+        """~0.45 MB of dark matter per 26 s collection never reaches
+        12% of a 1 GB heap within 60 minutes."""
+        heap, collector = make()
+        compactions = 0
+        for i in range(140):  # ~60 minutes of collections
+            heap.allocate(700 * MB)
+            event = collector.collect(heap, i * 26.0)
+            compactions += event.compacted
+        assert compactions == 0
+
+
+class TestEventRecords:
+    def test_event_fields_consistent(self):
+        heap, collector = make()
+        heap.allocate(500 * MB)
+        event = collector.collect(heap, 42.0)
+        assert event.start_time_s == 42.0
+        assert event.pause_ms == pytest.approx(
+            event.mark_ms + event.sweep_ms + event.compact_ms
+        )
+        assert event.freed_bytes > 0
+        assert event.live_bytes_after == heap.live_bytes
+        assert collector.collections == 1

@@ -1,0 +1,98 @@
+"""Tests for the flat heap, including hypothesis invariants."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import GcCostModel, JvmConfig
+from repro.jvm.heap import FlatHeap, HeapExhaustedError
+from repro.util.units import MB
+
+
+def make_heap(heap_mb=128, trigger=0.02):
+    return FlatHeap(JvmConfig(heap_mb=heap_mb, gc=GcCostModel(trigger_free_fraction=trigger)))
+
+
+class TestAccounting:
+    def test_initial_state(self):
+        heap = make_heap()
+        assert heap.used_bytes == 0
+        assert heap.free_bytes == heap.capacity_bytes
+
+    def test_allocation_accumulates(self):
+        heap = make_heap()
+        assert not heap.allocate(10 * MB)
+        assert heap.used_bytes == 10 * MB
+
+    def test_gc_trigger_when_nearly_full(self):
+        heap = make_heap(heap_mb=100)
+        heap.set_live(20 * MB)
+        assert heap.allocate(79 * MB)  # free < 2% now
+
+    def test_exhaustion_raises(self):
+        heap = make_heap(heap_mb=64)
+        heap.set_live(60 * MB)
+        with pytest.raises(HeapExhaustedError):
+            heap.allocate(10 * MB)
+
+    def test_negative_values_rejected(self):
+        heap = make_heap()
+        with pytest.raises(ValueError):
+            heap.allocate(-1)
+        with pytest.raises(ValueError):
+            heap.set_live(-1)
+
+
+class TestReclaim:
+    def test_reclaim_frees_garbage(self):
+        heap = make_heap(heap_mb=100)
+        heap.allocate(50 * MB)
+        freed = heap.reclaim(surviving_fraction=0.0, dark_matter_added=0)
+        assert freed == 50 * MB
+        assert heap.allocated_since_gc == 0
+
+    def test_survivors_promote_to_live(self):
+        heap = make_heap(heap_mb=100)
+        heap.set_live(10 * MB)
+        heap.allocate(50 * MB)
+        heap.reclaim(surviving_fraction=0.1, dark_matter_added=0)
+        assert heap.live_bytes == 15 * MB
+
+    def test_dark_matter_persists_until_compaction(self):
+        heap = make_heap(heap_mb=100)
+        heap.allocate(50 * MB)
+        heap.reclaim(0.0, dark_matter_added=1 * MB)
+        assert heap.dark_matter_bytes == 1 * MB
+        assert heap.used_bytes == 1 * MB
+        recovered = heap.compact()
+        assert recovered == 1 * MB
+        assert heap.dark_matter_bytes == 0
+
+    def test_invalid_survivor_fraction(self):
+        heap = make_heap()
+        with pytest.raises(ValueError):
+            heap.reclaim(1.5, 0)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    live_mb=st.integers(0, 40),
+    allocs=st.lists(st.integers(0, 8 * MB), max_size=30),
+    dark_mb=st.integers(0, 2),
+)
+def test_heap_invariants(live_mb, allocs, dark_mb):
+    """used = live + fresh + dark at all times; free never negative
+    without an exception; occupancy in [0, 1]."""
+    heap = make_heap(heap_mb=128)
+    heap.set_live(live_mb * MB)
+    for n in allocs:
+        try:
+            needs_gc = heap.allocate(n)
+        except HeapExhaustedError:
+            break
+        assert heap.used_bytes == (
+            heap.live_bytes + heap.allocated_since_gc + heap.dark_matter_bytes
+        )
+        assert 0.0 <= heap.occupancy <= 1.0
+        if needs_gc:
+            heap.reclaim(0.0, dark_mb * MB)
+    assert heap.free_bytes >= 0

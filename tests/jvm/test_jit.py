@@ -1,0 +1,62 @@
+"""Tests for the JIT compilation timeline."""
+
+import random
+
+import pytest
+
+from repro.config import JvmConfig, MachineConfig
+from repro.cpu.regions import AddressSpace
+from repro.jvm.jit import JitCompiler
+from repro.jvm.methods import MethodRegistry
+
+
+@pytest.fixture(scope="module")
+def jit():
+    jvm = JvmConfig(n_jited_methods=500, warm_methods=30)
+    space = AddressSpace.build(MachineConfig(), jvm)
+    registry = MethodRegistry(jvm, space, random.Random(3))
+    return JitCompiler(registry, random.Random(4), methods_per_second=10.0, warmup_delay_s=20.0)
+
+
+class TestTimeline:
+    def test_nothing_compiled_before_delay(self, jit):
+        assert jit.compiled_count(10.0) == 0
+        assert jit.compiled_weight_fraction(5.0) == 0.0
+        assert jit.code_cache_bytes(0.0) == 0
+
+    def test_compilation_progresses(self, jit):
+        early = jit.compiled_count(30.0)
+        later = jit.compiled_count(60.0)
+        assert 0 < early < later
+
+    def test_everything_compiles_eventually(self, jit):
+        assert jit.compiled_count(1e6) == 500
+        assert jit.compiled_weight_fraction(1e6) == pytest.approx(1.0)
+
+    def test_hot_methods_compile_early(self, jit):
+        """Weight fraction grows faster than count fraction: hotter
+        methods are queued (noisily) first."""
+        t = 35.0
+        count_fraction = jit.compiled_count(t) / 500
+        weight_fraction = jit.compiled_weight_fraction(t)
+        assert weight_fraction > count_fraction
+
+    def test_code_cache_monotone(self, jit):
+        sizes = [jit.code_cache_bytes(t) for t in (25.0, 45.0, 90.0, 1e5)]
+        assert sizes == sorted(sizes)
+        assert sizes[-1] > 0
+
+    def test_time_to_compile_fraction(self, jit):
+        t50 = jit.time_to_compile_fraction(0.5)
+        t90 = jit.time_to_compile_fraction(0.9)
+        assert 20.0 < t50 < t90
+        assert jit.compiled_weight_fraction(t90) >= 0.85
+
+    def test_invalid_args(self, jit):
+        with pytest.raises(ValueError):
+            jit.time_to_compile_fraction(0.0)
+
+
+def test_invalid_rate_rejected(jit):
+    with pytest.raises(ValueError):
+        JitCompiler(jit.registry, random.Random(0), methods_per_second=0.0)

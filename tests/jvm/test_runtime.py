@@ -1,0 +1,96 @@
+"""Tests for the mutator phase-profile builders."""
+
+import random
+
+import pytest
+
+from repro.jvm.runtime import MUTATOR_COMPONENTS, MutatorIntensity, mutator_profiles
+
+
+@pytest.fixture()
+def rng():
+    return random.Random(9)
+
+
+class TestMutatorIntensity:
+    def test_blend_weighted_average(self):
+        a = MutatorIntensity(stream=2.0, cold=1.0, lock=1.0, shared=1.0)
+        b = MutatorIntensity(stream=0.0, cold=3.0, lock=1.0, shared=1.0)
+        blended = MutatorIntensity.blend([(a, 1.0), (b, 1.0)])
+        assert blended.stream == pytest.approx(1.0)
+        assert blended.cold == pytest.approx(2.0)
+
+    def test_blend_empty_is_neutral(self):
+        blended = MutatorIntensity.blend([])
+        assert blended.stream == 1.0 and blended.lock == 1.0
+
+    def test_blend_zero_weights_is_neutral(self):
+        a = MutatorIntensity(stream=5.0)
+        assert MutatorIntensity.blend([(a, 0.0)]).stream == 1.0
+
+
+class TestMutatorProfiles:
+    def test_all_components_built(self, rng, quick_registry, quick_space):
+        profiles = mutator_profiles(
+            quick_registry, quick_space, rng, MutatorIntensity()
+        )
+        assert set(profiles) == set(MUTATOR_COMPONENTS)
+
+    def test_mixes_normalized(self, rng, quick_registry, quick_space):
+        profiles = mutator_profiles(
+            quick_registry, quick_space, rng, MutatorIntensity()
+        )
+        for profile in profiles.values():
+            assert sum(w for _, w in profile.load_mix) == pytest.approx(1.0)
+            assert sum(w for _, w in profile.store_mix) == pytest.approx(1.0)
+
+    def test_lock_intensity_scales_larx(self, rng, quick_registry, quick_space):
+        rng_a, rng_b = random.Random(5), random.Random(5)
+        calm = mutator_profiles(
+            quick_registry, quick_space, rng_a, MutatorIntensity(lock=1.0)
+        )
+        locky = mutator_profiles(
+            quick_registry, quick_space, rng_b, MutatorIntensity(lock=4.0)
+        )
+        assert locky["was_jited"].larx_per_instr == pytest.approx(
+            calm["was_jited"].larx_per_instr * 4.0
+        )
+
+    def test_cold_intensity_shifts_load_mix(self, rng, quick_registry, quick_space):
+        rng_a, rng_b = random.Random(6), random.Random(6)
+        calm = dict(
+            mutator_profiles(
+                quick_registry, quick_space, rng_a, MutatorIntensity(cold=1.0)
+            )["was_jited"].load_mix
+        )
+        coldy = dict(
+            mutator_profiles(
+                quick_registry, quick_space, rng_b, MutatorIntensity(cold=5.0)
+            )["was_jited"].load_mix
+        )
+        assert coldy["heap_cold"] > calm["heap_cold"] * 2
+
+    def test_per_window_variance_exists(self, quick_registry, quick_space):
+        """Consecutive windows must differ in their rate parameters —
+        the heterogeneity Figure 10's correlations depend on."""
+        rng = random.Random(7)
+        values = set()
+        for _ in range(6):
+            p = mutator_profiles(
+                quick_registry, quick_space, rng, MutatorIntensity()
+            )["was_jited"]
+            values.add((p.hard_branch_fraction, p.page_dwell, p.larx_per_instr))
+        assert len(values) == 6
+
+    def test_lock_free_rates_stay_sane(self, quick_registry, quick_space):
+        """Rates stay bounded even under extreme window draws."""
+        rng = random.Random(8)
+        for _ in range(50):
+            profiles = mutator_profiles(
+                quick_registry, quick_space, rng, MutatorIntensity()
+            )
+            for p in profiles.values():
+                assert 0.0 <= p.seq_load_fraction <= 0.9
+                assert 0.0 <= p.hard_branch_fraction <= 0.30
+                assert p.active_units >= 1
+                assert 6.0 <= p.page_dwell <= 60.0

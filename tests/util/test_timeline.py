@@ -1,0 +1,97 @@
+"""Tests for time grids and sample series."""
+
+import pytest
+
+from repro.util.timeline import SampleSeries, SeriesBundle, TimeGrid
+
+
+class TestTimeGrid:
+    def test_times_are_midpoints(self):
+        grid = TimeGrid(start=0.0, interval=1.0, count=3)
+        assert grid.times() == [0.5, 1.5, 2.5]
+
+    def test_index_of(self):
+        grid = TimeGrid(start=10.0, interval=0.5, count=4)
+        assert grid.index_of(10.0) == 0
+        assert grid.index_of(11.9) == 3
+
+    def test_index_out_of_range(self):
+        grid = TimeGrid(start=0.0, interval=1.0, count=2)
+        with pytest.raises(ValueError):
+            grid.index_of(5.0)
+        with pytest.raises(ValueError):
+            grid.index_of(-0.1)
+
+    def test_invalid_grid(self):
+        with pytest.raises(ValueError):
+            TimeGrid(start=0.0, interval=0.0, count=1)
+        with pytest.raises(ValueError):
+            TimeGrid(start=0.0, interval=1.0, count=-1)
+
+    def test_end(self):
+        assert TimeGrid(start=1.0, interval=2.0, count=3).end == 7.0
+
+
+class TestSampleSeries:
+    def test_append_and_complete(self):
+        grid = TimeGrid(0.0, 1.0, 2)
+        s = SampleSeries("x", grid)
+        s.append(1.0)
+        assert not s.is_complete()
+        s.append(2.0)
+        assert s.is_complete()
+        with pytest.raises(ValueError):
+            s.append(3.0)
+
+    def test_mean_and_window(self):
+        grid = TimeGrid(0.0, 1.0, 4)
+        s = SampleSeries("x", grid, values=[1.0, 2.0, 3.0, 4.0])
+        assert s.mean() == 2.5
+        assert s.window(1.0, 3.0) == [2.0, 3.0]
+
+    def test_iteration_pairs_time_and_value(self):
+        grid = TimeGrid(0.0, 2.0, 2)
+        s = SampleSeries("x", grid, values=[5.0, 6.0])
+        assert list(s) == [(1.0, 5.0), (3.0, 6.0)]
+
+    def test_too_many_values_rejected(self):
+        grid = TimeGrid(0.0, 1.0, 1)
+        with pytest.raises(ValueError):
+            SampleSeries("x", grid, values=[1.0, 2.0])
+
+    def test_empty_mean_raises(self):
+        s = SampleSeries("x", TimeGrid(0.0, 1.0, 3))
+        with pytest.raises(ValueError):
+            s.mean()
+
+
+class TestSeriesBundle:
+    def test_row_appending(self):
+        bundle = SeriesBundle(TimeGrid(0.0, 1.0, 2))
+        bundle.add_series("a")
+        bundle.add_series("b")
+        bundle.append_row({"a": 1.0, "b": 2.0})
+        assert bundle["a"].values == [1.0]
+        assert bundle["b"].values == [2.0]
+
+    def test_partial_row_rejected(self):
+        bundle = SeriesBundle(TimeGrid(0.0, 1.0, 2))
+        bundle.add_series("a")
+        bundle.add_series("b")
+        with pytest.raises(ValueError):
+            bundle.append_row({"a": 1.0})
+
+    def test_duplicate_series_rejected(self):
+        bundle = SeriesBundle(TimeGrid(0.0, 1.0, 2))
+        bundle.add_series("a")
+        with pytest.raises(ValueError):
+            bundle.add_series("a")
+
+    def test_names_and_columns(self):
+        bundle = SeriesBundle(TimeGrid(0.0, 1.0, 1))
+        bundle.add_series("b")
+        bundle.add_series("a")
+        bundle.append_row({"a": 1.0, "b": 2.0})
+        assert bundle.names() == ["a", "b"]
+        assert bundle.as_columns()["b"] == [2.0]
+        assert "a" in bundle

@@ -1,0 +1,18 @@
+"""Tests for unit constants."""
+
+from repro.util.units import GB, KB, MB, bytes_to_mb, mb_to_bytes
+
+
+def test_binary_sizes():
+    assert KB == 1024
+    assert MB == 1024 * KB
+    assert GB == 1024 * MB
+
+
+def test_round_trip():
+    assert bytes_to_mb(mb_to_bytes(3.5)) == 3.5
+
+
+def test_mb_to_bytes_is_integral():
+    assert isinstance(mb_to_bytes(1.25), int)
+    assert mb_to_bytes(1.25) == 1310720

@@ -1,0 +1,69 @@
+"""Unit tests for the blade-cluster deployment model."""
+
+import pytest
+
+from repro.workload.cluster import ClusterLayout, ClusterSUT
+from tests.conftest import make_quick_config
+
+
+@pytest.fixture(scope="module")
+def config():
+    return make_quick_config()
+
+
+class TestClusterLayout:
+    def test_total_cores(self):
+        layout = ClusterLayout(
+            web_cores=1, app_blades=3, app_cores_per_blade=2, db_cores=2
+        )
+        assert layout.total_cores == 9
+
+
+class TestClusterSUT:
+    @pytest.fixture(scope="class")
+    def result(self, config):
+        layout = ClusterLayout(
+            web_cores=1, app_blades=2, app_cores_per_blade=2, db_cores=1
+        )
+        return ClusterSUT(config, layout).run()
+
+    def test_produces_throughput(self, result, config):
+        # A 6-core cluster should sustain the IR-40 load.
+        assert result.jops == pytest.approx(
+            config.workload.target_ops_per_s, rel=0.12
+        )
+
+    def test_tier_utilizations_bounded(self, result):
+        for tier, u in result.tier_utilization.items():
+            assert 0.0 <= u <= 1.0, tier
+
+    def test_app_tier_busier_than_web(self, result):
+        """WAS is the dominant CPU consumer (Figure 4), so the app
+        blades run hotter than the web blade at equal core counts."""
+        assert (
+            result.tier_utilization["app"] > result.tier_utilization["web"]
+        )
+
+    def test_each_blade_collects(self, result):
+        assert all(n > 0 for n in result.gc_events_per_blade)
+
+    def test_network_hops_floor_response_time(self, result):
+        # Even the fastest response carries the interconnect hops.
+        assert min(result.response_samples) >= 4 * 0.4 / 1000.0
+
+    def test_deterministic(self, config):
+        layout = ClusterLayout(app_blades=2, app_cores_per_blade=1)
+        a = ClusterSUT(config, layout).run()
+        b = ClusterSUT(config, layout).run()
+        assert a.jops == b.jops
+        assert a.tier_utilization == b.tier_utilization
+
+
+class TestOverloadedCluster:
+    def test_undersized_app_tier_fails(self, config):
+        layout = ClusterLayout(
+            web_cores=1, app_blades=1, app_cores_per_blade=1, db_cores=1
+        )
+        result = ClusterSUT(config, layout).run()
+        assert not result.passed
+        assert result.bottleneck_tier == "app"

@@ -1,0 +1,77 @@
+"""Conservation-law tests over whole workload runs.
+
+These are the accounting identities no unit test can check: work in
+equals work out, CPU time is neither created nor destroyed, and every
+operation the driver injected is accounted for somewhere.
+"""
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import SamplingConfig
+from repro.workload.presets import jas2004
+from repro.workload.sut import SystemUnderTest
+
+
+def run_small(seed, ir=40, duration_s=120.0):
+    cfg = jas2004(ir=ir, duration_s=duration_s, seed=seed)
+    cfg = dataclasses.replace(
+        cfg,
+        jvm=dataclasses.replace(cfg.jvm, n_jited_methods=300, warm_methods=20),
+        sampling=SamplingConfig(window_cycles=8000, warmup_windows=2),
+    )
+    return SystemUnderTest(cfg).run()
+
+
+class TestConservation:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_small(seed=404)
+
+    def test_operations_conserved(self, result):
+        """arrivals = completions + rejected + still-in-flight."""
+        arrivals = sum(sum(r.arrivals) for r in result.timeline.records)
+        completions = sum(
+            sum(r.completions) for r in result.timeline.records
+        )
+        rejected = sum(result.rejected)
+        in_flight_at_end = result.timeline.records[-1].queue_length
+        assert arrivals == completions + rejected + in_flight_at_end
+
+    def test_cpu_time_conserved(self, result):
+        """busy + idle = capacity on every tick."""
+        cap = result.timeline.capacity_ms_per_tick
+        for record in result.timeline.records[::50]:
+            assert record.busy_ms + record.idle_ms == pytest.approx(cap, abs=1e-6)
+
+    def test_response_times_positive_and_bounded(self, result):
+        for per_type in result.responses:
+            for t, rt in per_type:
+                assert rt > 0.0
+                assert rt < result.config.workload.duration_s
+
+    def test_heap_never_exceeds_capacity(self, result):
+        cap = result.config.jvm.heap_mb * 1024 * 1024
+        for record in result.timeline.records[::50]:
+            assert record.heap_used_bytes <= cap
+
+    def test_gc_events_ordered_in_time(self, result):
+        times = [e.start_time_s for e in result.gc_events]
+        assert times == sorted(times)
+        assert all(
+            b - a > 0.1 for a, b in zip(times, times[1:])
+        )  # pauses cannot overlap
+
+
+@settings(max_examples=5, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_conservation_across_seeds(seed):
+    """The operation-conservation identity holds for any seed."""
+    result = run_small(seed=seed, duration_s=60.0)
+    arrivals = sum(sum(r.arrivals) for r in result.timeline.records)
+    completions = sum(sum(r.completions) for r in result.timeline.records)
+    rejected = sum(result.rejected)
+    in_flight = result.timeline.records[-1].queue_length
+    assert arrivals == completions + rejected + in_flight

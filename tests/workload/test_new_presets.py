@@ -1,0 +1,57 @@
+"""Tests for the Sovereign-JVM and Trade6 presets."""
+
+import pytest
+
+from repro.workload.metrics import evaluate_run
+from repro.workload.presets import jas2004, jas2004_sovereign, trade6
+from repro.workload.sut import SystemUnderTest
+
+
+@pytest.fixture(scope="module")
+def j9_report():
+    return evaluate_run(SystemUnderTest(jas2004(duration_s=300.0)).run())
+
+
+@pytest.fixture(scope="module")
+def sovereign_report():
+    return evaluate_run(
+        SystemUnderTest(jas2004_sovereign(duration_s=300.0)).run()
+    )
+
+
+@pytest.fixture(scope="module")
+def trade6_report():
+    return evaluate_run(SystemUnderTest(trade6(duration_s=300.0)).run())
+
+
+class TestSovereign:
+    def test_higher_utilization_at_same_ir(self, j9_report, sovereign_report):
+        """Footnote 2: Sovereign 'has a higher CPU utilization at the
+        same IR' than J9."""
+        assert sovereign_report.utilization > j9_report.utilization + 0.02
+
+    def test_same_trends(self, sovereign_report):
+        """'The general trends ... resemble closely those that we have
+        seen with Sovereign JVM': small GC, WAS dominance, pass."""
+        assert sovereign_report.passed
+        assert sovereign_report.gc_fraction < 0.025
+        shares = sovereign_report.component_shares
+        was = shares["was_jited"] + shares["was_nonjited"]
+        assert was / (shares["web"] + shares["db2"]) == pytest.approx(2.0, abs=0.5)
+
+
+class TestTrade6:
+    def test_small_gc_overhead(self, trade6_report):
+        """Conclusions: 'we observed a similar small GC runtime
+        overhead with Trade6, another J2EE workload.'"""
+        assert trade6_report.gc_fraction < 0.02
+        assert trade6_report.gc_count > 2
+
+    def test_runs_and_passes(self, trade6_report):
+        assert trade6_report.passed
+        assert trade6_report.jops > 0
+
+    def test_same_architectural_shape(self, trade6_report):
+        shares = trade6_report.component_shares
+        assert shares["was_jited"] + shares["was_nonjited"] > 0.4
+        assert shares["db2"] > 0.1

@@ -1,0 +1,126 @@
+"""Integration tests for the SUT tick loop and benchmark metrics.
+
+These exercise the paper's high-level calibration: JOPS/IR ~1.6,
+~90% utilization at IR 40 with ~80/20 user/kernel, GC every 25-28 s
+with 300-400 ms pauses at ~1.3% of runtime, and pass/fail behavior.
+"""
+
+import pytest
+
+from repro.workload.metrics import evaluate_run
+from repro.workload.timeline import COMPONENTS
+
+
+@pytest.fixture(scope="module")
+def report(quick_run):
+    return evaluate_run(quick_run)
+
+
+class TestThroughput:
+    def test_jops_per_ir(self, report):
+        assert report.jops_per_ir == pytest.approx(1.6, abs=0.15)
+
+    def test_run_passes_deadlines(self, report):
+        assert report.passed
+        assert report.p90_web_s < 2.0
+        assert report.p90_rmi_s < 5.0
+
+
+class TestUtilization:
+    def test_load_level_at_ir40(self, report):
+        assert 0.82 <= report.utilization <= 0.97
+
+    def test_user_kernel_split(self, report):
+        assert report.kernel_fraction == pytest.approx(0.20, abs=0.06)
+
+
+class TestGcBehavior:
+    def test_gc_period_and_pause(self, report):
+        assert report.mean_gc_period_s == pytest.approx(26.5, abs=4.0)
+        assert 250 <= report.mean_gc_pause_ms <= 450
+
+    def test_gc_fraction_small(self, report):
+        assert report.gc_fraction < 0.02
+
+
+class TestComponentShares:
+    def test_was_twice_web_plus_db2(self, report):
+        shares = report.component_shares
+        was = shares["was_jited"] + shares["was_nonjited"]
+        assert was / (shares["web"] + shares["db2"]) == pytest.approx(2.0, abs=0.4)
+
+    def test_shares_sum_to_one(self, report):
+        assert sum(report.component_shares.values()) == pytest.approx(1.0)
+
+
+class TestTimelineIntegrity:
+    def test_tick_count(self, quick_run):
+        cfg = quick_run.config.workload
+        assert len(quick_run.timeline) == int(cfg.duration_s / cfg.tick_s)
+
+    def test_busy_never_exceeds_capacity(self, quick_run):
+        cap = quick_run.timeline.capacity_ms_per_tick
+        for record in quick_run.timeline.records:
+            assert record.busy_ms <= cap + 1e-6
+            assert record.idle_ms >= -1e-6
+
+    def test_cpu_by_type_consistent_with_components(self, quick_run):
+        for record in quick_run.timeline.records[::100]:
+            assert sum(record.cpu_ms_by_type) == pytest.approx(
+                sum(record.cpu_ms_by_component), rel=1e-6, abs=1e-6
+            )
+
+    def test_heap_sawtooth(self, quick_run):
+        """Heap usage rises between GCs and drops at collections."""
+        _, values = quick_run.timeline.heap_series(bucket_s=1.0)
+        peak = max(values)
+        trough = min(v for v in values[60:])  # after ramp
+        assert peak > trough * 1.5
+
+    def test_completions_match_responses(self, quick_run):
+        total_completions = sum(
+            sum(r.completions) for r in quick_run.timeline.records
+        )
+        total_responses = sum(len(rs) for rs in quick_run.responses)
+        assert total_completions == total_responses
+
+    def test_throughput_series_shape(self, quick_run):
+        times, series = quick_run.timeline.throughput_series(bucket_s=10.0)
+        assert len(series) == len(quick_run.timeline.tx_names)
+        assert all(len(s) == len(times) for s in series)
+
+
+class TestDeterminism:
+    def test_same_seed_same_run(self, quick_config, quick_run):
+        from repro.workload.sut import SystemUnderTest
+
+        other = SystemUnderTest(quick_config).run()
+        assert other.gc_events == quick_run.gc_events
+        assert other.timeline.records[1000] == quick_run.timeline.records[1000]
+        assert other.responses[0][:50] == quick_run.responses[0][:50]
+
+
+class TestAdmissionControl:
+    def test_overloaded_sut_sheds_load_and_fails(self):
+        """With two saturated hard disks the SUT rejects work instead
+        of growing without bound, and the run fails its deadlines —
+        the paper's 2-disk observation, minus the crash."""
+        import dataclasses
+
+        from repro.config import DiskConfig
+        from repro.workload.presets import jas2004
+        from repro.workload.sut import SystemUnderTest
+
+        cfg = jas2004(duration_s=240.0)
+        cfg = dataclasses.replace(
+            cfg,
+            workload=dataclasses.replace(
+                cfg.workload, disk=DiskConfig.hard_disks(2)
+            ),
+        )
+        result = SystemUnderTest(cfg).run()
+        report = evaluate_run(result)
+        assert sum(result.rejected) > 0
+        assert not report.passed
+        # The heap survived the overload.
+        assert result.final_heap_used <= cfg.jvm.heap_mb * 1024 * 1024

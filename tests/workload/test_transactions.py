@@ -1,0 +1,83 @@
+"""Tests for requests and the Poisson sampler."""
+
+import random
+
+import pytest
+
+from repro.config import WorkloadConfig
+from repro.workload.transactions import Request, poisson
+
+
+@pytest.fixture()
+def spec():
+    return WorkloadConfig().transactions[0]
+
+
+class TestPoisson:
+    def test_zero_rate(self):
+        assert poisson(random.Random(0), 0.0) == 0
+
+    def test_mean_approximates_lambda(self):
+        rng = random.Random(1)
+        lam = 3.5
+        draws = [poisson(rng, lam) for _ in range(4000)]
+        assert sum(draws) / len(draws) == pytest.approx(lam, rel=0.05)
+
+    def test_non_negative(self):
+        rng = random.Random(2)
+        assert all(poisson(rng, 0.3) >= 0 for _ in range(100))
+
+
+class TestRequest:
+    def make(self, spec, io_count=2, seed=3):
+        return Request(0, spec, arrival_s=10.0, rng=random.Random(seed), io_count=io_count)
+
+    def test_demand_jittered_around_spec(self, spec):
+        demands = [self.make(spec, seed=i).total_cpu_ms for i in range(200)]
+        mean = sum(demands) / len(demands)
+        assert mean == pytest.approx(spec.total_cpu_ms, rel=0.1)
+
+    def test_consume_until_done(self, spec):
+        request = self.make(spec, io_count=0)
+        request.consume(request.total_cpu_ms + 1.0)
+        assert request.done
+        assert request.remaining_cpu_ms == 0.0
+
+    def test_io_points_interrupt(self, spec):
+        request = self.make(spec, io_count=2)
+        hit = request.consume(request.total_cpu_ms + 1.0)
+        assert hit
+        assert request.in_io
+        assert not request.done
+        with pytest.raises(RuntimeError):
+            request.consume(1.0)
+        request.io_complete()
+        assert not request.in_io
+
+    def test_all_io_points_eventually_consumed(self, spec):
+        request = self.make(spec, io_count=3)
+        for _ in range(10):
+            if request.done:
+                break
+            if request.in_io:
+                request.io_complete()
+            else:
+                request.consume(request.total_cpu_ms)
+        assert request.done
+
+    def test_response_time(self, spec):
+        request = self.make(spec)
+        assert request.response_time_s(10.5) == pytest.approx(0.5)
+
+    def test_io_complete_requires_waiting(self, spec):
+        request = self.make(spec, io_count=0)
+        with pytest.raises(RuntimeError):
+            request.io_complete()
+
+    def test_negative_consume_rejected(self, spec):
+        with pytest.raises(ValueError):
+            self.make(spec).consume(-1.0)
+
+    def test_cpu_until_next_io_none_when_exhausted(self, spec):
+        request = self.make(spec, io_count=0)
+        assert request.cpu_until_next_io() is None
