@@ -1,0 +1,15 @@
+"""Benchmark: resilience under injected faults (Section 7 scope)."""
+
+from repro.experiments import exp_resilience
+from repro.experiments.common import bench_config
+
+
+def test_exp_resilience(benchmark, record):
+    result = benchmark.pedantic(
+        lambda: exp_resilience.run(bench_config()), rounds=1, iterations=1
+    )
+    record("exp_resilience", result)
+    crash = result.scenarios["crash-no-retry"].report
+    retried = result.scenarios["crash-retry"].report
+    assert retried.successful_ops > crash.successful_ops
+    assert result.scenarios["fault-free"].report.availability > 0.999

@@ -9,6 +9,7 @@ Commands::
     scaling        the processor-scaling study (future work)
     tuning         the Section 3.3 tuning walk
     cluster        single server vs blade cluster (future work)
+    resilience     fault injection, retries and graceful degradation
     warmup         the JIT warm-up dynamic (why profile the last 5 min)
     heap-sweep     GC behavior across heap sizes
     methodology    sampling-budget ablation for the correlation study
@@ -194,6 +195,11 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser(
         "cluster", help="single server vs blade cluster", parents=[common]
     ).set_defaults(handler=_simple_experiment("exp_cluster"))
+    sub.add_parser(
+        "resilience",
+        help="fault injection, retries and graceful degradation",
+        parents=[common],
+    ).set_defaults(handler=_simple_experiment("exp_resilience"))
     sub.add_parser(
         "warmup", help="the JIT warm-up dynamic", parents=[common]
     ).set_defaults(handler=_simple_experiment("exp_warmup"))

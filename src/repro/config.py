@@ -296,6 +296,10 @@ class TransactionSpec:
     stream_intensity: float = 1.0
     cold_intensity: float = 1.0
     shared_intensity: float = 1.0
+    #: Admission priority under brownout: types below
+    #: :attr:`DegradationPolicy.shed_priority_below` are shed first
+    #: when the server is in sustained overload.
+    priority: int = 1
 
     @property
     def total_cpu_ms(self) -> float:
@@ -384,6 +388,9 @@ def _default_transactions() -> Tuple[TransactionSpec, ...]:
             stream_intensity=0.53,
             cold_intensity=0.69,
             shared_intensity=0.98,
+            # Manufacturing work orders are deferrable batch work: the
+            # first thing a browned-out server sheds.
+            priority=0,
         ),
     )
 
@@ -484,6 +491,154 @@ class WorkloadConfig:
 
 
 # ---------------------------------------------------------------------------
+# Faults and resilience
+# ---------------------------------------------------------------------------
+
+#: Fault kinds understood by the simulators (see
+#: :mod:`repro.workload.faults` for their runtime semantics).
+FAULT_KINDS: Tuple[str, ...] = (
+    "tier_crash",
+    "db_slowdown",
+    "disk_degraded",
+    "net_latency",
+    "net_loss",
+    "gc_pressure",
+)
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault: a component degrades at ``start_s`` and
+    recovers ``duration_s`` later.
+
+    ``magnitude`` is kind-specific:
+
+    * ``tier_crash`` — unused; the target is down for the duration.
+    * ``db_slowdown`` — multiplier on DB2 per-query CPU cost and on
+      the buffer-pool miss probability (lock contention + working-set
+      spill).
+    * ``disk_degraded`` — multiplier on per-request disk service time
+      (a failing spindle, RAID rebuild, saturated controller).
+    * ``net_latency`` — multiplier on the cluster's per-hop
+      interconnect latency.
+    * ``net_loss`` — per-transaction drop probability on the cluster
+      interconnect (0..1).
+    * ``gc_pressure`` — extra live-set megabytes pinned while active
+      (a leak or cache blow-up inflating heap occupancy).
+    """
+
+    kind: str
+    start_s: float
+    duration_s: float
+    magnitude: float = 1.0
+    #: App blade index for cluster ``tier_crash``; -1 means the whole
+    #: server (single-server SUT) or every app blade (cluster).
+    target: int = -1
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+        if self.start_s < 0 or self.duration_s <= 0:
+            raise ValueError("fault must start at t>=0 and last >0 s")
+        if self.kind == "net_loss" and not 0.0 <= self.magnitude <= 1.0:
+            raise ValueError("net_loss magnitude is a probability")
+        if self.magnitude < 0:
+            raise ValueError("magnitude must be non-negative")
+
+    @property
+    def end_s(self) -> float:
+        return self.start_s + self.duration_s
+
+    def active_at(self, t_s: float) -> bool:
+        return self.start_s <= t_s < self.end_s
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Client-side timeout + retry with exponential backoff and jitter.
+
+    Disabled by default: the stock benchmark driver never retries, and
+    an empty policy keeps runs bit-identical to the pre-fault
+    simulator.  When enabled, a request unanswered after its protocol
+    timeout is abandoned by the client (the server may still finish it
+    as wasted zombie work) and re-injected after a jittered
+    exponential backoff, up to ``max_attempts`` total attempts and
+    subject to a retry budget.
+    """
+
+    enabled: bool = False
+    timeout_web_s: float = 4.0
+    timeout_rmi_s: float = 10.0
+    #: Total attempts per logical operation (first try included).
+    max_attempts: int = 3
+    backoff_base_s: float = 0.4
+    backoff_factor: float = 2.0
+    backoff_cap_s: float = 5.0
+    #: Uniform jitter fraction applied to each backoff delay.
+    jitter: float = 0.5
+    #: Retries may not exceed this fraction of first attempts (a
+    #: client-side budget that prevents retry storms).
+    retry_budget: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError("jitter must be in [0, 1)")
+        if self.retry_budget < 0:
+            raise ValueError("retry_budget must be non-negative")
+
+    def timeout_s(self, protocol: str) -> float:
+        return self.timeout_web_s if protocol == "web" else self.timeout_rmi_s
+
+
+@dataclass(frozen=True)
+class DegradationPolicy:
+    """Graceful degradation: brownout instead of hard rejection.
+
+    When in-flight load stays above ``brownout_threshold`` of
+    ``max_in_flight`` for ``sustain_ticks`` consecutive ticks, the app
+    server sheds a growing fraction of low-priority arrivals
+    (transaction types with ``priority < shed_priority_below``) so
+    high-priority work keeps meeting its deadlines.  Disabled by
+    default (the stock server only hard-rejects at ``max_in_flight``).
+    """
+
+    enabled: bool = False
+    brownout_threshold: float = 0.55
+    sustain_ticks: int = 5
+    #: Shed fraction ramps linearly from 0 at the threshold to this
+    #: value at ``max_in_flight``.
+    max_shed_fraction: float = 0.95
+    shed_priority_below: int = 1
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.brownout_threshold <= 1.0:
+            raise ValueError("brownout_threshold must be in (0, 1]")
+        if not 0.0 <= self.max_shed_fraction <= 1.0:
+            raise ValueError("max_shed_fraction must be in [0, 1]")
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """The complete resilience configuration of an experiment.
+
+    The default value (no events, retry and degradation disabled) is
+    guaranteed zero-cost: a run with ``FaultConfig()`` is bit-identical
+    to one from before the subsystem existed.
+    """
+
+    events: Tuple[FaultEvent, ...] = ()
+    retry: RetryPolicy = RetryPolicy()
+    degradation: DegradationPolicy = DegradationPolicy()
+
+    @property
+    def is_active(self) -> bool:
+        """True if any part of the subsystem can alter a run."""
+        return bool(self.events) or self.retry.enabled or self.degradation.enabled
+
+
+# ---------------------------------------------------------------------------
 # Sampling (hpmstat)
 # ---------------------------------------------------------------------------
 
@@ -515,6 +670,7 @@ class ExperimentConfig:
     jvm: JvmConfig = JvmConfig()
     workload: WorkloadConfig = WorkloadConfig()
     sampling: SamplingConfig = SamplingConfig()
+    faults: FaultConfig = FaultConfig()
 
     def with_overrides(self, **kwargs) -> "ExperimentConfig":
         """Return a copy with top-level fields replaced."""

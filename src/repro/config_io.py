@@ -21,14 +21,18 @@ from typing import Any, Dict, Union
 from repro.config import (
     BranchPredictorConfig,
     CacheGeometry,
+    DegradationPolicy,
     DiskConfig,
     ExperimentConfig,
+    FaultConfig,
+    FaultEvent,
     GcCostModel,
     JvmConfig,
     MachineConfig,
     PipelineLatencies,
     PrefetcherConfig,
     ResponseTimeRequirements,
+    RetryPolicy,
     SamplingConfig,
     SharingProfile,
     TopologyConfig,
@@ -89,12 +93,26 @@ def config_from_dict(data: Dict[str, Any]) -> ExperimentConfig:
     workload = WorkloadConfig(**w)
 
     sampling = _build(SamplingConfig, data["sampling"])
+
+    # Configs saved before the resilience subsystem existed have no
+    # "faults" section; they load with the (zero-cost) default.
+    if "faults" in data:
+        f = dict(data["faults"])
+        faults = FaultConfig(
+            events=tuple(_build(FaultEvent, e) for e in f["events"]),
+            retry=_build(RetryPolicy, f["retry"]),
+            degradation=_build(DegradationPolicy, f["degradation"]),
+        )
+    else:
+        faults = FaultConfig()
+
     return ExperimentConfig(
         seed=data["seed"],
         machine=machine,
         jvm=jvm,
         workload=workload,
         sampling=sampling,
+        faults=faults,
     )
 
 

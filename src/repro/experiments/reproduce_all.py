@@ -39,6 +39,7 @@ CATALOG: Tuple[Tuple[str, str, dict], ...] = (
     ("Tuning walk (§3.3)", "exp_tuning", {}),
     ("Scaling (§7)", "exp_scaling", {}),
     ("Cluster (§7)", "exp_cluster", {}),
+    ("Resilience (faults)", "exp_resilience", {}),
     ("Sampling methodology", "exp_methodology", {}),
 )
 

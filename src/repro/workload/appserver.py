@@ -14,10 +14,11 @@ WebSphere-like behavior at the level this study needs:
 
 from __future__ import annotations
 
+import random
 from collections import deque
-from typing import Deque, Dict, List, Tuple
+from typing import Deque, Dict, List, Optional, Tuple
 
-from repro.config import WorkloadConfig
+from repro.config import DegradationPolicy, TransactionSpec, WorkloadConfig
 from repro.workload.timeline import COMPONENTS
 from repro.workload.transactions import Request
 
@@ -31,6 +32,10 @@ class AppServer:
         self.accept_queue: Deque[Request] = deque()
         self.running: List[Request] = []
         self.io_blocked = 0
+        # Graceful-degradation (brownout) state: consecutive ticks of
+        # sustained overload and the current low-priority shed fraction.
+        self._overload_ticks = 0
+        self.shed_fraction = 0.0
         # Per-spec component proportions (normalized once).
         self._proportions: Dict[str, Tuple[float, ...]] = {}
         for spec in config.transactions:
@@ -44,6 +49,61 @@ class AppServer:
     # ------------------------------------------------------------------
     def admit(self, request: Request) -> None:
         self.accept_queue.append(request)
+
+    # ------------------------------------------------------------------
+    # Graceful degradation (brownout)
+    # ------------------------------------------------------------------
+    def update_brownout(self, policy: DegradationPolicy) -> None:
+        """Track sustained overload; called once per tick when enabled.
+
+        The shed fraction ramps linearly from 0 at the brownout
+        threshold to ``max_shed_fraction`` at ``max_in_flight``, but
+        only after the overload has persisted ``sustain_ticks`` ticks
+        (momentary bursts are not browned out).
+        """
+        limit = self.config.max_in_flight
+        threshold = policy.brownout_threshold * limit
+        if self.in_flight > threshold:
+            self._overload_ticks += 1
+        else:
+            self._overload_ticks = 0
+            self.shed_fraction = 0.0
+            return
+        if self._overload_ticks < policy.sustain_ticks:
+            self.shed_fraction = 0.0
+            return
+        span = max(1.0, limit - threshold)
+        depth = min(1.0, (self.in_flight - threshold) / span)
+        self.shed_fraction = policy.max_shed_fraction * depth
+
+    def should_shed(
+        self,
+        spec: TransactionSpec,
+        policy: DegradationPolicy,
+        rng: Optional[random.Random],
+    ) -> bool:
+        """Brownout decision for one arriving operation."""
+        if self.shed_fraction <= 0.0 or spec.priority >= policy.shed_priority_below:
+            return False
+        return rng.random() < self.shed_fraction
+
+    # ------------------------------------------------------------------
+    # Crash support
+    # ------------------------------------------------------------------
+    def drop_all(self) -> List[Request]:
+        """A crash wipes the server: return and clear all held requests.
+
+        Requests blocked on I/O live in the disk queue, not here; the
+        caller collects those via ``DiskModel.drop_all`` — this method
+        only zeroes the counter tracking them.
+        """
+        dropped = list(self.running) + list(self.accept_queue)
+        self.running = []
+        self.accept_queue.clear()
+        self.io_blocked = 0
+        self._overload_ticks = 0
+        self.shed_fraction = 0.0
+        return dropped
 
     def _fill_pool(self) -> None:
         capacity = self.config.thread_pool - len(self.running) - self.io_blocked

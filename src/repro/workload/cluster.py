@@ -34,6 +34,7 @@ from repro.util.stats import percentile
 from repro.util.units import KB, MB
 from repro.workload.disk import DiskModel
 from repro.workload.driver import Driver
+from repro.workload.faults import NO_FAULTS, FaultSchedule
 
 #: One-way interconnect latency per hop between blades.
 HOP_LATENCY_MS = 0.4
@@ -150,6 +151,9 @@ class ClusterRunResult:
     bottleneck_tier: str
     gc_events_per_blade: List[int]
     response_samples: List[float] = field(repr=False, default_factory=list)
+    #: Jobs lost to faults: crashed blades, interconnect drops, or
+    #: arrivals with no live app blade to land on.
+    failed_jobs: int = 0
 
 
 class ClusterSUT:
@@ -200,6 +204,12 @@ class ClusterSUT:
         driver = Driver(cfg, self.rngs.stream("cluster.arrivals"))
         job_rng = self.rngs.stream("cluster.jobs")
         disk = DiskModel(cfg.disk, tick_s)
+        schedule = FaultSchedule(self.config.faults.events)
+        fault_rng = (
+            self.rngs.stream("cluster.faults") if schedule.active else None
+        )
+        failed_jobs = 0
+        prev_down: frozenset = frozenset()
 
         tiers: Dict[Tuple[str, int], _TierQueue] = {
             ("web", 0): _TierQueue(layout.web_cores, tick_ms),
@@ -245,17 +255,46 @@ class ClusterSUT:
         for tick_index in range(n_ticks):
             now = tick_index * tick_s
 
-            # Arrivals (round-robin across app blades).
+            # Faults in force: downed app blades, interconnect trouble.
+            mods = schedule.modifiers_at(now) if schedule.active else NO_FAULTS
+            if mods.server_down:
+                blades_down = frozenset(range(layout.app_blades))
+            else:
+                blades_down = mods.blades_down
+            for blade in blades_down - prev_down:
+                # Crash edge: the blade's queued work is lost.
+                if ("app", blade) in tiers:
+                    failed_jobs += len(tiers[("app", blade)].jobs)
+                    tiers[("app", blade)].jobs = []
+            prev_down = blades_down
+            live_blades = [
+                b for b in range(layout.app_blades) if b not in blades_down
+            ]
+
+            # Arrivals (round-robin across live app blades).
             for type_index, count in enumerate(driver.arrivals(now)):
                 spec = cfg.transactions[type_index]
                 for _ in range(count):
+                    if not live_blades:
+                        failed_jobs += 1
+                        continue
+                    if mods.net_loss_p and fault_rng.random() < mods.net_loss_p:
+                        failed_jobs += 1
+                        continue
                     jitter = job_rng.uniform(0.7, 1.35)
                     hops = 4 if spec.protocol == "web" else 2
                     extra = hops * HOP_LATENCY_MS / 1000.0
+                    if mods.hop_latency_factor != 1.0:
+                        extra *= mods.hop_latency_factor
+                    demands = self._stage_demands(spec, jitter)
+                    if mods.db_cpu_factor != 1.0:
+                        demands[2] *= mods.db_cpu_factor
+                    if rr_blade not in live_blades:
+                        rr_blade = live_blades[0]
                     job = _Job(
                         type_index,
                         now,
-                        self._stage_demands(spec, jitter),
+                        demands,
                         rr_blade,
                         extra,
                     )
@@ -269,9 +308,11 @@ class ClusterSUT:
                 gc_remaining_ms[blade] -= gc_ms
                 pause_fraction[blade] = gc_ms / tick_ms
 
-            # Serve every tier.
+            # Serve every tier (a downed blade serves nothing).
             for key, queue in tiers.items():
                 tier_name, blade = key
+                if tier_name == "app" and blade in blades_down:
+                    continue
                 pause = (
                     pause_fraction[blade] if tier_name == "app" else 0.0
                 )
@@ -280,6 +321,9 @@ class ClusterSUT:
                     if done:
                         rt = (now + tick_s) - job.arrival_s + job.extra_latency_s
                         responses.append((now + tick_s, rt, job.type_index))
+                    elif job.tier()[0] == "app" and job.app_blade in blades_down:
+                        # Routed into a crashed blade: the hop fails.
+                        failed_jobs += 1
                     else:
                         tiers[job.tier()].jobs.append(job)
 
@@ -289,9 +333,10 @@ class ClusterSUT:
                 queue = tiers[("app", blade)]
                 heap = heaps[blade]
                 max_live = heap.capacity_bytes - heap.dark_matter_bytes - 24 * MB
-                heap.set_live(
-                    min(max_live, int(live_share) + len(queue.jobs) * 256 * KB)
-                )
+                desired = int(live_share) + len(queue.jobs) * 256 * KB
+                if mods.live_extra_bytes:
+                    desired += mods.live_extra_bytes // layout.app_blades
+                heap.set_live(min(max_live, desired))
                 consumed_ms = queue.busy_ms - prev_busy[blade]
                 prev_busy[blade] = queue.busy_ms
                 alloc = int(consumed_ms * alloc_per_app_ms)
@@ -335,4 +380,5 @@ class ClusterSUT:
             bottleneck_tier=bottleneck,
             gc_events_per_blade=gc_counts,
             response_samples=[rt for _, rt, _ in steady[:5000]],
+            failed_jobs=failed_jobs,
         )

@@ -29,6 +29,10 @@ class Database:
         self.rng = rng
         self.queries_issued = 0
         self.buffer_misses = 0
+        #: Fault hook: a db_slowdown fault multiplies the buffer-pool
+        #: miss probability (working set spilling the pool).  1.0 —
+        #: the default — is exactly the pre-fault behavior.
+        self.miss_factor = 1.0
 
     @property
     def data_scale(self) -> float:
@@ -45,7 +49,7 @@ class Database:
         """Physical I/Os a new transaction of this type will incur."""
         n_queries = poisson(self.rng, spec.db_queries)
         self.queries_issued += n_queries
-        miss_p = 1.0 - self.effective_hit_ratio
+        miss_p = min(0.98, (1.0 - self.effective_hit_ratio) * self.miss_factor)
         misses = 0
         for _ in range(n_queries):
             if self.rng.random() < miss_p:

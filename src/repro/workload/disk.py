@@ -32,15 +32,26 @@ class DiskModel:
         self.total_completed = 0
         self.busy_ms = 0.0
         self.wait_samples = 0
+        #: Fault hook: a disk_degraded fault multiplies per-request
+        #: service time.  1.0 — the default — is exactly the pre-fault
+        #: behavior.
+        self.service_factor = 1.0
 
     def submit(self, request: Request) -> None:
         self._queue.append(request)
         self.total_submitted += 1
 
+    def drop_all(self) -> List[Request]:
+        """A crash loses all queued I/O: return and clear the queue."""
+        dropped = list(self._queue)
+        self._queue.clear()
+        self._carry_ms = 0.0
+        return dropped
+
     def tick(self) -> List[Request]:
         """Advance one tick; returns requests whose I/O completed."""
         budget = self._carry_ms + self.tick_ms * self.config.n_disks
-        service = self.config.service_ms
+        service = self.config.service_ms * self.service_factor
         completed: List[Request] = []
         while self._queue and budget >= service:
             budget -= service

@@ -6,26 +6,50 @@ transaction type arrives as an independent Poisson process whose rate
 is its share of the total operation rate (``IR x ops_per_ir``), with a
 ramp-up/ramp-down envelope at the run's edges (the paper discards a
 5-minute ramp-up and 2-minute ramp-down).
+
+When a :class:`~repro.config.RetryPolicy` is enabled the driver also
+plays the client side of the resilience model: operations the client
+abandons (timeout, connection refused, crash-dropped) are re-injected
+after an exponential backoff with jitter, up to the policy's attempt
+cap and retry budget.  ``arrivals`` still reports *first attempts
+only* — retries arrive through :meth:`due_retries` so steady-state
+throughput accounting is never inflated by retrying.
 """
 
 from __future__ import annotations
 
+import heapq
 import random
-from typing import List
+from typing import List, Optional, Tuple
 
-from repro.config import WorkloadConfig
+from repro.config import RetryPolicy, WorkloadConfig
+from repro.workload.faults import backoff_delay_s
 from repro.workload.transactions import poisson
 
 
 class Driver:
-    """Per-tick arrival generation."""
+    """Per-tick arrival generation plus optional client retry logic."""
 
-    def __init__(self, config: WorkloadConfig, rng: random.Random):
+    def __init__(
+        self,
+        config: WorkloadConfig,
+        rng: random.Random,
+        retry_policy: Optional[RetryPolicy] = None,
+        retry_rng: Optional[random.Random] = None,
+    ):
         self.config = config
         self.rng = rng
         self._rates = [
             config.target_ops_per_s * spec.share for spec in config.transactions
         ]
+        self.retry_policy = retry_policy if retry_policy is not None else RetryPolicy()
+        self.retry_rng = retry_rng
+        #: Min-heap of (due_time, seq, type_index, next_attempt).
+        self._retry_heap: List[Tuple[float, int, int, int]] = []
+        self._retry_seq = 0
+        self.first_attempts = 0
+        self.retries_scheduled = 0
+        self.retries_denied = 0
 
     def load_factor(self, t_s: float) -> float:
         """Ramp envelope: 0..1 over ramp-up, 1..0 over ramp-down."""
@@ -38,7 +62,47 @@ class Driver:
         return 1.0
 
     def arrivals(self, t_s: float) -> List[int]:
-        """Number of new transactions per type arriving this tick."""
+        """Number of new first-attempt transactions per type this tick."""
         factor = self.load_factor(t_s)
         tick = self.config.tick_s
-        return [poisson(self.rng, rate * factor * tick) for rate in self._rates]
+        counts = [poisson(self.rng, rate * factor * tick) for rate in self._rates]
+        self.first_attempts += sum(counts)
+        return counts
+
+    # ------------------------------------------------------------------
+    # Client-side retry (active only when the policy is enabled)
+    # ------------------------------------------------------------------
+    def schedule_retry(self, type_index: int, attempt: int, now_s: float) -> bool:
+        """Queue a retry for an operation whose attempt just failed.
+
+        ``attempt`` is the attempt that failed (1 = the first try).
+        Returns False — the operation is permanently failed — when the
+        attempt cap or the retry budget is exhausted.
+        """
+        policy = self.retry_policy
+        if not policy.enabled or attempt >= policy.max_attempts:
+            return False
+        if self.retries_scheduled >= policy.retry_budget * max(1, self.first_attempts):
+            self.retries_denied += 1
+            return False
+        delay = backoff_delay_s(policy, attempt + 1, self.retry_rng)
+        self._retry_seq += 1
+        heapq.heappush(
+            self._retry_heap,
+            (now_s + delay, self._retry_seq, type_index, attempt + 1),
+        )
+        self.retries_scheduled += 1
+        return True
+
+    def due_retries(self, t_s: float) -> List[Tuple[int, int]]:
+        """Pop every queued retry due by ``t_s`` as (type, attempt)."""
+        due: List[Tuple[int, int]] = []
+        heap = self._retry_heap
+        while heap and heap[0][0] <= t_s:
+            _, _, type_index, attempt = heapq.heappop(heap)
+            due.append((type_index, attempt))
+        return due
+
+    @property
+    def retries_pending(self) -> int:
+        return len(self._retry_heap)

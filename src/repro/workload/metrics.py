@@ -4,12 +4,18 @@ The benchmark's reported metric is "jAppServer2004 Operations per
 Second" (JOPS); a run passes only if 90% of web requests complete in
 under 2 seconds and 90% of RMI requests in under 5 seconds.  On a
 tuned system the paper observes ~1.6 JOPS per unit of injection rate.
+
+The resilience metrics (:func:`evaluate_resilience`) characterize a
+*faulted* run the way the availability literature does: goodput
+(client-visible successful completions) versus offered load, request
+success rate, downtime, and — per fault — the time for goodput to
+recover to its pre-fault level after the fault clears.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.util.stats import percentile
 from repro.workload.sut import RunResult
@@ -137,3 +143,119 @@ def evaluate_run(result: RunResult) -> BenchmarkReport:
         component_shares=shares,
         rejected_ops=rejected_total,
     )
+
+
+# ---------------------------------------------------------------------------
+# Resilience metrics
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ResilienceReport:
+    """Availability-oriented summary of one (possibly faulted) run."""
+
+    #: Logical operations offered (first attempts, whole run).
+    offered_ops: int
+    #: Client-visible successful completions (whole run).
+    successful_ops: int
+    #: Operations that permanently failed (attempts exhausted,
+    #: connection refused with no retry, shed with no retry).
+    failed_ops: int
+    #: Client-side timeouts observed (an op may time out repeatedly).
+    timeout_ops: int
+    #: Retry attempts injected by the driver.
+    retry_attempts: int
+    #: Arrivals shed by brownout (graceful degradation).
+    shed_ops: int
+    #: Completions of requests the client had already abandoned.
+    zombie_completions: int
+    #: Goodput over the steady window, ops/s.
+    goodput: float
+    #: Seconds the server was down.
+    downtime_s: float
+    #: successful / offered over the whole run.
+    availability: float
+
+    def summary_lines(self) -> List[str]:
+        return [
+            f"  offered {self.offered_ops} ops, "
+            f"successful {self.successful_ops} "
+            f"(availability {self.availability * 100:.2f}%)",
+            f"  goodput {self.goodput:.1f} ops/s steady-state, "
+            f"failed {self.failed_ops}, timeouts {self.timeout_ops}, "
+            f"retries {self.retry_attempts}, shed {self.shed_ops}, "
+            f"zombies {self.zombie_completions}",
+            f"  downtime {self.downtime_s:.1f} s",
+        ]
+
+
+def goodput_series(
+    result: RunResult, bucket_s: float = 1.0
+) -> Tuple[List[float], List[float]]:
+    """Client-visible successful completions per second, bucketed.
+
+    Built from the response log (not the timeline) so abandoned
+    requests that the server finished as zombies are excluded.
+    """
+    cfg = result.config.workload
+    n_buckets = max(1, int(round(cfg.duration_s / bucket_s)))
+    counts = [0] * n_buckets
+    for per_type in result.responses:
+        for t, _ in per_type:
+            idx = min(n_buckets - 1, int(t / bucket_s))
+            counts[idx] += 1
+    times = [(i + 0.5) * bucket_s for i in range(n_buckets)]
+    return times, [c / bucket_s for c in counts]
+
+
+def evaluate_resilience(result: RunResult) -> ResilienceReport:
+    """Compute the resilience summary for a run."""
+    stats = result.resilience
+    if stats is None:
+        raise ValueError("run carries no resilience stats")
+    t0, t1 = result.steady_window()
+    steady_s = max(1e-9, t1 - t0)
+    successful = sum(len(per_type) for per_type in result.responses)
+    steady_ok = sum(
+        len(result.steady_responses(k)) for k in range(len(result.responses))
+    )
+    offered = stats.total_offered
+    return ResilienceReport(
+        offered_ops=offered,
+        successful_ops=successful,
+        failed_ops=stats.total_failed,
+        timeout_ops=stats.total_timeouts,
+        retry_attempts=stats.total_retries,
+        shed_ops=stats.total_shed,
+        zombie_completions=stats.zombie_completions,
+        goodput=steady_ok / steady_s,
+        downtime_s=len(stats.down_ticks) * result.config.workload.tick_s,
+        availability=successful / max(1, offered),
+    )
+
+
+def time_to_recover(
+    result: RunResult,
+    fault_end_s: float,
+    baseline_goodput: float,
+    bucket_s: float = 1.0,
+    window_s: float = 5.0,
+    threshold: float = 0.9,
+) -> Optional[float]:
+    """Seconds after ``fault_end_s`` until goodput is back to normal.
+
+    Recovery is declared at the first post-fault instant where the
+    trailing ``window_s`` moving average of goodput reaches
+    ``threshold`` x ``baseline_goodput``.  Returns None if the run
+    never recovers inside its measured duration.
+    """
+    times, values = goodput_series(result, bucket_s)
+    per_window = max(1, int(round(window_s / bucket_s)))
+    target = threshold * baseline_goodput
+    for i, t in enumerate(times):
+        if t < fault_end_s or i + 1 < per_window:
+            continue
+        window = values[i + 1 - per_window : i + 1]
+        if sum(window) / per_window >= target:
+            return t - fault_end_s
+    return None

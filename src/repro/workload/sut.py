@@ -9,12 +9,23 @@ Stop-the-world collections suspend mutator service: while a pause is
 draining, the tick's CPU capacity goes to the collector and admitted
 requests wait — which is how GC pauses show up in response times
 without any special-casing in the metrics.
+
+Faults and resilience (:mod:`repro.workload.faults`) thread through
+the same loop: a :class:`~repro.workload.faults.FaultSchedule` is
+queried each tick for the modifiers in force (server crash, DB
+slowdown, disk degradation, GC pressure), the driver replays abandoned
+operations per the :class:`~repro.config.RetryPolicy`, and the app
+server browns out low-priority arrivals per the
+:class:`~repro.config.DegradationPolicy`.  With the default
+:class:`~repro.config.FaultConfig` every hook is inert and the run is
+bit-identical to the pre-fault simulator.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Tuple
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, List, Optional, Tuple
 
 from repro.config import ExperimentConfig
 from repro.jvm.gc import GcEvent, MarkSweepCompactCollector
@@ -25,6 +36,12 @@ from repro.workload.appserver import AppServer
 from repro.workload.database import Database
 from repro.workload.disk import DiskModel
 from repro.workload.driver import Driver
+from repro.workload.faults import (
+    NO_FAULTS,
+    FaultSchedule,
+    ResilienceStats,
+    ResilienceTracker,
+)
 from repro.workload.timeline import COMPONENTS, RunTimeline, TickRecord
 from repro.workload.transactions import Request
 from repro.workload.webserver import WebServer
@@ -54,6 +71,8 @@ class RunResult:
     disk_mean_queue: float
     final_heap_used: int
     final_dark_matter: int
+    #: Resilience counters (all zeros on a fault-free run).
+    resilience: Optional[ResilienceStats] = field(default=None, repr=False)
 
     def steady_window(self) -> Tuple[float, float]:
         """The (start, end) of the steady-state measurement window."""
@@ -68,19 +87,35 @@ class RunResult:
 class SystemUnderTest:
     """Runs the whole benchmark."""
 
-    def __init__(self, config: ExperimentConfig, rng_factory: RngFactory = None):
+    def __init__(
+        self, config: ExperimentConfig, rng_factory: Optional[RngFactory] = None
+    ):
         self.config = config
         self.rngs = rng_factory if rng_factory is not None else RngFactory(config.seed)
 
     def run(self) -> RunResult:
         cfg = self.config.workload
         jvm = self.config.jvm
+        faults = self.config.faults
         n_cores = self.config.machine.topology.n_cores
         tick_s = cfg.tick_s
         tick_ms = tick_s * 1000.0
         capacity_ms = n_cores * tick_ms
 
-        driver = Driver(cfg, self.rngs.stream("workload.arrivals"))
+        retry = faults.retry
+        degradation = faults.degradation
+        schedule = FaultSchedule(faults.events)
+        resilience_active = faults.is_active
+        resilience_rng = (
+            self.rngs.stream("workload.resilience") if resilience_active else None
+        )
+
+        driver = Driver(
+            cfg,
+            self.rngs.stream("workload.arrivals"),
+            retry_policy=retry,
+            retry_rng=resilience_rng,
+        )
         webserver = WebServer(self.rngs.stream("workload.web"))
         appserver = AppServer(cfg, n_cores)
         database = Database(cfg, self.rngs.stream("workload.db"))
@@ -93,40 +128,124 @@ class SystemUnderTest:
         alloc_per_cpu_ms = [
             spec.alloc_kb * KB / spec.total_cpu_ms for spec in specs
         ]
+        # DB2's share of each spec's CPU: how much of a db_slowdown's
+        # CPU factor lands on requests of that type.
+        db_share = [
+            spec.cpu_ms.get("db2", 0.0) / spec.total_cpu_ms for spec in specs
+        ]
         live_target = jvm.live_set_mb * MB
 
         timeline = RunTimeline(tick_s, [s.name for s in specs], n_cores)
         gc_events: List[GcEvent] = []
         responses: List[List[Tuple[float, float]]] = [[] for _ in specs]
         rejected: List[int] = [0 for _ in specs]
+        tracker = ResilienceTracker(len(specs))
+        #: Per type: (client deadline, request), in admission order.
+        watch: List[Deque[Tuple[float, Request]]] = [deque() for _ in specs]
+
+        def client_failure(type_index: int, attempt: int, now: float) -> None:
+            """An attempt failed client-side: back off and retry, or
+            give the operation up for good."""
+            if not driver.schedule_retry(type_index, attempt, now):
+                tracker.failed[type_index] += 1
+
+        def try_admit(type_index: int, attempt: int, now: float) -> None:
+            spec = specs[type_index]
+            if appserver.in_flight >= cfg.max_in_flight:
+                # Overloaded: shed load rather than grow without
+                # bound (connection refused / timeout upstream).
+                rejected[type_index] += 1
+                if resilience_active:
+                    client_failure(type_index, attempt, now)
+                return
+            if degradation.enabled and appserver.should_shed(
+                spec, degradation, resilience_rng
+            ):
+                # Brownout: refuse cheaply now so the client can back
+                # off, instead of queueing work that will miss its
+                # deadline anyway.
+                tracker.shed[type_index] += 1
+                client_failure(type_index, attempt, now)
+                return
+            webserver.route(spec)
+            io_count = database.plan_ios(spec)
+            inflation = 1.0
+            if mods.db_cpu_factor != 1.0:
+                inflation = 1.0 + (mods.db_cpu_factor - 1.0) * db_share[type_index]
+            request = Request(
+                type_index, spec, now, request_rng, io_count, inflation
+            )
+            request.attempt = attempt
+            appserver.admit(request)
+            if retry.enabled:
+                watch[type_index].append(
+                    (now + retry.timeout_s(spec.protocol), request)
+                )
 
         n_ticks = int(round(cfg.duration_s / tick_s))
         gc_wall_remaining_ms = 0.0
+        was_down = False
 
         for tick_index in range(n_ticks):
             now = tick_index * tick_s
 
+            # --- Faults in force this tick --------------------------------
+            mods = schedule.modifiers_at(now) if schedule.active else NO_FAULTS
+            if schedule.active:
+                database.miss_factor = mods.db_miss_factor
+                disk.service_factor = mods.disk_service_factor
+            server_down = mods.server_down
+            if server_down and not was_down:
+                # Crash edge: every held request is lost; clients see
+                # the connection reset immediately.
+                for request in appserver.drop_all() + disk.drop_all():
+                    request.abandoned = True
+                    client_failure(request.type_index, request.attempt, now)
+            if server_down:
+                tracker.down_ticks.append(tick_index)
+            was_down = server_down
+
+            # --- Client-side timeouts -------------------------------------
+            if retry.enabled:
+                for type_index, pending in enumerate(watch):
+                    while pending and pending[0][0] <= now:
+                        _, request = pending.popleft()
+                        if request.finished or request.abandoned:
+                            continue
+                        request.abandoned = True
+                        tracker.timeouts[type_index] += 1
+                        client_failure(type_index, request.attempt, now)
+
             # --- Arrivals -------------------------------------------------
+            if degradation.enabled:
+                appserver.update_brownout(degradation)
             arrivals = driver.arrivals(now)
-            for type_index, count in enumerate(arrivals):
-                spec = specs[type_index]
-                for _ in range(count):
-                    if appserver.in_flight >= cfg.max_in_flight:
-                        # Overloaded: shed load rather than grow without
-                        # bound (connection refused / timeout upstream).
-                        rejected[type_index] += 1
-                        continue
-                    webserver.route(spec)
-                    io_count = database.plan_ios(spec)
-                    appserver.admit(
-                        Request(type_index, spec, now, request_rng, io_count)
-                    )
+            if server_down:
+                # Connection refused: nothing is admitted while down.
+                for type_index, count in enumerate(arrivals):
+                    tracker.offered[type_index] += count
+                    for _ in range(count):
+                        client_failure(type_index, 1, now)
+                if retry.enabled:
+                    for type_index, attempt in driver.due_retries(now):
+                        client_failure(type_index, attempt, now)
+            else:
+                for type_index, count in enumerate(arrivals):
+                    tracker.offered[type_index] += count
+                    for _ in range(count):
+                        try_admit(type_index, 1, now)
+                if retry.enabled:
+                    for type_index, attempt in driver.due_retries(now):
+                        tracker.retries[type_index] += 1
+                        try_admit(type_index, attempt, now)
 
             # --- Live-set evolution ----------------------------------------
             ramp = min(1.0, LIVE_FLOOR + (1.0 - LIVE_FLOOR) * now / LIVE_RAMP_S)
             desired_live = (
                 int(live_target * ramp) + appserver.in_flight * LIVE_PER_REQUEST
             )
+            if mods.live_extra_bytes:
+                desired_live += mods.live_extra_bytes
             # An undersized heap cannot hold the desired live set; the
             # application stalls allocations instead of growing, which
             # manifests as constant GC thrash (the untuned-system
@@ -139,6 +258,8 @@ class SystemUnderTest:
             gc_wall_remaining_ms -= gc_wall_ms
             gc_cpu_ms = capacity_ms * (gc_wall_ms / tick_ms)
             mutator_capacity = capacity_ms - gc_cpu_ms
+            if server_down:
+                mutator_capacity = 0.0
 
             # --- Mutator service -------------------------------------------
             completed, io_submissions, by_component, by_type, used_ms = (
@@ -166,6 +287,14 @@ class SystemUnderTest:
             # --- Completions -------------------------------------------------
             completions = [0] * len(specs)
             for request in completed:
+                if resilience_active:
+                    request.finished = True
+                    if request.abandoned:
+                        # The client already gave up: the server's
+                        # effort was wasted and the completion is not
+                        # client-visible throughput.
+                        tracker.zombie_completions += 1
+                        continue
                 completions[request.type_index] += 1
                 rt = request.response_time_s(now + tick_s)
                 rt += webserver.response_overhead_s(request.spec)
@@ -187,6 +316,7 @@ class SystemUnderTest:
                 )
             )
 
+        tracker.retries_denied = driver.retries_denied
         return RunResult(
             config=self.config,
             timeline=timeline,
@@ -198,4 +328,5 @@ class SystemUnderTest:
             disk_mean_queue=disk.mean_queue_length(n_ticks),
             final_heap_used=heap.used_bytes,
             final_dark_matter=heap.dark_matter_bytes,
+            resilience=tracker.freeze(),
         )

@@ -42,6 +42,9 @@ class Request:
         "io_thresholds",
         "next_io",
         "in_io",
+        "attempt",
+        "abandoned",
+        "finished",
     )
 
     def __init__(
@@ -51,17 +54,30 @@ class Request:
         arrival_s: float,
         rng: random.Random,
         io_count: int,
+        cpu_inflation: float = 1.0,
     ):
         self.type_index = type_index
         self.spec = spec
         self.arrival_s = arrival_s
         self.total_cpu_ms = spec.total_cpu_ms * rng.uniform(0.7, 1.35)
+        if cpu_inflation != 1.0:
+            # A fault (e.g. DB slowdown) inflating this request's CPU
+            # demand; applied before I/O placement so the I/O points
+            # stay proportional.
+            self.total_cpu_ms *= cpu_inflation
         self.consumed_cpu_ms = 0.0
         # I/O points spread uniformly over the request's CPU progress.
         points = sorted(rng.random() for _ in range(io_count))
         self.io_thresholds: List[float] = [p * self.total_cpu_ms for p in points]
         self.next_io = 0
         self.in_io = False
+        #: Client attempt number (1 = first try; >1 = a retry).
+        self.attempt = 1
+        #: The client gave up on this request (timeout / crash); the
+        #: server may still finish it as wasted zombie work.
+        self.abandoned = False
+        #: The server completed this request.
+        self.finished = False
 
     @property
     def remaining_cpu_ms(self) -> float:

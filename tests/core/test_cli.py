@@ -20,6 +20,7 @@ class TestParser:
             "scaling",
             "tuning",
             "cluster",
+            "resilience",
             "warmup",
             "heap-sweep",
             "methodology",

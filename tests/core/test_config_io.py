@@ -1,10 +1,17 @@
 """Tests for config JSON serialization (experiment manifests)."""
 
+import dataclasses
 import json
 
 import pytest
 
-from repro.config import ExperimentConfig
+from repro.config import (
+    DegradationPolicy,
+    ExperimentConfig,
+    FaultConfig,
+    FaultEvent,
+    RetryPolicy,
+)
 from repro.config_io import (
     FORMAT,
     config_from_dict,
@@ -56,6 +63,52 @@ class TestRoundTrip:
         path = tmp_path / "c.json"
         save_config(ExperimentConfig(), path)
         assert json.loads(path.read_text())["_format"] == FORMAT
+
+
+class TestFaultRoundTrip:
+    def faulted_config(self):
+        faults = FaultConfig(
+            events=(
+                FaultEvent(
+                    kind="db_slowdown", start_s=100.0, duration_s=30.0, magnitude=3.0
+                ),
+                FaultEvent(
+                    kind="tier_crash", start_s=200.0, duration_s=15.0, target=2
+                ),
+            ),
+            retry=RetryPolicy(enabled=True, max_attempts=5, backoff_base_s=0.7),
+            degradation=DegradationPolicy(enabled=True, brownout_threshold=0.4),
+        )
+        return dataclasses.replace(jas2004(duration_s=600.0), faults=faults)
+
+    def test_fault_config_round_trips(self):
+        config = self.faulted_config()
+        rebuilt = config_from_dict(config_to_dict(config))
+        assert rebuilt == config
+        assert rebuilt.faults.events[0].magnitude == 3.0
+        assert rebuilt.faults.retry.enabled
+
+    def test_fault_config_survives_strict_json(self, tmp_path):
+        path = tmp_path / "faulted.json"
+        config = self.faulted_config()
+        save_config(config, path)
+        assert load_config(path) == config
+
+    def test_config_without_faults_section_loads_default(self):
+        """Manifests written before the resilience subsystem existed
+        have no "faults" key and must load with the zero-cost default."""
+        data = config_to_dict(ExperimentConfig())
+        del data["faults"]
+        rebuilt = config_from_dict(json.loads(json.dumps(data)))
+        assert rebuilt.faults == FaultConfig()
+        assert not rebuilt.faults.is_active
+        assert rebuilt == ExperimentConfig()
+
+    def test_default_faults_serialize_inactive(self):
+        data = config_to_dict(ExperimentConfig())
+        assert list(data["faults"]["events"]) == []
+        assert data["faults"]["retry"]["enabled"] is False
+        assert data["faults"]["degradation"]["enabled"] is False
 
 
 class TestValidation:

@@ -67,3 +67,85 @@ class TestOverloadedCluster:
         result = ClusterSUT(config, layout).run()
         assert not result.passed
         assert result.bottleneck_tier == "app"
+
+
+class TestClusterFaults:
+    LAYOUT = ClusterLayout(
+        web_cores=1, app_blades=2, app_cores_per_blade=2, db_cores=1
+    )
+
+    def faulted(self, config, *events):
+        import dataclasses
+
+        from repro.config import FaultConfig
+
+        return dataclasses.replace(config, faults=FaultConfig(events=events))
+
+    def test_event_outside_run_changes_nothing(self, config):
+        from repro.config import FaultEvent
+
+        baseline = ClusterSUT(config, self.LAYOUT).run()
+        late = ClusterSUT(
+            self.faulted(
+                config,
+                FaultEvent(kind="tier_crash", start_s=1e6, duration_s=1.0),
+            ),
+            self.LAYOUT,
+        ).run()
+        assert late.jops == baseline.jops
+        assert late.response_samples == baseline.response_samples
+        assert late.failed_jobs == 0
+
+    def test_blade_crash_loses_jobs(self, config):
+        from repro.config import FaultEvent
+
+        baseline = ClusterSUT(config, self.LAYOUT).run()
+        crashed = ClusterSUT(
+            self.faulted(
+                config,
+                FaultEvent(
+                    kind="tier_crash", start_s=100.0, duration_s=30.0, target=0
+                ),
+            ),
+            self.LAYOUT,
+        ).run()
+        assert crashed.failed_jobs > 0
+        assert crashed.jops < baseline.jops
+
+    def test_net_loss_drops_arrivals(self, config):
+        from repro.config import FaultEvent
+
+        lossy = ClusterSUT(
+            self.faulted(
+                config,
+                FaultEvent(
+                    kind="net_loss",
+                    start_s=100.0,
+                    duration_s=60.0,
+                    magnitude=0.3,
+                ),
+            ),
+            self.LAYOUT,
+        ).run()
+        assert lossy.failed_jobs > 0
+
+    def test_net_latency_slows_every_response(self, config):
+        from repro.config import FaultEvent
+
+        baseline = ClusterSUT(config, self.LAYOUT).run()
+        slowed = ClusterSUT(
+            self.faulted(
+                config,
+                FaultEvent(
+                    kind="net_latency",
+                    start_s=0.0,
+                    duration_s=config.workload.duration_s,
+                    magnitude=5.0,
+                ),
+            ),
+            self.LAYOUT,
+        ).run()
+        # Same jobs (identical RNG streams), strictly larger hop cost.
+        assert slowed.failed_jobs == 0
+        assert sum(slowed.response_samples) > sum(baseline.response_samples)
+        assert min(slowed.response_samples) >= 5 * (2 * 0.4 / 1000.0)

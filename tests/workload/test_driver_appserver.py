@@ -34,6 +34,37 @@ class TestDriver:
         assert driver.load_factor(50.0) == 1.0
         assert driver.load_factor(95.0) == pytest.approx(0.5)
 
+    def test_ramp_edges(self, config):
+        driver = Driver(config, random.Random(0))
+        assert driver.load_factor(0.0) == 0.0
+        # Exactly at the ramp-up boundary the envelope is already full.
+        assert driver.load_factor(config.ramp_up_s) == 1.0
+        assert driver.load_factor(config.ramp_up_s - 1e-9) < 1.0
+        down_start = config.duration_s - config.ramp_down_s
+        assert driver.load_factor(down_start) == 1.0
+        assert driver.load_factor(down_start + 1e-6) < 1.0
+        assert driver.load_factor(config.duration_s) == 0.0
+
+    def test_no_ramp_down(self):
+        config = WorkloadConfig(duration_s=100.0, ramp_up_s=20.0, ramp_down_s=0.0)
+        driver = Driver(config, random.Random(0))
+        assert driver.load_factor(99.9) == 1.0
+        assert driver.load_factor(100.0) == 1.0
+
+    def test_no_ramp_up(self):
+        config = WorkloadConfig(duration_s=100.0, ramp_up_s=0.0, ramp_down_s=10.0)
+        driver = Driver(config, random.Random(0))
+        assert driver.load_factor(0.0) == 1.0
+
+    def test_arrivals_count_first_attempts_only(self, config):
+        driver = Driver(config, random.Random(0))
+        total = sum(sum(driver.arrivals(50.0)) for _ in range(100))
+        assert driver.first_attempts == total
+        assert total > 0
+        # Retries (when a policy is active) never pass through arrivals.
+        assert driver.due_retries(1e9) == []
+        assert driver.first_attempts == total
+
     def test_mix_follows_shares(self, config):
         driver = Driver(config, random.Random(1))
         counts = [0] * len(config.transactions)

@@ -1,0 +1,230 @@
+"""Tests for the fault-injection runtime (schedule, backoff, retry)."""
+
+import random
+
+import pytest
+
+from repro.config import FaultEvent, RetryPolicy, WorkloadConfig
+from repro.util.units import MB
+from repro.workload.driver import Driver
+from repro.workload.faults import (
+    NO_FAULTS,
+    FaultModifiers,
+    FaultSchedule,
+    ResilienceTracker,
+    backoff_delay_s,
+)
+
+
+class TestFaultEvent:
+    def test_valid_event(self):
+        event = FaultEvent(kind="db_slowdown", start_s=10.0, duration_s=5.0)
+        assert event.end_s == 15.0
+        assert not event.active_at(9.9)
+        assert event.active_at(10.0)
+        assert event.active_at(14.9)
+        assert not event.active_at(15.0)  # half-open interval
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            FaultEvent(kind="meteor_strike", start_s=0.0, duration_s=1.0)
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError):
+            FaultEvent(kind="tier_crash", start_s=-1.0, duration_s=1.0)
+
+    def test_zero_duration_rejected(self):
+        with pytest.raises(ValueError):
+            FaultEvent(kind="tier_crash", start_s=0.0, duration_s=0.0)
+
+    def test_net_loss_magnitude_is_probability(self):
+        with pytest.raises(ValueError):
+            FaultEvent(kind="net_loss", start_s=0.0, duration_s=1.0, magnitude=1.5)
+
+    def test_negative_magnitude_rejected(self):
+        with pytest.raises(ValueError):
+            FaultEvent(
+                kind="db_slowdown", start_s=0.0, duration_s=1.0, magnitude=-2.0
+            )
+
+
+class TestFaultSchedule:
+    def test_empty_schedule_is_inert(self):
+        schedule = FaultSchedule(())
+        assert not schedule.active
+        assert schedule.modifiers_at(0.0) is NO_FAULTS
+
+    def test_neutral_before_during_after(self):
+        schedule = FaultSchedule(
+            (FaultEvent(kind="db_slowdown", start_s=10.0, duration_s=5.0, magnitude=3.0),)
+        )
+        assert schedule.modifiers_at(5.0) is NO_FAULTS
+        during = schedule.modifiers_at(12.0)
+        assert during.db_cpu_factor == 3.0
+        assert during.db_miss_factor == 3.0
+        assert not during.neutral
+        # Past the horizon the scan short-circuits to the shared object.
+        assert schedule.modifiers_at(15.0) is NO_FAULTS
+        assert schedule.modifiers_at(1e9) is NO_FAULTS
+
+    def test_overlapping_factors_compound(self):
+        schedule = FaultSchedule(
+            (
+                FaultEvent(kind="db_slowdown", start_s=0.0, duration_s=10.0, magnitude=2.0),
+                FaultEvent(kind="db_slowdown", start_s=5.0, duration_s=10.0, magnitude=3.0),
+            )
+        )
+        assert schedule.modifiers_at(2.0).db_cpu_factor == 2.0
+        assert schedule.modifiers_at(7.0).db_cpu_factor == 6.0
+        assert schedule.modifiers_at(12.0).db_cpu_factor == 3.0
+
+    def test_net_loss_saturates(self):
+        schedule = FaultSchedule(
+            (
+                FaultEvent(kind="net_loss", start_s=0.0, duration_s=10.0, magnitude=0.5),
+                FaultEvent(kind="net_loss", start_s=0.0, duration_s=10.0, magnitude=0.5),
+            )
+        )
+        assert schedule.modifiers_at(1.0).net_loss_p == pytest.approx(0.75)
+
+    def test_gc_pressure_sums(self):
+        schedule = FaultSchedule(
+            (
+                FaultEvent(kind="gc_pressure", start_s=0.0, duration_s=10.0, magnitude=100.0),
+                FaultEvent(kind="gc_pressure", start_s=0.0, duration_s=10.0, magnitude=50.0),
+            )
+        )
+        assert schedule.modifiers_at(1.0).live_extra_bytes == 150 * MB
+
+    def test_tier_crash_targets(self):
+        schedule = FaultSchedule(
+            (
+                FaultEvent(kind="tier_crash", start_s=0.0, duration_s=10.0),
+                FaultEvent(kind="tier_crash", start_s=0.0, duration_s=10.0, target=2),
+            )
+        )
+        mods = schedule.modifiers_at(1.0)
+        assert mods.server_down
+        assert mods.blades_down == frozenset({2})
+
+    def test_clear_times(self):
+        schedule = FaultSchedule(
+            (
+                FaultEvent(kind="db_slowdown", start_s=0.0, duration_s=5.0),
+                FaultEvent(kind="disk_degraded", start_s=2.0, duration_s=3.0),
+                FaultEvent(kind="tier_crash", start_s=10.0, duration_s=10.0),
+            )
+        )
+        assert schedule.clear_times() == [5.0, 20.0]
+
+    def test_neutral_modifiers_equal_no_faults(self):
+        assert FaultModifiers().neutral
+        assert FaultModifiers(db_cpu_factor=2.0).neutral is False
+
+
+class TestBackoff:
+    def policy(self, **kwargs):
+        defaults = dict(
+            enabled=True,
+            backoff_base_s=1.0,
+            backoff_factor=2.0,
+            backoff_cap_s=8.0,
+            jitter=0.0,
+        )
+        defaults.update(kwargs)
+        return RetryPolicy(**defaults)
+
+    def test_exponential_without_jitter(self):
+        policy = self.policy()
+        rng = random.Random(0)
+        assert backoff_delay_s(policy, 2, rng) == 1.0
+        assert backoff_delay_s(policy, 3, rng) == 2.0
+        assert backoff_delay_s(policy, 4, rng) == 4.0
+
+    def test_cap(self):
+        policy = self.policy()
+        rng = random.Random(0)
+        assert backoff_delay_s(policy, 10, rng) == 8.0
+
+    def test_jitter_bounds(self):
+        policy = self.policy(jitter=0.5)
+        rng = random.Random(7)
+        delays = [backoff_delay_s(policy, 3, rng) for _ in range(500)]
+        assert all(1.0 <= d <= 3.0 for d in delays)  # 2 s x [0.5, 1.5]
+        assert max(delays) > 2.5 and min(delays) < 1.5
+
+
+class TestDriverRetry:
+    def make_driver(self, **policy_kwargs):
+        defaults = dict(
+            enabled=True,
+            max_attempts=3,
+            backoff_base_s=1.0,
+            backoff_factor=2.0,
+            backoff_cap_s=8.0,
+            jitter=0.0,
+            retry_budget=0.5,
+        )
+        defaults.update(policy_kwargs)
+        config = WorkloadConfig(duration_s=100.0)
+        return Driver(
+            config,
+            random.Random(0),
+            retry_policy=RetryPolicy(**defaults),
+            retry_rng=random.Random(1),
+        )
+
+    def test_disabled_policy_never_schedules(self):
+        config = WorkloadConfig(duration_s=100.0)
+        driver = Driver(config, random.Random(0))
+        assert driver.schedule_retry(0, 1, 0.0) is False
+        assert driver.retries_pending == 0
+
+    def test_attempt_cap(self):
+        driver = self.make_driver()
+        driver.first_attempts = 100
+        assert driver.schedule_retry(0, 1, 0.0) is True
+        assert driver.schedule_retry(0, 2, 0.0) is True
+        # Attempt 3 of max_attempts=3 has no retries left.
+        assert driver.schedule_retry(0, 3, 0.0) is False
+
+    def test_retry_budget(self):
+        driver = self.make_driver(retry_budget=0.1)
+        driver.first_attempts = 20  # budget: 2 retries
+        assert driver.schedule_retry(0, 1, 0.0) is True
+        assert driver.schedule_retry(1, 1, 0.0) is True
+        assert driver.schedule_retry(2, 1, 0.0) is False
+        assert driver.retries_denied == 1
+
+    def test_due_retries_pop_in_time_order(self):
+        driver = self.make_driver()
+        driver.first_attempts = 100
+        driver.schedule_retry(0, 2, 0.0)  # due at 2.0 (second retry)
+        driver.schedule_retry(1, 1, 0.0)  # due at 1.0 (first retry)
+        assert driver.retries_pending == 2
+        assert driver.due_retries(0.5) == []
+        assert driver.due_retries(1.5) == [(1, 2)]
+        assert driver.due_retries(2.5) == [(0, 3)]
+        assert driver.retries_pending == 0
+
+    def test_retries_do_not_count_as_first_attempts(self):
+        driver = self.make_driver()
+        driver.first_attempts = 10
+        driver.schedule_retry(0, 1, 0.0)
+        driver.due_retries(100.0)
+        assert driver.first_attempts == 10
+
+
+class TestResilienceTracker:
+    def test_freeze_totals(self):
+        tracker = ResilienceTracker(2)
+        tracker.offered[0] = 5
+        tracker.offered[1] = 3
+        tracker.failed[1] = 2
+        tracker.retries[0] = 4
+        tracker.down_ticks.append(7)
+        stats = tracker.freeze()
+        assert stats.total_offered == 8
+        assert stats.total_failed == 2
+        assert stats.total_retries == 4
+        assert stats.down_ticks == (7,)
