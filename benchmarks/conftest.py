@@ -15,6 +15,21 @@ import pytest
 OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
 
 
+@pytest.fixture(autouse=True)
+def cold_run_cache():
+    """Benchmarks time *cold* experiments: drop memoized runs first.
+
+    Experiments share finished simulations through the process-wide
+    run cache; without this, whichever benchmark ran first would pay
+    for the baseline simulation and every later one would time a
+    cache hit.
+    """
+    from repro.runcache import default_cache
+
+    default_cache().clear()
+    yield
+
+
 @pytest.fixture(scope="session")
 def output_dir() -> pathlib.Path:
     OUTPUT_DIR.mkdir(exist_ok=True)

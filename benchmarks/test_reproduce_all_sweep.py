@@ -1,0 +1,23 @@
+"""Benchmark: the full-catalog sweep with memoized runs + parallel fan-out.
+
+Unlike the per-experiment benchmarks this runs at quick scale — it
+exercises all 21 catalog entries, so bench scale would dominate the
+whole suite's wall clock.  The interesting numbers are in the summary
+it persists: per-experiment seconds and the run-cache hit/miss split.
+"""
+
+from repro.experiments import reproduce_all
+from repro.experiments.common import quick_config
+
+
+def test_reproduce_all_parallel_sweep(benchmark, output_dir):
+    result = benchmark.pedantic(
+        lambda: reproduce_all.run(quick_config(), jobs=4), rounds=1, iterations=1
+    )
+    (output_dir / "reproduce_all_sweep.txt").write_text(
+        "\n".join(result.summary_lines()) + "\n"
+    )
+    assert len(result.records) == len(reproduce_all.CATALOG)
+    # The whole point of the shared run layer: baseline re-simulations
+    # become cache hits.
+    assert result.cache_hits > 0

@@ -26,6 +26,7 @@ from repro.core.characterization import (
     HardwareSummary,
 )
 from repro.core.report import render_report
+from repro.runcache import RunCache
 from repro.workload.metrics import BenchmarkReport, evaluate_run
 from repro.workload.sut import RunResult, SystemUnderTest
 
@@ -39,6 +40,7 @@ __all__ = [
     "render_report",
     "BenchmarkReport",
     "evaluate_run",
+    "RunCache",
     "RunResult",
     "SystemUnderTest",
     "__version__",

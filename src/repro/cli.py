@@ -128,7 +128,17 @@ def cmd_save_config(args: argparse.Namespace) -> int:
 def cmd_reproduce_all(args: argparse.Namespace) -> int:
     from repro.experiments.reproduce_all import run as run_all
 
-    result = run_all(_config(args))
+    only = None
+    if args.only:
+        # Accept both repeated flags and comma-separated lists.
+        only = [
+            name for chunk in args.only for name in chunk.split(",") if name
+        ]
+    try:
+        result = run_all(_config(args), only=only, jobs=args.jobs)
+    except ValueError as exc:
+        print(exc)
+        return 2
     text = "\n".join(result.render_lines())
     if args.output:
         from pathlib import Path
@@ -138,6 +148,14 @@ def cmd_reproduce_all(args: argparse.Namespace) -> int:
         print(f"\nfull report written to {args.output}")
     else:
         print(text)
+    if args.stats_json:
+        import json
+        from pathlib import Path
+
+        Path(args.stats_json).write_text(
+            json.dumps(result.stats_dict(), indent=2, sort_keys=True) + "\n"
+        )
+        print(f"sweep stats written to {args.stats_json}")
     return 0 if len(result.rows_off) <= 3 else 1
 
 
@@ -227,6 +245,28 @@ def build_parser() -> argparse.ArgumentParser:
         parents=[common],
     )
     everything.add_argument("--output", metavar="FILE", default=None)
+    everything.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for the sweep (default: 1, serial)",
+    )
+    everything.add_argument(
+        "--only",
+        action="append",
+        metavar="MODULE",
+        default=None,
+        help="run only the named catalog module(s); repeat the flag or "
+        "comma-separate (e.g. --only fig02_throughput,fig03_gc)",
+    )
+    everything.add_argument(
+        "--stats-json",
+        metavar="FILE",
+        default=None,
+        help="also write wall-clock / per-experiment / cache-counter "
+        "stats as JSON",
+    )
     everything.set_defaults(handler=cmd_reproduce_all)
     return parser
 

@@ -37,7 +37,7 @@ from repro.tools.verbosegc import GcSummary, VerboseGcLog
 from repro.util.rng import RngFactory
 from repro.workload.bridge import WorkloadPhaseSchedule
 from repro.workload.metrics import BenchmarkReport, evaluate_run
-from repro.workload.sut import RunResult, SystemUnderTest
+from repro.workload.sut import RunResult
 
 
 @dataclass(frozen=True)
@@ -163,9 +163,14 @@ class Characterization:
     @property
     def result(self) -> RunResult:
         if self._result is None:
-            self._result = SystemUnderTest(
-                self.config, self._rngs.fork("workload")
-            ).run()
+            # Routed through the shared run cache: the key is the
+            # config plus the "workload" fork label, which reproduces
+            # exactly the factory this property used to build inline
+            # (RngFactory(seed).fork("workload")), so the run is
+            # bit-identical to an uncached one.
+            from repro.experiments.common import simulate
+
+            self._result = simulate(self.config, rng_fork="workload")
         return self._result
 
     @property

@@ -19,10 +19,9 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.config import ExperimentConfig
-from repro.experiments.common import Row, bench_config, header
+from repro.experiments.common import Row, bench_config, header, simulate
 from repro.workload.cluster import ClusterLayout, ClusterRunResult, ClusterSUT
 from repro.workload.metrics import BenchmarkReport, evaluate_run
-from repro.workload.sut import SystemUnderTest
 
 
 @dataclass
@@ -91,7 +90,7 @@ class ClusterResult:
 
 def run(config: Optional[ExperimentConfig] = None) -> ClusterResult:
     config = config if config is not None else bench_config()
-    single = evaluate_run(SystemUnderTest(config).run())
+    single = evaluate_run(simulate(config))
 
     layouts = {
         # Same total core count as the single server (1 + 2x1 + 1 = 4).

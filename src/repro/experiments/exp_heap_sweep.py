@@ -25,10 +25,9 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.config import ExperimentConfig
-from repro.experiments.common import Row, bench_config, fmt, header
+from repro.experiments.common import Row, bench_config, fmt, header, simulate
 from repro.tools.verbosegc import VerboseGcLog
 from repro.workload.metrics import evaluate_run
-from repro.workload.sut import SystemUnderTest
 
 HEAP_SIZES_MB: Tuple[int, ...] = (256, 384, 512, 768, 1024, 1536)
 
@@ -117,7 +116,7 @@ def run(config: Optional[ExperimentConfig] = None) -> HeapSweepResult:
         cfg = dataclasses.replace(
             config, jvm=dataclasses.replace(config.jvm, heap_mb=heap_mb)
         )
-        result = SystemUnderTest(cfg).run()
+        result = simulate(cfg)
         report = evaluate_run(result)
         t0, t1 = result.steady_window()
         steady = [e for e in result.gc_events if t0 <= e.start_time_s < t1]

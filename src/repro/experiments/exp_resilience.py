@@ -39,14 +39,14 @@ from repro.config import (
     FaultEvent,
     RetryPolicy,
 )
-from repro.experiments.common import Row, bench_config, header
+from repro.experiments.common import Row, bench_config, header, simulate
 from repro.workload.metrics import (
     ResilienceReport,
     evaluate_resilience,
     goodput_series,
     time_to_recover,
 )
-from repro.workload.sut import RunResult, SystemUnderTest
+from repro.workload.sut import RunResult
 
 #: Retry policy used by the crash-with-retries scenario.  Timeouts are
 #: generous so the dominant client signal is the instant
@@ -272,7 +272,7 @@ def run(config: Optional[ExperimentConfig] = None) -> ResilienceResult:
 
     scenarios: Dict[str, Scenario] = {}
     for name, plan in plans.items():
-        result = SystemUnderTest(plan).run()
+        result = simulate(plan)
         events = plan.faults.events
         span = (events[0].start_s, events[0].end_s) if events else None
         recover_s = None

@@ -31,9 +31,8 @@ from repro.config import (
     TopologyConfig,
 )
 from repro.core.characterization import Characterization, HardwareSummary
-from repro.experiments.common import Row, bench_config, fmt, header
+from repro.experiments.common import Row, bench_config, fmt, header, simulate
 from repro.workload.metrics import evaluate_run
-from repro.workload.sut import SystemUnderTest
 
 #: (cores, topology) steps of the scaling study.
 TOPOLOGIES: Tuple[Tuple[int, TopologyConfig], ...] = (
@@ -225,7 +224,7 @@ def run(
         cfg = _with_demand_factor(
             scaled_config(config, cores), hw.cpi / baseline_cpi
         )
-        report = evaluate_run(SystemUnderTest(cfg).run())
+        report = evaluate_run(simulate(cfg))
         l25 = hw.data_source_shares.get(
             DataSource.L25_SHR, 0.0
         ) + hw.data_source_shares.get(DataSource.L25_MOD, 0.0)

@@ -30,10 +30,10 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.config import DiskConfig, ExperimentConfig
-from repro.experiments.common import Row, bench_config, fmt, header
+from repro.experiments.common import Row, bench_config, fmt, header, simulate
 from repro.tools.vmstat import VmstatReport
 from repro.workload.metrics import BenchmarkReport, evaluate_run
-from repro.workload.sut import RunResult, SystemUnderTest
+from repro.workload.sut import RunResult
 
 
 @dataclass(frozen=True)
@@ -173,7 +173,7 @@ class TuningResult:
 
 
 def _run_step(config: ExperimentConfig) -> Tuple[BenchmarkReport, float]:
-    result: RunResult = SystemUnderTest(config).run()
+    result: RunResult = simulate(config)
     report = evaluate_run(result)
     iowait = VmstatReport(result, interval_s=5.0).mean_iowait_pct()
     return report, iowait

@@ -18,10 +18,9 @@ from typing import Dict, List, Optional
 
 from repro.config import ExperimentConfig
 from repro.core.steady_state import coefficient_of_variation, detect_steady_start
-from repro.experiments.common import Row, bench_config, fmt, header, within
+from repro.experiments.common import Row, bench_config, fmt, header, simulate, within
 from repro.util.timeline import SampleSeries, TimeGrid
 from repro.workload.metrics import evaluate_run
-from repro.workload.sut import SystemUnderTest
 
 
 @dataclass
@@ -75,7 +74,7 @@ class Figure2Result:
 
 def run(config: Optional[ExperimentConfig] = None, bucket_s: float = 10.0) -> Figure2Result:
     config = config if config is not None else bench_config()
-    result = SystemUnderTest(config).run()
+    result = simulate(config)
     times, raw_series = result.timeline.throughput_series(bucket_s=bucket_s)
     names = result.timeline.tx_names
 

@@ -14,9 +14,9 @@ from dataclasses import dataclass
 from typing import List, Optional
 
 from repro.config import ExperimentConfig
-from repro.experiments.common import Row, bench_config, fmt, header, within
+from repro.experiments.common import Row, bench_config, fmt, header, simulate, within
 from repro.tools.verbosegc import GcSummary, VerboseGcLog
-from repro.workload.sut import RunResult, SystemUnderTest
+from repro.workload.sut import RunResult
 
 
 @dataclass
@@ -89,7 +89,7 @@ class Figure3Result:
 
 def run(config: Optional[ExperimentConfig] = None) -> Figure3Result:
     config = config if config is not None else bench_config()
-    result = SystemUnderTest(config).run()
+    result = simulate(config)
     t0, t1 = result.steady_window()
     steady_events = [e for e in result.gc_events if t0 <= e.start_time_s < t1]
     summary = VerboseGcLog(steady_events, t1 - t0).summary()

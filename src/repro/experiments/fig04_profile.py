@@ -20,12 +20,11 @@ from typing import Dict, List, Optional
 from repro.config import ExperimentConfig
 from repro.core.profile_analysis import ProfileAnalysis, analyze_profile
 from repro.cpu.regions import AddressSpace
-from repro.experiments.common import Row, bench_config, fmt, header, within
+from repro.experiments.common import Row, bench_config, fmt, header, simulate, within
 from repro.jvm.jit import JitCompiler
 from repro.jvm.methods import MethodRegistry
 from repro.tools.tprof import TprofReport
 from repro.util.rng import RngFactory
-from repro.workload.sut import SystemUnderTest
 
 
 @dataclass
@@ -117,7 +116,7 @@ class Figure4Result:
 def run(config: Optional[ExperimentConfig] = None) -> Figure4Result:
     config = config if config is not None else bench_config()
     rngs = RngFactory(config.seed)
-    result = SystemUnderTest(config, rngs.fork("workload")).run()
+    result = simulate(config, rng_fork="workload")
     space = AddressSpace.build(config.machine, config.jvm, config.workload.sharing)
     registry = MethodRegistry(config.jvm, space, rngs.stream("registry"))
     jit = JitCompiler(registry, rngs.stream("jit"))

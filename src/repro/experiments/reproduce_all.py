@@ -5,18 +5,36 @@ the chosen scale, concatenates the rendered outputs into one document
 (with a pass/off summary up front), and optionally writes it — the
 single artifact answering "does this reproduction still hold?".
 
-Exposed on the CLI as ``python -m repro reproduce-all [--output FILE]``.
+Two things keep the sweep close to the cost of its *distinct* work
+rather than the sum of its experiments:
+
+* every experiment simulates through
+  :func:`repro.experiments.common.simulate`, so catalog entries that
+  revisit the untouched baseline config (six of them do) reuse the
+  finished run via the content-addressed
+  :class:`~repro.runcache.RunCache`;
+* ``run(jobs=N)`` fans the catalog out over a process pool.  Each
+  experiment is deterministic in the config, so records are computed
+  in any order and merged back in catalog order — the rendered
+  experiment bodies are byte-identical to a serial sweep.  (Only the
+  timing/cache-counter lines of the summary vary run to run; pass
+  ``include_timing=False`` to render without them.)
+
+Exposed on the CLI as ``python -m repro reproduce-all
+[--jobs N] [--only MODULE] [--output FILE] [--stats-json FILE]``.
 """
 
 from __future__ import annotations
 
 import importlib
 import time
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.config import ExperimentConfig
 from repro.experiments.common import bench_config
+from repro.runcache import default_cache
 
 #: (experiment name, module, extra run() kwargs) in paper order.
 CATALOG: Tuple[Tuple[str, str, dict], ...] = (
@@ -44,6 +62,11 @@ CATALOG: Tuple[Tuple[str, str, dict], ...] = (
 )
 
 
+def catalog_modules() -> List[str]:
+    """The catalog's module names, in paper order."""
+    return [module_name for _, module_name, _ in CATALOG]
+
+
 @dataclass
 class ReproductionRecord:
     """Outcome of one experiment in the sweep."""
@@ -54,6 +77,10 @@ class ReproductionRecord:
     rows_total: int
     rows_off: List[str]
     lines: List[str] = field(repr=False, default_factory=list)
+    #: Run-cache lookups made while this experiment executed (memory
+    #: and disk hits folded together).
+    cache_hits: int = 0
+    cache_misses: int = 0
 
     @property
     def clean(self) -> bool:
@@ -65,10 +92,20 @@ class ReproduceAllResult:
     config: ExperimentConfig
     records: Dict[str, ReproductionRecord]
     total_seconds: float
+    #: Worker processes the sweep ran with (1 = serial).
+    jobs: int = 1
 
     @property
     def rows_total(self) -> int:
         return sum(r.rows_total for r in self.records.values())
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(r.cache_hits for r in self.records.values())
+
+    @property
+    def cache_misses(self) -> int:
+        return sum(r.cache_misses for r in self.records.values())
 
     @property
     def rows_off(self) -> List[Tuple[str, str]]:
@@ -78,23 +115,39 @@ class ReproduceAllResult:
             for label in r.rows_off
         ]
 
-    def summary_lines(self) -> List[str]:
-        lines = [
-            "=" * 72,
-            "FULL REPRODUCTION SWEEP",
-            "=" * 72,
+    def summary_lines(self, include_timing: bool = True) -> List[str]:
+        """The pass/off summary.
+
+        ``include_timing=False`` drops the wall-clock, per-experiment
+        time and cache-counter fields — everything left is a pure
+        function of the config, so two sweeps of the same config
+        render it byte-identically regardless of ``jobs``.
+        """
+        head = (
             f"experiments: {len(self.records)}   "
             f"paper-vs-measured rows: {self.rows_total}   "
-            f"off-band: {len(self.rows_off)}   "
-            f"wall clock: {self.total_seconds:.0f}s",
-            "",
-            f"  {'experiment':30s} {'rows':>5} {'off':>4} {'time':>7}",
-        ]
-        for r in self.records.values():
+            f"off-band: {len(self.rows_off)}"
+        )
+        if include_timing:
+            head += f"   wall clock: {self.total_seconds:.0f}s"
+        lines = ["=" * 72, "FULL REPRODUCTION SWEEP", "=" * 72, head]
+        if include_timing:
             lines.append(
-                f"  {r.title:30s} {r.rows_total:>5} {len(r.rows_off):>4} "
-                f"{r.seconds:>6.1f}s"
+                f"jobs: {self.jobs}   run cache: {self.cache_hits} hits / "
+                f"{self.cache_misses} misses"
             )
+        lines.append("")
+        columns = f"  {'experiment':30s} {'rows':>5} {'off':>4}"
+        if include_timing:
+            columns += f" {'time':>7} {'cache':>9}"
+        lines.append(columns)
+        for r in self.records.values():
+            row = f"  {r.title:30s} {r.rows_total:>5} {len(r.rows_off):>4}"
+            if include_timing:
+                row += (
+                    f" {r.seconds:>6.1f}s {r.cache_hits:>4}/{r.cache_misses:<4}"
+                )
+            lines.append(row)
         if self.rows_off:
             lines.append("")
             lines.append("  off-band rows (see EXPERIMENTS.md known gaps):")
@@ -102,40 +155,116 @@ class ReproduceAllResult:
                 lines.append(f"    {title}: {label}")
         return lines
 
-    def render_lines(self) -> List[str]:
-        lines = self.summary_lines()
+    def render_lines(self, include_timing: bool = True) -> List[str]:
+        lines = self.summary_lines(include_timing=include_timing)
         for r in self.records.values():
             lines.append("")
             lines.extend(r.lines)
         return lines
 
+    def stats_dict(self) -> Dict[str, Any]:
+        """Machine-readable sweep stats (the CI perf-trajectory shape)."""
+        return {
+            "wall_clock_s": round(self.total_seconds, 3),
+            "jobs": self.jobs,
+            "experiments": len(self.records),
+            "rows_total": self.rows_total,
+            "rows_off": len(self.rows_off),
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "per_experiment": {
+                r.module: {
+                    "seconds": round(r.seconds, 3),
+                    "rows": r.rows_total,
+                    "off": len(r.rows_off),
+                    "cache_hits": r.cache_hits,
+                    "cache_misses": r.cache_misses,
+                }
+                for r in self.records.values()
+            },
+        }
+
+
+def _execute(task: Tuple[str, str, dict, ExperimentConfig]) -> ReproductionRecord:
+    """Run one catalog entry and fold it into a record.
+
+    Top-level (picklable) so it works as a process-pool target; the
+    cache counters are read as a delta around the experiment so the
+    record reports its own lookups whether it runs serially (shared
+    in-process cache) or in a pool worker (per-worker cache, plus the
+    optional shared disk tier).
+    """
+    title, module_name, kwargs, config = task
+    stats = default_cache().stats
+    before = stats.snapshot()
+    module = importlib.import_module(f"repro.experiments.{module_name}")
+    started = time.perf_counter()
+    result = module.run(config, **kwargs)
+    elapsed = time.perf_counter() - started
+    delta = stats.since(before)
+    rows = result.rows()
+    return ReproductionRecord(
+        title=title,
+        module=module_name,
+        seconds=elapsed,
+        rows_total=len(rows),
+        rows_off=[r.label for r in rows if r.ok is False],
+        lines=result.render_lines(),
+        cache_hits=delta.hits + delta.disk_hits,
+        cache_misses=delta.misses,
+    )
+
 
 def run(
     config: Optional[ExperimentConfig] = None,
     only: Optional[List[str]] = None,
+    jobs: int = 1,
 ) -> ReproduceAllResult:
-    """Run the full catalog (or the named subset of module names)."""
+    """Run the full catalog (or the named subset of module names).
+
+    Args:
+        config: experiment configuration (bench scale by default).
+        only: subset of catalog module names to run.  Unknown names
+            raise ``ValueError`` (listing the valid ones) instead of
+            silently producing an empty — and clean-looking — sweep.
+        jobs: worker processes; ``1`` runs serially in-process.  The
+            merged records are in catalog order either way.
+    """
     config = config if config is not None else bench_config()
-    records: Dict[str, ReproductionRecord] = {}
-    sweep_start = time.time()
-    for title, module_name, kwargs in CATALOG:
-        if only is not None and module_name not in only:
-            continue
-        module = importlib.import_module(f"repro.experiments.{module_name}")
-        started = time.time()
-        result = module.run(config, **kwargs)
-        elapsed = time.time() - started
-        rows = result.rows()
-        records[module_name] = ReproductionRecord(
-            title=title,
-            module=module_name,
-            seconds=elapsed,
-            rows_total=len(rows),
-            rows_off=[r.label for r in rows if r.ok is False],
-            lines=result.render_lines(),
-        )
+    known = catalog_modules()
+    if only is not None:
+        unknown = sorted(set(only) - set(known))
+        if unknown:
+            raise ValueError(
+                f"unknown experiment module(s): {', '.join(unknown)}; "
+                f"valid names: {', '.join(known)}"
+            )
+    tasks = [
+        (title, module_name, kwargs, config)
+        for title, module_name, kwargs in CATALOG
+        if only is None or module_name in only
+    ]
+    sweep_start = time.perf_counter()
+    if jobs > 1 and len(tasks) > 1:
+        records = _run_pool(tasks, jobs)
+    else:
+        jobs = 1
+        records = [_execute(task) for task in tasks]
     return ReproduceAllResult(
         config=config,
-        records=records,
-        total_seconds=time.time() - sweep_start,
+        records={record.module: record for record in records},
+        total_seconds=time.perf_counter() - sweep_start,
+        jobs=jobs,
     )
+
+
+def _run_pool(tasks, jobs: int) -> List[ReproductionRecord]:
+    """Fan ``tasks`` out over a process pool, preserving task order."""
+    try:
+        pool = ProcessPoolExecutor(max_workers=min(jobs, len(tasks)))
+    except (ImportError, NotImplementedError, OSError):
+        # No usable multiprocessing primitives (some sandboxes): the
+        # sweep still completes, just serially.
+        return [_execute(task) for task in tasks]
+    with pool:
+        return list(pool.map(_execute, tasks))

@@ -23,13 +23,12 @@ from typing import Dict, List, Optional
 from repro.config import ExperimentConfig
 from repro.core.profile_analysis import ProfileAnalysis, analyze_profile
 from repro.cpu.regions import AddressSpace
-from repro.experiments.common import Row, bench_config, fmt, header
+from repro.experiments.common import Row, bench_config, fmt, header, simulate
 from repro.jvm.methods import MethodRegistry
 from repro.tools.verbosegc import VerboseGcLog
 from repro.util.rng import RngFactory
 from repro.workload.metrics import evaluate_run
 from repro.workload.presets import jbb2000_like, jvm98_like
-from repro.workload.sut import SystemUnderTest
 
 
 @dataclass(frozen=True)
@@ -109,7 +108,7 @@ class BaselinesResult:
 
 
 def _contrast(name: str, config: ExperimentConfig) -> WorkloadContrast:
-    result = SystemUnderTest(config).run()
+    result = simulate(config)
     report = evaluate_run(result)
     t0, t1 = result.steady_window()
     steady = [e for e in result.gc_events if t0 <= e.start_time_s < t1]

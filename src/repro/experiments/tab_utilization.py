@@ -16,9 +16,8 @@ from dataclasses import dataclass
 from typing import List, Optional
 
 from repro.config import DiskConfig, ExperimentConfig
-from repro.experiments.common import Row, bench_config, fmt, header, within
+from repro.experiments.common import Row, bench_config, fmt, header, simulate, within
 from repro.workload.metrics import BenchmarkReport, evaluate_run
-from repro.workload.sut import SystemUnderTest
 
 
 @dataclass
@@ -103,7 +102,7 @@ def _run_at(
     if disk is not None:
         workload = dataclasses.replace(workload, disk=disk)
     cfg = dataclasses.replace(config, workload=workload)
-    return evaluate_run(SystemUnderTest(cfg).run())
+    return evaluate_run(simulate(cfg))
 
 
 def run(config: Optional[ExperimentConfig] = None) -> UtilizationResult:

@@ -1,0 +1,172 @@
+"""Content-addressed cache of finished simulation runs.
+
+A :class:`~repro.workload.sut.RunResult` is fully determined by its
+:class:`~repro.config.ExperimentConfig` — the seed is part of the
+config — plus the name of the RNG namespace the SUT was started from.
+That makes runs *content-addressable*: the cache key is the SHA-256 of
+the canonical JSON serialization (via :mod:`repro.config_io`, the same
+round-trip-tested encoding the manifest files use) together with the
+RNG fork label.  Experiments that revisit a configuration — six of the
+21 ``reproduce-all`` catalog entries re-simulate the untouched
+baseline — get the finished run back instead of paying for it again.
+
+Two tiers:
+
+* **memory** — a plain dict, always on.  Hits return the *same*
+  ``RunResult`` object; experiments treat results as read-only, the
+  sharing discipline the session-scoped test fixtures already rely on.
+* **disk** — optional.  Results are pickled under ``<dir>/<key>.pkl``
+  so runs are shared across processes (the parallel ``reproduce-all``
+  workers) and across invocations.  Writes are atomic (write-to-temp
+  then :func:`os.replace`) so concurrent workers never observe a
+  partial file; an unreadable entry is treated as a miss.
+
+The process-wide default cache is what
+:func:`repro.experiments.common.simulate` uses.  Setting the
+``REPRO_RUN_CACHE_DIR`` environment variable gives the default cache a
+disk tier; a locally constructed :class:`RunCache` gives full
+isolation when a caller needs it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from repro.config import ExperimentConfig
+from repro.config_io import config_to_dict
+from repro.util.rng import RngFactory
+from repro.workload.sut import RunResult, SystemUnderTest
+
+
+def config_key(config: ExperimentConfig, rng_fork: Optional[str] = None) -> str:
+    """The content address of the run ``config`` would produce.
+
+    ``rng_fork`` names the RNG namespace the SUT is seeded from (the
+    characterization pipeline runs its workload under a ``"workload"``
+    fork so the CPU model's streams stay independent); two runs of the
+    same config under different namespaces draw different randomness
+    and therefore key differently.
+    """
+    payload = config_to_dict(config)
+    payload["_rng_fork"] = rng_fork
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class CacheStats:
+    """Lookup counters; ``hits`` is the in-memory tier."""
+
+    hits: int = 0
+    disk_hits: int = 0
+    misses: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.disk_hits + self.misses
+
+    def snapshot(self) -> "CacheStats":
+        return CacheStats(self.hits, self.disk_hits, self.misses)
+
+    def since(self, earlier: "CacheStats") -> "CacheStats":
+        """Counters accumulated after ``earlier`` was snapshotted."""
+        return CacheStats(
+            hits=self.hits - earlier.hits,
+            disk_hits=self.disk_hits - earlier.disk_hits,
+            misses=self.misses - earlier.misses,
+        )
+
+
+class RunCache:
+    """Memoizes ``SystemUnderTest(config).run()`` by config content."""
+
+    def __init__(self, disk_dir: Optional[Union[str, Path]] = None):
+        self._memory: Dict[str, RunResult] = {}
+        self.disk_dir = Path(disk_dir) if disk_dir is not None else None
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    def clear(self) -> None:
+        """Drop the memory tier (disk entries are left in place)."""
+        self._memory.clear()
+
+    def get_or_run(
+        self, config: ExperimentConfig, rng_fork: Optional[str] = None
+    ) -> RunResult:
+        """Return the run for ``config``, simulating it on first use."""
+        key = config_key(config, rng_fork)
+        cached = self._memory.get(key)
+        if cached is not None:
+            self.stats.hits += 1
+            return cached
+        result = self._load_disk(key)
+        if result is not None:
+            self.stats.disk_hits += 1
+            self._memory[key] = result
+            return result
+        self.stats.misses += 1
+        factory = RngFactory(config.seed)
+        if rng_fork is not None:
+            factory = factory.fork(rng_fork)
+        result = SystemUnderTest(config, factory).run()
+        self._memory[key] = result
+        self._store_disk(key, result)
+        return result
+
+    # ------------------------------------------------------------------
+    # Disk tier
+    # ------------------------------------------------------------------
+    def _disk_path(self, key: str) -> Optional[Path]:
+        return self.disk_dir / f"{key}.pkl" if self.disk_dir is not None else None
+
+    def _load_disk(self, key: str) -> Optional[RunResult]:
+        path = self._disk_path(key)
+        if path is None or not path.exists():
+            return None
+        try:
+            return pickle.loads(path.read_bytes())
+        except Exception:
+            # A truncated or stale-format entry is just a miss.
+            return None
+
+    def _store_disk(self, key: str, result: RunResult) -> None:
+        path = self._disk_path(key)
+        if path is None:
+            return
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+        tmp.write_bytes(pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL))
+        os.replace(tmp, path)
+
+
+_default_cache: Optional[RunCache] = None
+
+
+def default_cache() -> RunCache:
+    """The process-wide cache (created lazily on first use)."""
+    global _default_cache
+    if _default_cache is None:
+        _default_cache = RunCache(
+            disk_dir=os.environ.get("REPRO_RUN_CACHE_DIR") or None
+        )
+    return _default_cache
+
+
+def set_default_cache(cache: Optional[RunCache]) -> Optional[RunCache]:
+    """Swap the process-wide cache; returns the previous one.
+
+    Passing ``None`` resets to a lazily re-created default (re-reading
+    ``REPRO_RUN_CACHE_DIR``).
+    """
+    global _default_cache
+    previous = _default_cache
+    _default_cache = cache
+    return previous

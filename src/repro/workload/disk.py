@@ -61,8 +61,12 @@ class DiskModel:
             completed.append(request)
             self.total_completed += 1
         # Carry at most one service quantum of residual budget so an
-        # empty queue does not bank unlimited capacity.
-        self._carry_ms = min(budget, service) if self._queue else 0.0
+        # empty queue does not bank unlimited capacity.  The cap is the
+        # *un-degraded* quantum: capping against a fault-inflated
+        # quantum would bank many healthy quanta of free capacity for
+        # the tick a disk_degraded fault clears.
+        carry_cap = min(service, self.config.service_ms)
+        self._carry_ms = min(budget, carry_cap) if self._queue else 0.0
         self.wait_samples += len(self._queue)
         return completed
 

@@ -10,24 +10,50 @@ it suspends into the disk queue (a DB2 buffer-pool miss).
 
 from __future__ import annotations
 
+import math
 import random
 from typing import List, Optional
 
 from repro.config import TransactionSpec
 
+#: Above this rate the sampler switches from Knuth's product form to
+#: the equivalent log-space sum.  The product form underflows once
+#: ``exp(-lam)`` reaches the subnormal range (lam ~ 745), at which
+#: point it returns a lam-*independent* count (~700, wherever the
+#: running product hits 0.0); well before that the comparison loses
+#: precision.  30 keeps the historical bit-exact draws for every rate
+#: the shipped configs produce while staying far from the cliff.
+_KNUTH_LAMBDA_MAX = 30.0
+
 
 def poisson(rng: random.Random, lam: float) -> int:
-    """Knuth's Poisson sampler (fine for the small per-tick rates)."""
+    """Poisson sampler, exact for small and large rates.
+
+    Small ``lam`` uses Knuth's product method (bit-compatible with the
+    historical draws).  Large ``lam`` counts unit-rate exponential
+    inter-arrivals in log space — mathematically the same test
+    (``prod(u_i) <= exp(-lam)``  iff  ``sum(-log(u_i)) >= lam``) but
+    immune to the underflow that made high-IR scaling configs draw
+    garbage.
+    """
     if lam <= 0.0:
         return 0
-    threshold = pow(2.718281828459045, -lam)
+    if lam <= _KNUTH_LAMBDA_MAX:
+        threshold = pow(2.718281828459045, -lam)
+        k = 0
+        p = 1.0
+        while True:
+            p *= rng.random()
+            if p <= threshold:
+                return k
+            k += 1
+    # 1 - u maps random()'s [0, 1) onto (0, 1] so log() is total.
     k = 0
-    p = 1.0
-    while True:
-        p *= rng.random()
-        if p <= threshold:
-            return k
+    total = -math.log(1.0 - rng.random())
+    while total <= lam:
         k += 1
+        total -= math.log(1.0 - rng.random())
+    return k
 
 
 class Request:

@@ -39,6 +39,30 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
 
+    def test_reproduce_all_flags(self):
+        parser = build_parser()
+        args = parser.parse_args(
+            [
+                "reproduce-all",
+                "--jobs",
+                "4",
+                "--only",
+                "fig02_throughput,fig03_gc",
+                "--only",
+                "tab_locking",
+                "--stats-json",
+                "stats.json",
+            ]
+        )
+        assert args.jobs == 4
+        assert args.only == ["fig02_throughput,fig03_gc", "tab_locking"]
+        assert args.stats_json == "stats.json"
+
+    def test_reproduce_all_defaults_serial(self):
+        args = build_parser().parse_args(["reproduce-all"])
+        assert args.jobs == 1
+        assert args.only is None
+
 
 class TestExecution:
     def test_figure_command_runs(self, capsys):
@@ -54,6 +78,33 @@ class TestExecution:
     def test_compare_command_runs(self, capsys):
         assert main(["compare", "--scale", "quick"]) == 0
         assert "Simple Java Benchmarks" in capsys.readouterr().out
+
+    def test_reproduce_all_unknown_only_fails_fast(self, capsys):
+        # A typo must not render as a clean empty sweep.
+        assert main(["reproduce-all", "--scale", "quick", "--only", "fig99_nope"]) == 2
+        out = capsys.readouterr().out
+        assert "fig99_nope" in out
+        assert "valid names" in out
+
+    def test_reproduce_all_subset_with_stats(self, capsys, tmp_path):
+        import json
+
+        stats_path = tmp_path / "stats.json"
+        code = main(
+            [
+                "reproduce-all",
+                "--scale",
+                "quick",
+                "--only",
+                "fig03_gc",
+                "--stats-json",
+                str(stats_path),
+            ]
+        )
+        assert code == 0
+        stats = json.loads(stats_path.read_text())
+        assert set(stats["per_experiment"]) == {"fig03_gc"}
+        assert {"wall_clock_s", "jobs", "cache_hits", "cache_misses"} <= set(stats)
 
     def test_save_and_reuse_config(self, capsys, tmp_path):
         path = tmp_path / "manifest.json"

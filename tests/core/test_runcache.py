@@ -1,0 +1,134 @@
+"""Tests for the content-addressed run cache and ``simulate()``."""
+
+import dataclasses
+
+from repro.config import FaultConfig, FaultEvent
+from repro.experiments.common import simulate
+from repro.runcache import RunCache, config_key
+from repro.util.rng import RngFactory
+from repro.workload.presets import jas2004
+from repro.workload.sut import SystemUnderTest
+
+
+def small_config(seed=5):
+    return jas2004(duration_s=120.0, seed=seed)
+
+
+def assert_bit_identical(a, b):
+    """Two RunResults are the same run, field by field."""
+    assert a.timeline.records == b.timeline.records
+    assert a.gc_events == b.gc_events
+    assert a.responses == b.responses
+    assert a.rejected == b.rejected
+    assert a.db_hit_ratio == b.db_hit_ratio
+    assert a.disk_utilization == b.disk_utilization
+    assert a.disk_mean_queue == b.disk_mean_queue
+    assert a.final_heap_used == b.final_heap_used
+    assert a.final_dark_matter == b.final_dark_matter
+    assert a.resilience == b.resilience
+
+
+class TestConfigKey:
+    def test_stable_for_equal_configs(self):
+        assert config_key(small_config()) == config_key(small_config())
+
+    def test_seed_changes_key(self):
+        assert config_key(small_config(seed=5)) != config_key(small_config(seed=6))
+
+    def test_rng_fork_changes_key(self):
+        cfg = small_config()
+        assert config_key(cfg) != config_key(cfg, rng_fork="workload")
+
+    def test_any_config_field_changes_key(self):
+        cfg = small_config()
+        faulted = dataclasses.replace(
+            cfg,
+            faults=FaultConfig(
+                events=(
+                    FaultEvent(
+                        kind="db_slowdown",
+                        start_s=10.0,
+                        duration_s=10.0,
+                        magnitude=2.0,
+                    ),
+                )
+            ),
+        )
+        assert config_key(cfg) != config_key(faulted)
+
+
+class TestMemoryTier:
+    def test_hit_returns_same_object_and_counts(self):
+        cache = RunCache()
+        cfg = small_config()
+        first = cache.get_or_run(cfg)
+        second = cache.get_or_run(cfg)
+        assert second is first
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 1
+        assert len(cache) == 1
+
+    def test_different_forks_are_different_entries(self):
+        cache = RunCache()
+        cfg = small_config()
+        plain = cache.get_or_run(cfg)
+        forked = cache.get_or_run(cfg, rng_fork="workload")
+        assert cache.stats.misses == 2
+        # Different RNG namespaces draw different randomness.
+        assert plain.responses != forked.responses
+
+
+class TestDiskTier:
+    def test_shared_across_cache_instances(self, tmp_path):
+        cfg = small_config()
+        writer = RunCache(disk_dir=tmp_path)
+        original = writer.get_or_run(cfg)
+        reader = RunCache(disk_dir=tmp_path)
+        restored = reader.get_or_run(cfg)
+        assert reader.stats.disk_hits == 1
+        assert reader.stats.misses == 0
+        assert_bit_identical(restored, original)
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cfg = small_config()
+        key = config_key(cfg)
+        (tmp_path / f"{key}.pkl").write_bytes(b"not a pickle")
+        cache = RunCache(disk_dir=tmp_path)
+        result = cache.get_or_run(cfg)
+        assert cache.stats.misses == 1
+        assert_bit_identical(result, SystemUnderTest(cfg).run())
+
+    def test_clear_drops_memory_but_keeps_disk(self, tmp_path):
+        cache = RunCache(disk_dir=tmp_path)
+        cfg = small_config()
+        cache.get_or_run(cfg)
+        cache.clear()
+        assert len(cache) == 0
+        cache.get_or_run(cfg)
+        assert cache.stats.disk_hits == 1
+
+
+class TestDeterminism:
+    """The satellite guarantee: caching never changes a run."""
+
+    def test_cached_equals_uncached(self):
+        cfg = small_config()
+        cached = RunCache().get_or_run(cfg)
+        fresh = SystemUnderTest(cfg).run()
+        assert_bit_identical(cached, fresh)
+
+    def test_rng_fork_matches_inline_fork(self):
+        """The cache rebuilds exactly the factory the characterization
+        pipeline used to construct inline."""
+        cfg = small_config()
+        cached = RunCache().get_or_run(cfg, rng_fork="workload")
+        inline = SystemUnderTest(cfg, RngFactory(cfg.seed).fork("workload")).run()
+        assert_bit_identical(cached, inline)
+
+    def test_simulate_uses_given_cache(self):
+        cache = RunCache()
+        cfg = small_config()
+        a = simulate(cfg, cache=cache)
+        b = simulate(cfg, cache=cache)
+        assert a is b
+        assert cache.stats.hits == 1

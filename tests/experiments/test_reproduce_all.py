@@ -50,3 +50,48 @@ class TestSubsetRun:
         text = "\n".join(result.render_lines())
         assert "Garbage Collection Statistics" in text
         assert "Locking" in text
+
+    def test_summary_reports_cache_and_jobs(self, result):
+        text = "\n".join(result.summary_lines())
+        assert "run cache:" in text
+        assert "jobs: 1" in text
+
+
+class TestOnlyValidation:
+    def test_unknown_module_raises_with_valid_names(self):
+        with pytest.raises(ValueError) as err:
+            run(make_quick_config(), only=["fig03_gc", "fig99_nope"])
+        message = str(err.value)
+        assert "fig99_nope" in message
+        # The error teaches the valid vocabulary.
+        assert "fig03_gc" in message and "exp_resilience" in message
+
+    def test_typo_does_not_yield_clean_empty_sweep(self):
+        with pytest.raises(ValueError):
+            run(make_quick_config(), only=["fig03-gc"])
+
+
+class TestParallelSweep:
+    """jobs=N must be a pure wall-clock optimization."""
+
+    SUBSET = ["fig02_throughput", "fig03_gc", "tab_utilization"]
+
+    @pytest.fixture(scope="class")
+    def serial(self):
+        return run(make_quick_config(), only=self.SUBSET)
+
+    @pytest.fixture(scope="class")
+    def parallel(self):
+        return run(make_quick_config(), only=self.SUBSET, jobs=4)
+
+    def test_report_byte_identical_to_serial(self, serial, parallel):
+        assert parallel.render_lines(include_timing=False) == serial.render_lines(
+            include_timing=False
+        )
+
+    def test_records_in_catalog_order(self, serial, parallel):
+        assert list(parallel.records) == list(serial.records) == self.SUBSET
+
+    def test_rows_accounting_matches(self, serial, parallel):
+        assert parallel.rows_total == serial.rows_total
+        assert parallel.rows_off == serial.rows_off

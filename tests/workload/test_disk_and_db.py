@@ -63,6 +63,34 @@ class TestDiskModel:
         with pytest.raises(ValueError):
             DiskConfig(kind="hdd", n_disks=0)
 
+    def test_fault_clear_does_not_bank_degraded_carry(self):
+        """Regression: the carry-over cap must use the un-degraded
+        service quantum.  Capping against the fault-inflated quantum
+        let the model bank several healthy quanta of free capacity,
+        paid out as a completion burst the tick a disk_degraded fault
+        cleared."""
+        disk = DiskModel(DiskConfig.hard_disks(1, service_ms=40.0), tick_s=0.1)
+        for i in range(10):
+            disk.submit(make_request(seed=i))
+        disk.service_factor = 3.0  # degraded service: 120 ms > the tick
+        assert disk.tick() == []  # tick's 100 ms cannot finish one I/O
+        disk.service_factor = 1.0  # fault clears
+        burst = disk.tick()
+        # At most one healthy quantum (40 ms) carries over: the first
+        # healthy tick serves floor((100 + 40) / 40) = 3 requests — not
+        # the 5 that carrying min(100, 120) = 100 ms used to allow.
+        assert len(burst) == 3
+
+    def test_healthy_carry_still_preserved(self):
+        """The fix must not change fault-free carry behavior: residual
+        budget up to one quantum still rolls into the next tick."""
+        disk = DiskModel(DiskConfig.hard_disks(1, service_ms=30.0), tick_s=0.1)
+        for i in range(10):
+            disk.submit(make_request(seed=i))
+        assert len(disk.tick()) == 3  # 100 // 30, residual 10 ms kept
+        assert len(disk.tick()) == 3  # (10 + 100) // 30
+        assert len(disk.tick()) == 4  # (20 + 100) // 30
+
 
 class TestDatabase:
     def make_db(self, ir=40, hit=0.72, seed=5):

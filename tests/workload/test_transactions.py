@@ -27,6 +27,55 @@ class TestPoisson:
         rng = random.Random(2)
         assert all(poisson(rng, 0.3) >= 0 for _ in range(100))
 
+    def test_small_lambda_draws_bit_compatible(self):
+        """The log-space rewrite must not perturb the small-rate draws
+        every shipped config produces (golden runs depend on them)."""
+
+        def knuth(rng, lam):
+            threshold = pow(2.718281828459045, -lam)
+            k, p = 0, 1.0
+            while True:
+                p *= rng.random()
+                if p <= threshold:
+                    return k
+                k += 1
+
+        ours, reference = random.Random(3), random.Random(3)
+        assert [poisson(ours, 2.5) for _ in range(2000)] == [
+            knuth(reference, 2.5) for _ in range(2000)
+        ]
+
+
+class TestPoissonLargeLambda:
+    """Regression: Knuth's product method underflows for lam >~ 745
+    (``exp(-lam)`` is 0.0), returning a lam-independent count of ~700
+    for *any* larger rate — latent breakage for high-IR scaling
+    configs."""
+
+    def test_mean_and_variance_at_lambda_800(self):
+        rng = random.Random(11)
+        lam = 800.0
+        draws = [poisson(rng, lam) for _ in range(3000)]
+        mean = sum(draws) / len(draws)
+        var = sum((d - mean) ** 2 for d in draws) / len(draws)
+        assert mean == pytest.approx(lam, rel=0.02)
+        assert var == pytest.approx(lam, rel=0.15)
+
+    def test_samples_track_lambda_beyond_underflow(self):
+        # exp(-lam) underflows for both rates; the old sampler returned
+        # the same garbage distribution for each.
+        rng = random.Random(7)
+        mean_800 = sum(poisson(rng, 800.0) for _ in range(400)) / 400
+        mean_1600 = sum(poisson(rng, 1600.0) for _ in range(400)) / 400
+        assert mean_800 == pytest.approx(800.0, rel=0.05)
+        assert mean_1600 == pytest.approx(1600.0, rel=0.05)
+
+    def test_mid_range_lambda_unaffected_by_switchover(self):
+        rng = random.Random(13)
+        lam = 200.0
+        draws = [poisson(rng, lam) for _ in range(2000)]
+        assert sum(draws) / len(draws) == pytest.approx(lam, rel=0.03)
+
 
 class TestRequest:
     def make(self, spec, io_count=2, seed=3):
