@@ -15,6 +15,7 @@ Commands::
     methodology    sampling-budget ablation for the correlation study
     compare        jas2004 vs the simple-benchmark baselines
     reproduce-all  regenerate the entire paper into one report
+    profile        cProfile the core-model hot paths (top-N + JSON)
 
 Every command accepts ``--scale quick|bench|full`` (default ``quick``)
 and ``--seed N``.
@@ -55,7 +56,9 @@ def cmd_characterize(args: argparse.Namespace) -> int:
 
     study = Characterization(_config(args))
     report = study.run(
-        hw_windows=args.windows, correlation_windows_per_group=args.windows
+        hw_windows=args.windows,
+        correlation_windows_per_group=args.windows,
+        correlation_jobs=args.jobs,
     )
     print(render_report(report))
     return 0
@@ -82,6 +85,8 @@ def cmd_figure(args: argparse.Namespace) -> int:
         return 2
     module_name, kwargs = _FIGURES[args.number]
     module = importlib.import_module(f"repro.experiments.{module_name}")
+    if args.number == 10 and args.jobs > 1:
+        kwargs = dict(kwargs, jobs=args.jobs)
     result = module.run(_config(args), **kwargs)
     _emit(result.render_lines())
     return 0
@@ -122,6 +127,21 @@ def cmd_save_config(args: argparse.Namespace) -> int:
 
     save_config(_config(args), args.output)
     print(f"wrote {args.output}")
+    return 0
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    from repro.profiling import profile_windows
+
+    report = profile_windows(
+        _config(args), windows=args.windows, top_n=args.top
+    )
+    _emit(report.render_lines())
+    if args.json:
+        from pathlib import Path
+
+        Path(args.json).write_text(report.to_json() + "\n")
+        print(f"\nprofile JSON written to {args.json}")
     return 0
 
 
@@ -190,13 +210,32 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser(
+    characterize = sub.add_parser(
         "characterize", help="full study + report", parents=[common]
-    ).set_defaults(handler=cmd_characterize)
+    )
+    characterize.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="N>1 runs the correlation campaign's per-group variant in "
+        "N worker processes (byte-identical for any N>1; default 1 "
+        "keeps the classic shared-core campaign)",
+    )
+    characterize.set_defaults(handler=cmd_characterize)
     figure = sub.add_parser(
         "figure", help="regenerate one figure", parents=[common]
     )
     figure.add_argument("number", type=int)
+    figure.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="N>1 runs figure 10's per-group campaign variant in N "
+        "worker processes (byte-identical for any N>1; default 1 keeps "
+        "the classic shared-core campaign)",
+    )
     figure.set_defaults(handler=cmd_figure)
     sub.add_parser(
         "tables", help="regenerate the in-text tables", parents=[common]
@@ -268,6 +307,25 @@ def build_parser() -> argparse.ArgumentParser:
         "stats as JSON",
     )
     everything.set_defaults(handler=cmd_reproduce_all)
+    profile = sub.add_parser(
+        "profile",
+        help="cProfile the core-model hot paths",
+        parents=[common],
+    )
+    profile.add_argument(
+        "--top",
+        type=int,
+        default=15,
+        metavar="N",
+        help="report the top N functions by inclusive time (default: 15)",
+    )
+    profile.add_argument(
+        "--json",
+        metavar="FILE",
+        default=None,
+        help="also write the report as JSON",
+    )
+    profile.set_defaults(handler=cmd_profile)
     return parser
 
 

@@ -72,9 +72,14 @@ class HardwareSummary:
     def from_snapshots(cls, snapshots: Sequence[CounterSnapshot]) -> "HardwareSummary":
         if not snapshots:
             raise ValueError("no snapshots to summarize")
-        agg = snapshots[0]
-        for s in snapshots[1:]:
-            agg = agg.merged_with(s)
+        # Single-pass aggregation into one mutable dict; the pairwise
+        # merged_with() chain this replaces copied the full event dict
+        # per snapshot (O(n^2) in the window count).
+        totals: Dict[Event, int] = {}
+        for s in snapshots:
+            for ev, count in s.counts.items():
+                totals[ev] = totals.get(ev, 0) + count
+        agg = CounterSnapshot(counts=totals)
         n = max(1, agg.instructions)
         e = Event
         data_total = sum(agg[ev] for ev in DATA_SOURCE_EVENTS) or 1
@@ -144,6 +149,12 @@ class CharacterizationReport:
 
 class Characterization:
     """Builds and runs the whole study for one configuration."""
+
+    #: The core-model implementation windows execute on.  A seam for
+    #: benchmarking: ``benchmarks/test_core_kernels.py`` rebinds it to
+    #: :class:`repro.cpu.reference.ReferenceCoreModel` to time the
+    #: pinned pre-optimization kernels end to end.
+    core_model_cls = CoreModel
 
     def __init__(self, config: ExperimentConfig, include_kernel: bool = False):
         self.config = config
@@ -216,7 +227,7 @@ class Characterization:
                 include_kernel=self.include_kernel,
                 jit=self.jit,
             )
-            self._core = CoreModel(
+            self._core = self.core_model_cls(
                 self.config.machine,
                 self.space,
                 schedule,
@@ -246,6 +257,34 @@ class Characterization:
         self.ensure_warm()
         return self.hpm.sample_all(range(start, start + n))
 
+    def group_hpm(self, group_name: str) -> HpmStat:
+        """An :class:`HpmStat` over a core dedicated to one counter group.
+
+        The core draws from RNG forks named after the group
+        (``bridge.corr.<group>`` / ``cpu.corr.<group>``), which are
+        derived statelessly from the config seed — so per-group
+        measurement campaigns are order-independent and can run in
+        parallel processes (:func:`repro.core.correlation.run_group_campaign`).
+        The core is warmed before it is returned.
+        """
+        schedule = WorkloadPhaseSchedule(
+            self.result,
+            self.registry,
+            self.space,
+            self._rngs.fork(f"bridge.corr.{group_name}"),
+            include_kernel=self.include_kernel,
+            jit=self.jit,
+        )
+        core = self.core_model_cls(
+            self.config.machine,
+            self.space,
+            schedule,
+            self.config.sampling,
+            self._rngs.fork(f"cpu.corr.{group_name}"),
+        )
+        core.warm_up(range(self.config.sampling.warmup_windows))
+        return HpmStat(core, self.config.sampling.window_interval_s)
+
     # ------------------------------------------------------------------
     # The full study
     # ------------------------------------------------------------------
@@ -253,6 +292,7 @@ class Characterization:
         self,
         hw_windows: int = 120,
         correlation_windows_per_group: int = 40,
+        correlation_jobs: int = 1,
     ) -> CharacterizationReport:
         """Run the complete characterization.
 
@@ -260,6 +300,14 @@ class Characterization:
             hw_windows: windows for the aggregate hardware summary.
             correlation_windows_per_group: windows measured per counter
                 group for the Figure 10 study (0 disables it).
+            correlation_jobs: 1 (default) runs the classic campaign —
+                one shared core cycled through the counter groups,
+                exactly as hpmstat cycles groups on one machine.
+                N > 1 opts into the order-independent per-group
+                campaign (:func:`repro.core.correlation.run_group_campaign`),
+                whose report is byte-identical for any worker count
+                but is a different (statistically equivalent)
+                realization than the shared-core campaign.
         """
         from repro.core.insights import derive_findings
 
@@ -282,11 +330,22 @@ class Characterization:
 
         correlations = None
         if correlation_windows_per_group:
-            study = CpiCorrelationStudy(self.hpm)
-            correlations = study.run(
-                windows_per_group=correlation_windows_per_group,
-                start_window=hw_windows,
-            )
+            if correlation_jobs > 1:
+                from repro.core.correlation import run_group_campaign
+
+                correlations = run_group_campaign(
+                    self.config,
+                    windows_per_group=correlation_windows_per_group,
+                    start_window=hw_windows,
+                    jobs=correlation_jobs,
+                    include_kernel=self.include_kernel,
+                )
+            else:
+                study = CpiCorrelationStudy(self.hpm)
+                correlations = study.run(
+                    windows_per_group=correlation_windows_per_group,
+                    start_window=hw_windows,
+                )
 
         report = CharacterizationReport(
             config=self.config,

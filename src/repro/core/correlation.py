@@ -23,11 +23,13 @@ positively.
 
 from __future__ import annotations
 
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.hpm.counters import CounterSnapshot
 from repro.hpm.events import BASE_EVENTS, Event
+from repro.hpm.groups import CounterGroup, default_catalog
 from repro.hpm.hpmstat import HpmSample, HpmStat
 from repro.util.stats import pearson
 
@@ -79,8 +81,65 @@ class CpiCorrelationReport:
         )[:n]
 
 
+def _fold_group(
+    report: CpiCorrelationReport,
+    group: CounterGroup,
+    samples: Sequence[HpmSample],
+) -> None:
+    """Fold one group's samples into ``report`` (shared by both campaigns)."""
+    snapshots = [s.snapshot for s in samples]
+    cpis = [_cpi(s) for s in snapshots]
+    for event in group.events:
+        if event in BASE_EVENTS:
+            continue
+        counts = [float(s[event]) for s in snapshots]
+        r = pearson(counts, cpis)
+        existing = report.correlations.get(event)
+        # An event can live in several groups; keep the estimate
+        # from the larger sample (ties: first seen).
+        if existing is None or len(samples) > existing.n_samples:
+            report.correlations[event] = EventCorrelation(
+                event=event, r=r, group=group.name, n_samples=len(samples)
+            )
+    _fold_special_pairs(report, group.name, snapshots)
+
+
+def _fold_special_pairs(
+    report: CpiCorrelationReport,
+    group_name: str,
+    snapshots: Sequence[CounterSnapshot],
+) -> None:
+    e = Event
+    if group_name == "ifetch":
+        ta = [float(s[e.PM_BR_MPRED_TA]) for s in snapshots]
+        icache_miss = [
+            float(
+                s[e.PM_INST_FROM_L2] + s[e.PM_INST_FROM_L3] + s[e.PM_INST_FROM_MEM]
+            )
+            for s in snapshots
+        ]
+        report.r_target_miss_vs_icache_miss = pearson(ta, icache_miss)
+    elif group_name == "basic":
+        spec = [s.speculation_rate for s in snapshots]
+        l1_miss = [s.l1d_miss_rate for s in snapshots]
+        report.r_speculation_vs_l1_miss = pearson(spec, l1_miss)
+    elif group_name == "branch":
+        branches = [float(s[e.PM_BR_CMPL]) for s in snapshots]
+        ta = [float(s[e.PM_BR_MPRED_TA]) for s in snapshots]
+        cond = [float(s[e.PM_BR_MPRED_CR]) for s in snapshots]
+        report.r_branches_vs_target_miss = pearson(branches, ta)
+        report.r_cond_miss_vs_branches = pearson(cond, branches)
+
+
 class CpiCorrelationStudy:
-    """Runs the group-by-group correlation campaign."""
+    """Runs the group-by-group correlation campaign on one shared core.
+
+    This is the single-machine campaign: every group samples the *same*
+    executor, so group *k*'s windows run against hardware state warmed
+    by groups ``0..k-1`` (exactly like cycling hpmstat through groups
+    during one long run).  It is inherently sequential; the
+    parallelizable campaign is :func:`run_group_campaign`.
+    """
 
     def __init__(self, hpmstat: HpmStat):
         self.hpmstat = hpmstat
@@ -105,59 +164,107 @@ class CpiCorrelationStudy:
             base = start_window + k * windows_per_group * stride
             indices = [base + j * stride for j in range(windows_per_group)]
             samples = self.hpmstat.sample_group(group.name, indices)
-            self._fold_group(report, group.name, samples)
+            _fold_group(report, group, samples)
         return report
 
-    # ------------------------------------------------------------------
-    def _fold_group(
-        self,
-        report: CpiCorrelationReport,
-        group_name: str,
-        samples: Sequence[HpmSample],
-    ) -> None:
-        snapshots = [s.snapshot for s in samples]
-        cpis = [_cpi(s) for s in snapshots]
-        group = self.hpmstat.catalog[group_name]
-        for event in group.events:
-            if event in BASE_EVENTS:
-                continue
-            counts = [float(s[event]) for s in snapshots]
-            r = pearson(counts, cpis)
-            existing = report.correlations.get(event)
-            # An event can live in several groups; keep the estimate
-            # from the larger sample (ties: first seen).
-            if existing is None or len(samples) > existing.n_samples:
-                report.correlations[event] = EventCorrelation(
-                    event=event, r=r, group=group_name, n_samples=len(samples)
-                )
-        self._fold_special_pairs(report, group_name, snapshots)
 
-    def _fold_special_pairs(
-        self,
-        report: CpiCorrelationReport,
-        group_name: str,
-        snapshots: Sequence[CounterSnapshot],
-    ) -> None:
-        e = Event
-        if group_name == "ifetch":
-            ta = [float(s[e.PM_BR_MPRED_TA]) for s in snapshots]
-            icache_miss = [
-                float(
-                    s[e.PM_INST_FROM_L2] + s[e.PM_INST_FROM_L3] + s[e.PM_INST_FROM_MEM]
-                )
-                for s in snapshots
-            ]
-            report.r_target_miss_vs_icache_miss = pearson(ta, icache_miss)
-        elif group_name == "basic":
-            spec = [s.speculation_rate for s in snapshots]
-            l1_miss = [s.l1d_miss_rate for s in snapshots]
-            report.r_speculation_vs_l1_miss = pearson(spec, l1_miss)
-        elif group_name == "branch":
-            branches = [float(s[e.PM_BR_CMPL]) for s in snapshots]
-            ta = [float(s[e.PM_BR_MPRED_TA]) for s in snapshots]
-            cond = [float(s[e.PM_BR_MPRED_CR]) for s in snapshots]
-            report.r_branches_vs_target_miss = pearson(branches, ta)
-            report.r_cond_miss_vs_branches = pearson(cond, branches)
+# ----------------------------------------------------------------------
+# The parallel per-group campaign
+# ----------------------------------------------------------------------
+#
+# Each counter group is measured as a fully independent task: its own
+# core model seeded from group-named RNG forks (stateless in the config
+# seed, so task order cannot matter) executing its own stretch of the
+# workload timeline.  That independence is what makes the campaign
+# legally parallel — fan the groups over a process pool and the merged
+# report is byte-identical to running them one after another.
+# Windows *within* a group stay sequential because cache and predictor
+# state persists across them.
+
+#: Per-process memo of Characterization studies, keyed by the config's
+#: content address.  A pool worker receives several group tasks for the
+#: same config; the workload simulation and code model are built once.
+_WORKER_STUDIES: Dict[str, object] = {}
+
+
+def _worker_study(config, include_kernel: bool):
+    from repro.core.characterization import Characterization
+    from repro.runcache import config_key
+
+    key = f"{config_key(config)}:{include_kernel}"
+    study = _WORKER_STUDIES.get(key)
+    if study is None:
+        study = Characterization(config, include_kernel=include_kernel)
+        _WORKER_STUDIES[key] = study
+    return study
+
+
+def _sample_group_task(task) -> List[HpmSample]:
+    """Sample one group's stretch of windows on its own core.
+
+    Top-level (picklable) so it can run in a pool worker; the serial
+    fallback calls it directly with the same task tuples.
+    """
+    config, include_kernel, group_name, windows_per_group, base, stride = task
+    study = _worker_study(config, include_kernel)
+    hpm = study.group_hpm(group_name)
+    indices = [base + j * stride for j in range(windows_per_group)]
+    return hpm.sample_group(group_name, indices)
+
+
+def run_group_campaign(
+    config,
+    windows_per_group: int,
+    start_window: int = 0,
+    stride: int = 1,
+    jobs: int = 1,
+    include_kernel: bool = False,
+) -> CpiCorrelationReport:
+    """Run the Figure 10 campaign with per-group cores, optionally parallel.
+
+    Args:
+        config: the :class:`~repro.config.ExperimentConfig` to measure.
+        windows_per_group: windows sampled per counter group.
+        start_window: first window of group 0's stretch; group *k*
+            starts ``k * windows_per_group * stride`` later.
+        stride: spacing between sampled windows.
+        jobs: worker processes; ``1`` (the default) runs serially
+            in-process.  Results are merged in catalog order either
+            way, so the report is byte-identical regardless of ``jobs``.
+        include_kernel: forwarded to the per-group characterizations.
+    """
+    if windows_per_group < 3:
+        raise ValueError("need at least 3 windows per group")
+    catalog = default_catalog()
+    groups = list(catalog)
+    tasks = [
+        (
+            config,
+            include_kernel,
+            group.name,
+            windows_per_group,
+            start_window + k * windows_per_group * stride,
+            stride,
+        )
+        for k, group in enumerate(groups)
+    ]
+    results: Optional[List[List[HpmSample]]] = None
+    if jobs > 1 and len(tasks) > 1:
+        try:
+            pool = ProcessPoolExecutor(max_workers=min(jobs, len(tasks)))
+        except (ImportError, NotImplementedError, OSError):
+            # No usable multiprocessing primitives (some sandboxes):
+            # the campaign still completes, just serially.
+            pool = None
+        if pool is not None:
+            with pool:
+                results = list(pool.map(_sample_group_task, tasks))
+    if results is None:
+        results = [_sample_group_task(task) for task in tasks]
+    report = CpiCorrelationReport()
+    for group, samples in zip(groups, results):
+        _fold_group(report, group, samples)
+    return report
 
 
 def correlation_matrix(

@@ -9,11 +9,35 @@ exposes the two operations trace-driven simulation needs: ``lookup``
 (probe + LRU update) and ``fill`` (insert after a miss).  Stores on the
 POWER4 L1D are write-through and *non-allocating*, which callers express
 by simply not filling on a store miss.
+
+Kernel layout
+-------------
+This is the hot kernel of the whole simulator: at steady state every
+modeled load, store and instruction-line fetch probes at least one of
+these caches.  Sets are therefore stored as preallocated *way lists*
+(``self.sets[s]`` is a plain Python list of resident block ids) rather
+than the per-set ``OrderedDict`` of the original implementation, with
+replacement handled by manual rotation:
+
+* index ``0`` of a way list is the next victim;
+* the last index is the most recently inserted (FIFO) or most recently
+  used (LRU) block;
+* an LRU hit rotates the block to the end of its way list.
+
+At L1 associativities (2-way here, <=32 ways for the translation
+structures) a C-level list scan beats both hashing into an
+``OrderedDict`` and a numpy row per set — see
+``benchmarks/test_core_kernels.py``, which measures all three, and
+``docs/performance.md`` for the numbers.  The way lists are public on
+purpose: :mod:`repro.cpu.stream` and :mod:`repro.cpu.hierarchy` fuse
+probe+update sequences against this layout in their inner loops.  The
+pinned pre-optimization implementation lives in
+:mod:`repro.cpu.reference` and property tests assert access-for-access
+equivalence between the two.
 """
 
 from __future__ import annotations
 
-from collections import OrderedDict
 from typing import List, Optional
 
 
@@ -25,6 +49,8 @@ class SetAssociativeCache:
     before lookup.
     """
 
+    __slots__ = ("n_sets", "associativity", "policy", "sets", "lru", "hits", "misses")
+
     def __init__(self, n_sets: int, associativity: int, policy: str = "lru"):
         if n_sets <= 0 or associativity <= 0:
             raise ValueError("cache dimensions must be positive")
@@ -33,12 +59,10 @@ class SetAssociativeCache:
         self.n_sets = n_sets
         self.associativity = associativity
         self.policy = policy
-        # One OrderedDict per set: key -> None, insertion order is the
-        # replacement order (for LRU we refresh on hit, for FIFO we
-        # do not).
-        self._sets: List["OrderedDict[int, None]"] = [
-            OrderedDict() for _ in range(n_sets)
-        ]
+        #: True for LRU replacement (hits rotate to MRU), False for FIFO.
+        self.lru = policy == "lru"
+        #: One way list per set; index 0 is the next victim.
+        self.sets: List[List[int]] = [[] for _ in range(n_sets)]
         self.hits = 0
         self.misses = 0
 
@@ -47,20 +71,18 @@ class SetAssociativeCache:
         """Build from a :class:`repro.config.CacheGeometry`."""
         return cls(geometry.n_sets, geometry.associativity, geometry.policy)
 
-    def _set_for(self, block: int) -> "OrderedDict[int, None]":
-        return self._sets[block % self.n_sets]
-
     def lookup(self, block: int) -> bool:
         """Probe for ``block``; returns True on hit.
 
         On an LRU hit the block becomes most-recently-used.  A miss
         does *not* insert — call :meth:`fill` if the access allocates.
         """
-        ways = self._set_for(block)
+        ways = self.sets[block % self.n_sets]
         if block in ways:
             self.hits += 1
-            if self.policy == "lru":
-                ways.move_to_end(block)
+            if self.lru and ways[-1] != block:
+                ways.remove(block)
+                ways.append(block)
             return True
         self.misses += 1
         return False
@@ -71,33 +93,55 @@ class SetAssociativeCache:
         Returns the evicted block id, or None if nothing was evicted
         (or the block was already present).
         """
-        ways = self._set_for(block)
+        ways = self.sets[block % self.n_sets]
         if block in ways:
-            if self.policy == "lru":
-                ways.move_to_end(block)
+            if self.lru and ways[-1] != block:
+                ways.remove(block)
+                ways.append(block)
             return None
         victim = None
         if len(ways) >= self.associativity:
-            victim, _ = ways.popitem(last=False)
-        ways[block] = None
+            victim = ways[0]
+            del ways[0]
+        ways.append(block)
         return victim
+
+    def access(self, block: int) -> bool:
+        """Fused probe-and-allocate: :meth:`lookup` + :meth:`fill` on miss.
+
+        The natural operation for structures that always allocate
+        (ERATs, TLB); one call instead of two on the miss path.
+        Returns True on hit.
+        """
+        ways = self.sets[block % self.n_sets]
+        if block in ways:
+            self.hits += 1
+            if self.lru and ways[-1] != block:
+                ways.remove(block)
+                ways.append(block)
+            return True
+        self.misses += 1
+        if len(ways) >= self.associativity:
+            del ways[0]
+        ways.append(block)
+        return False
 
     def contains(self, block: int) -> bool:
         """Probe without updating replacement state or statistics."""
-        return block in self._set_for(block)
+        return block in self.sets[block % self.n_sets]
 
     def invalidate(self, block: int) -> bool:
         """Remove ``block`` if present; returns True if it was."""
-        ways = self._set_for(block)
+        ways = self.sets[block % self.n_sets]
         if block in ways:
-            del ways[block]
+            ways.remove(block)
             return True
         return False
 
     def flush(self) -> None:
         """Empty the cache (does not reset statistics)."""
-        for ways in self._sets:
-            ways.clear()
+        for ways in self.sets:
+            del ways[:]
 
     def reset_stats(self) -> None:
         self.hits = 0
@@ -106,7 +150,7 @@ class SetAssociativeCache:
     @property
     def occupancy(self) -> int:
         """Number of blocks currently resident."""
-        return sum(len(ways) for ways in self._sets)
+        return sum(len(ways) for ways in self.sets)
 
     @property
     def capacity(self) -> int:

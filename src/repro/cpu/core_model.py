@@ -45,7 +45,21 @@ class StaticSchedule:
 
 
 class CoreModel:
-    """One simulated core plus its private memory-side structures."""
+    """One simulated core plus its private memory-side structures.
+
+    The collaborating structure classes are class attributes so that a
+    subclass can swap implementations wholesale —
+    :class:`repro.cpu.reference.ReferenceCoreModel` rebinds all of them
+    to the pinned pre-optimization kernels for equivalence tests and
+    benchmarking.
+    """
+
+    counter_bank_cls = CounterBank
+    memory_system_cls = MemorySystem
+    translation_unit_cls = TranslationUnit
+    branch_unit_cls = BranchUnit
+    slice_runner_cls = SliceRunner
+    accountant_cls = PipelineAccountant
 
     def __init__(
         self,
@@ -59,19 +73,19 @@ class CoreModel:
         self.space = space
         self.schedule = schedule
         self.sampling = sampling
-        self._bank = CounterBank()
+        self._bank = self.counter_bank_cls()
         self._rng_stream = rng_factory.stream("cpu.stream")
         self._rng_backing = rng_factory.stream("cpu.backing")
         self._rng_pipeline = rng_factory.stream("cpu.pipeline")
-        self.memory = MemorySystem(machine, self._bank, self._rng_backing)
-        self.translation = TranslationUnit(machine.translation)
-        self.branches = BranchUnit(machine.branch)
+        self.memory = self.memory_system_cls(machine, self._bank, self._rng_backing)
+        self.translation = self.translation_unit_cls(machine.translation)
+        self.branches = self.branch_unit_cls(machine.branch)
         self.windows_executed = 0
 
     def execute_window(self, window_index: int) -> CounterSnapshot:
         """Execute one sampling window and return its counters."""
         self._bank.reset()
-        accountant = PipelineAccountant(self.machine.latencies, self._rng_pipeline)
+        accountant = self.accountant_cls(self.machine.latencies, self._rng_pipeline)
         descriptor = self.schedule.descriptor_for(window_index)
         budget = float(self.sampling.window_cycles)
         target = 0.0
@@ -79,7 +93,7 @@ class CoreModel:
             if fraction <= 0.0:
                 continue
             target += fraction * budget
-            runner = SliceRunner(
+            runner = self.slice_runner_cls(
                 profile=profile,
                 space=self.space,
                 memory=self.memory,

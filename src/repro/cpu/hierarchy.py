@@ -12,7 +12,9 @@ exception: lines covered by an active prefetch stream behave like L1
 hits and are counted as prefetches.
 
 All HPM events are counted here, directly into the shared
-:class:`~repro.hpm.counters.CounterBank`.
+:class:`~repro.hpm.counters.CounterBank` — by precomputed slot index
+(see :data:`repro.hpm.events.EVENT_INDEX`), not per-event enum-dict
+increments.
 """
 
 from __future__ import annotations
@@ -26,7 +28,21 @@ from repro.cpu.prefetch import PrefetchOutcome, StreamPrefetcher
 from repro.cpu.regions import Region
 from repro.cpu.sources import DataSource, InstSource
 from repro.hpm.counters import CounterBank
-from repro.hpm.events import Event
+from repro.hpm.events import EVENT_INDEX, Event
+
+# Counter slot indices for the events this module counts.
+_LD_REF = EVENT_INDEX[Event.PM_LD_REF_L1]
+_LD_MISS = EVENT_INDEX[Event.PM_LD_MISS_L1]
+_ST_REF = EVENT_INDEX[Event.PM_ST_REF_L1]
+_ST_MISS = EVENT_INDEX[Event.PM_ST_MISS_L1]
+_L1_PREF = EVENT_INDEX[Event.PM_L1_PREF]
+_L2_PREF = EVENT_INDEX[Event.PM_L2_PREF]
+_STREAM_ALLOC = EVENT_INDEX[Event.PM_STREAM_ALLOC]
+_INST_FROM_L1 = EVENT_INDEX[Event.PM_INST_FROM_L1]
+# Source enum -> counter slot, precomputed (DataSource.event is a
+# property behind a dict; two lookups folded into one here).
+_DATA_SLOT = {src: EVENT_INDEX[src.event] for src in DataSource}
+_INST_SLOT = {src: EVENT_INDEX[src.event] for src in InstSource}
 
 
 class MemorySystem:
@@ -42,10 +58,9 @@ class MemorySystem:
         self._dline = machine.l1d.line_bytes
         self._iline = machine.l1i.line_bytes
         # Store-gather buffer: the SRQ merges stores that hit a line
-        # with a pending store transaction (OrderedDict = LRU of 8).
-        from collections import OrderedDict
-
-        self._store_gather: "OrderedDict[int, None]" = OrderedDict()
+        # with a pending store transaction (insertion-ordered dict =
+        # LRU of 8; the first key is the eviction victim).
+        self._store_gather = {}
 
     # ------------------------------------------------------------------
     # Data side
@@ -57,27 +72,27 @@ class MemorySystem:
         for an L1D hit (including prefetch-covered accesses) and the
         :class:`DataSource` the line came from otherwise.
         """
-        c = self.counters
-        c.add(Event.PM_LD_REF_L1)
+        data = self.counters.data
+        data[_LD_REF] += 1
         line = addr // self._dline
 
         covered = self.prefetcher.cover(line)
         if covered.covered:
             self.l1d.fill(line)
-            c.add(Event.PM_L1_PREF, covered.l1_prefetches)
-            c.add(Event.PM_L2_PREF, covered.l2_prefetches)
+            data[_L1_PREF] += covered.l1_prefetches
+            data[_L2_PREF] += covered.l2_prefetches
             return None, covered
 
         if self.l1d.lookup(line):
             return None, covered
 
-        c.add(Event.PM_LD_MISS_L1)
+        data[_LD_MISS] += 1
         outcome = self.prefetcher.on_miss(line)
         if outcome.allocated:
-            c.add(Event.PM_STREAM_ALLOC)
-            c.add(Event.PM_L2_PREF, outcome.l2_prefetches)
+            data[_STREAM_ALLOC] += 1
+            data[_L2_PREF] += outcome.l2_prefetches
         source = region.pick_source(self.rng)
-        c.add(source.event)
+        data[_DATA_SLOT[source]] += 1
         self.l1d.fill(line)
         return source, outcome
 
@@ -87,20 +102,21 @@ class MemorySystem:
         Write-through: the L2 is updated either way.  Non-allocating:
         a miss does not install the line in L1.
         """
-        c = self.counters
-        c.add(Event.PM_ST_REF_L1)
+        data = self.counters.data
+        data[_ST_REF] += 1
         line = addr // self._dline
         gather = self._store_gather
         if line in gather:
-            # Gathered with a pending store to the same line.
-            gather.move_to_end(line)
+            # Gathered with a pending store to the same line: refresh.
+            del gather[line]
+            gather[line] = None
             return True
         gather[line] = None
         if len(gather) > 8:
-            gather.popitem(last=False)
+            del gather[next(iter(gather))]
         if self.l1d.lookup(line):
             return True
-        c.add(Event.PM_ST_MISS_L1)
+        data[_ST_MISS] += 1
         return False
 
     # ------------------------------------------------------------------
@@ -108,13 +124,13 @@ class MemorySystem:
     # ------------------------------------------------------------------
     def fetch(self, addr: int, region: Region) -> InstSource:
         """Fetch one instruction cache line; returns where it came from."""
-        c = self.counters
+        data = self.counters.data
         line = addr // self._iline
         if self.l1i.lookup(line):
-            c.add(Event.PM_INST_FROM_L1)
+            data[_INST_FROM_L1] += 1
             return InstSource.L1
         source = region.pick_inst_source(self.rng)
-        c.add(source.event)
+        data[_INST_SLOT[source]] += 1
         self.l1i.fill(line)
         return source
 

@@ -15,19 +15,25 @@ The model keeps the mechanism and the counters:
   counted as an L1D prefetch (``PM_L1_PREF``) and the line is staged so
   the access behaves like an L1 hit;
 * each stream advance also runs the L2 stage ahead (``PM_L2_PREF``).
+
+:class:`PrefetchOutcome` is frozen and the prefetcher returns interned
+instances — the distinct outcomes of one configuration are just four
+values, so the per-load fast path allocates nothing.  Stream and
+run-detector state live in plain insertion-ordered dicts (first key =
+LRU victim); the dict objects keep their identity for the prefetcher's
+lifetime so the stream kernel may bind them directly.
 """
 
 from __future__ import annotations
 
-from collections import OrderedDict
 from dataclasses import dataclass
 
 from repro.config import PrefetcherConfig
 
 
-@dataclass
+@dataclass(frozen=True)
 class PrefetchOutcome:
-    """What the prefetcher did for one load."""
+    """What the prefetcher did for one load (interned; never mutate)."""
 
     #: The access was satisfied by a prefetched line.
     covered: bool = False
@@ -39,19 +45,29 @@ class PrefetchOutcome:
     l2_prefetches: int = 0
 
 
+#: Shared outcomes for the two config-independent cases.
+NOT_COVERED = PrefetchOutcome()
+COVERED = PrefetchOutcome(covered=True, l1_prefetches=1, l2_prefetches=1)
+
+
 class StreamPrefetcher:
     """Sequential stream detector + runner."""
 
     def __init__(self, config: PrefetcherConfig):
         self.config = config
-        # Active streams: next expected line -> None (OrderedDict = LRU).
-        self._streams: "OrderedDict[int, None]" = OrderedDict()
+        # Active streams: next expected line -> None (insertion order =
+        # LRU order; the first key is the eviction victim).
+        self._streams = {}
         # Ascending-run detector: line -> length of the strictly
         # consecutive miss run ending at that line.  Requiring a full
         # run (rather than any recent adjacent miss) keeps clustered
         # random misses from masquerading as sequential streams.
-        self._runs: "OrderedDict[int, int]" = OrderedDict()
+        self._runs = {}
         self._runs_capacity = 24
+        #: Allocation outcome for this configuration (depth is fixed).
+        self.alloc_outcome = PrefetchOutcome(
+            allocated=True, l2_prefetches=config.depth
+        )
 
     def cover(self, line: int) -> PrefetchOutcome:
         """Check whether an active stream covers ``line``.
@@ -60,30 +76,31 @@ class StreamPrefetcher:
         advances to the following line and the access should be treated
         as hitting prefetched data.
         """
-        if line in self._streams:
-            del self._streams[line]
-            self._streams[line + 1] = None  # advance, refresh LRU
-            return PrefetchOutcome(covered=True, l1_prefetches=1, l2_prefetches=1)
-        return PrefetchOutcome()
+        streams = self._streams
+        if line in streams:
+            del streams[line]
+            streams[line + 1] = None  # advance, refresh LRU
+            return COVERED
+        return NOT_COVERED
 
     def on_miss(self, line: int) -> PrefetchOutcome:
         """Feed an uncovered L1D load miss to the stream detector."""
-        outcome = PrefetchOutcome()
-        run = self._runs.pop(line - 1, 0) + 1
+        runs = self._runs
+        run = runs.pop(line - 1, 0) + 1
         if run > self.config.allocate_after:
             # A confirmed ascending run: allocate (or refresh) a stream.
-            if (line + 1) not in self._streams:
-                while len(self._streams) >= self.config.n_streams:
-                    self._streams.popitem(last=False)
-                self._streams[line + 1] = None
-                outcome.allocated = True
+            streams = self._streams
+            if (line + 1) not in streams:
+                while len(streams) >= self.config.n_streams:
+                    del streams[next(iter(streams))]
+                streams[line + 1] = None
                 # The stream's initial run-ahead primes the L2 stage.
-                outcome.l2_prefetches = self.config.depth
+                return self.alloc_outcome
         else:
-            self._runs[line] = run
-            while len(self._runs) > self._runs_capacity:
-                self._runs.popitem(last=False)
-        return outcome
+            runs[line] = run
+            while len(runs) > self._runs_capacity:
+                del runs[next(iter(runs))]
+        return NOT_COVERED
 
     @property
     def active_streams(self) -> int:

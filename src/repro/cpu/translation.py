@@ -17,6 +17,15 @@ Two modeling details matter for reproducing the paper's Section 4.2.2:
   of TLB entries, which both slashes DTLB misses (+25% hit rate in the
   paper) and frees capacity for instruction pages (+15% ITLB hit rate)
   — the cross-side effect falls out of the shared structure.
+
+The structures reuse the array-backed cache kernel from
+:mod:`repro.cpu.cache` (fused :meth:`~SetAssociativeCache.access`
+probes), and every translation outcome is one of three interned
+:class:`TranslationResult` instances — the hot path never allocates.
+:meth:`TranslationUnit.translate_data_code` /
+:meth:`~TranslationUnit.translate_inst_code` return the same outcome as
+a small int for callers (the stream kernel) that want to branch without
+touching a result object at all.
 """
 
 from __future__ import annotations
@@ -26,6 +35,11 @@ from dataclasses import dataclass
 from repro.config import TranslationConfig
 from repro.cpu.cache import SetAssociativeCache
 from repro.cpu.regions import Region
+
+#: Int codes for the three translation outcomes (the *_code fast paths).
+ERAT_HIT = 0
+ERAT_MISS_TLB_HIT = 1
+ERAT_MISS_TLB_MISS = 2
 
 
 @dataclass(frozen=True)
@@ -41,8 +55,18 @@ class TranslationResult:
         return self.erat_miss and not self.tlb_miss
 
 
+#: The three possible outcomes, interned; indexable by the int codes.
+_RESULTS = (
+    TranslationResult(erat_miss=False, tlb_miss=False),
+    TranslationResult(erat_miss=True, tlb_miss=False),
+    TranslationResult(erat_miss=True, tlb_miss=True),
+)
+
+
 class _Erat:
     """One ERAT: a small cache of 4 KB-granule translations."""
+
+    __slots__ = ("granule_bytes", "cache")
 
     def __init__(self, entries: int, associativity: int, granule_bytes: int):
         if entries % associativity != 0:
@@ -52,15 +76,13 @@ class _Erat:
 
     def access(self, addr: int) -> bool:
         """Translate; returns True on hit, filling on miss."""
-        granule = addr // self.granule_bytes
-        if self.cache.lookup(granule):
-            return True
-        self.cache.fill(granule)
-        return False
+        return self.cache.access(addr // self.granule_bytes)
 
 
 class _UnifiedTlb:
     """The unified TLB, indexed by (page number, page size class)."""
+
+    __slots__ = ("cache", "data_hits", "data_misses", "inst_hits", "inst_misses")
 
     def __init__(self, entries: int, associativity: int):
         if entries % associativity != 0:
@@ -77,10 +99,8 @@ class _UnifiedTlb:
         return (addr // page_bytes) * 2 + (1 if page_bytes > 4096 else 0)
 
     def access(self, addr: int, page_bytes: int, is_data: bool) -> bool:
-        key = self._key(addr, page_bytes)
-        hit = self.cache.lookup(key)
-        if not hit:
-            self.cache.fill(key)
+        key = (addr // page_bytes) * 2 + (1 if page_bytes > 4096 else 0)
+        hit = self.cache.access(key)
         if is_data:
             if hit:
                 self.data_hits += 1
@@ -115,19 +135,41 @@ class TranslationUnit:
         )
         self.tlb = _UnifiedTlb(config.tlb_entries, config.tlb_associativity)
 
+    # ------------------------------------------------------------------
+    # Fast paths: outcome as an int code, no result object
+    # ------------------------------------------------------------------
+    def translate_data_code(self, addr: int, page_bytes: int) -> int:
+        """Translate a load/store address; returns an ``ERAT_*`` code."""
+        if self.derat.cache.access(addr // self.derat.granule_bytes):
+            return ERAT_HIT
+        tlb = self.tlb
+        if tlb.cache.access((addr // page_bytes) * 2 + (1 if page_bytes > 4096 else 0)):
+            tlb.data_hits += 1
+            return ERAT_MISS_TLB_HIT
+        tlb.data_misses += 1
+        return ERAT_MISS_TLB_MISS
+
+    def translate_inst_code(self, addr: int, page_bytes: int) -> int:
+        """Translate an instruction-fetch address; returns an ``ERAT_*`` code."""
+        if self.ierat.cache.access(addr // self.ierat.granule_bytes):
+            return ERAT_HIT
+        tlb = self.tlb
+        if tlb.cache.access((addr // page_bytes) * 2 + (1 if page_bytes > 4096 else 0)):
+            tlb.inst_hits += 1
+            return ERAT_MISS_TLB_HIT
+        tlb.inst_misses += 1
+        return ERAT_MISS_TLB_MISS
+
+    # ------------------------------------------------------------------
+    # Result-object API (figures, tests, external callers)
+    # ------------------------------------------------------------------
     def translate_data(self, addr: int, region: Region) -> TranslationResult:
         """Translate a load/store address."""
-        if self.derat.access(addr):
-            return TranslationResult(erat_miss=False, tlb_miss=False)
-        tlb_hit = self.tlb.access(addr, region.page_bytes, is_data=True)
-        return TranslationResult(erat_miss=True, tlb_miss=not tlb_hit)
+        return _RESULTS[self.translate_data_code(addr, region.page_bytes)]
 
     def translate_inst(self, addr: int, region: Region) -> TranslationResult:
         """Translate an instruction-fetch address."""
-        if self.ierat.access(addr):
-            return TranslationResult(erat_miss=False, tlb_miss=False)
-        tlb_hit = self.tlb.access(addr, region.page_bytes, is_data=False)
-        return TranslationResult(erat_miss=True, tlb_miss=not tlb_hit)
+        return _RESULTS[self.translate_inst_code(addr, region.page_bytes)]
 
     # Convenience accessors for the large-page ablation report.
     @property

@@ -9,33 +9,62 @@ reports (CPI, speculation rate, per-instruction miss rates).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Mapping
+from typing import Iterable, Mapping, Tuple
 
-from repro.hpm.events import Event
+from repro.hpm.events import EVENTS, EVENT_INDEX, N_EVENTS, Event
+
+#: Template for zeroing a bank in place (sliced-copied, never mutated).
+_ZEROS = (0,) * N_EVENTS
 
 
 class CounterBank:
-    """A mutable bank of hardware event counters."""
+    """A mutable bank of hardware event counters.
+
+    Kernel layout: counts live in :attr:`data`, a flat list of ints
+    indexed by :data:`repro.hpm.events.EVENT_INDEX`.  The CPU model's
+    hot loops bind ``data`` once and increment slots directly — the
+    list identity is stable for the bank's lifetime (:meth:`reset`
+    zeroes it in place), so such bindings stay valid across windows.
+    The enum-keyed :meth:`add`/:meth:`value` API is unchanged for
+    everything off the hot path.
+    """
+
+    __slots__ = ("data",)
 
     def __init__(self) -> None:
-        self._counts: Dict[Event, int] = {event: 0 for event in Event}
+        self.data = [0] * N_EVENTS
 
     def add(self, event: Event, n: int = 1) -> None:
         """Increment ``event`` by ``n`` (``n`` may be any non-negative int)."""
         if n < 0:
             raise ValueError(f"negative increment for {event}: {n}")
-        self._counts[event] += n
+        self.data[EVENT_INDEX[event]] += n
+
+    def add_batch(self, increments: Iterable[Tuple[int, int]]) -> None:
+        """Apply ``(slot_index, n)`` increments in one call.
+
+        The batch counterpart of :meth:`add` for code that accumulates
+        several events locally (e.g. one fetch block's worth) and
+        flushes them together.
+        """
+        data = self.data
+        for index, n in increments:
+            if n < 0:
+                raise ValueError(f"negative increment for slot {index}: {n}")
+            data[index] += n
 
     def value(self, event: Event) -> int:
-        return self._counts[event]
+        return self.data[EVENT_INDEX[event]]
 
     def reset(self) -> None:
-        for event in self._counts:
-            self._counts[event] = 0
+        self.data[:] = _ZEROS
 
     def snapshot(self) -> "CounterSnapshot":
         """Freeze the current counts into an immutable snapshot."""
-        return CounterSnapshot(counts=dict(self._counts))
+        data = self.data
+        return CounterSnapshot(
+            counts={event: data[i] for i, event in enumerate(EVENTS)}
+        )
 
 
 @dataclass(frozen=True)

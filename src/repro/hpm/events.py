@@ -90,6 +90,18 @@ class Event(enum.Enum):
         return self.value
 
 
+#: All events in definition order.  This order is the *kernel layout*:
+#: :class:`repro.hpm.counters.CounterBank` stores one integer per event
+#: at the event's position in this tuple, and the hot loops in
+#: :mod:`repro.cpu` increment those slots directly by index.
+EVENTS = tuple(Event)
+
+#: Number of counter slots in a bank.
+N_EVENTS = len(EVENTS)
+
+#: Event -> slot index for the int-indexed counter kernel.
+EVENT_INDEX = {event: index for index, event in enumerate(EVENTS)}
+
 #: Events that every counter group must contain (the POWER4 group sets
 #: used by the paper all carried cycles and completed instructions).
 BASE_EVENTS = (Event.PM_CYC, Event.PM_INST_CMPL)

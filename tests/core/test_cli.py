@@ -27,6 +27,7 @@ class TestParser:
             "compare",
             "save-config",
             "reproduce-all",
+            "profile",
         }
 
     def test_scale_flag_after_subcommand(self):

@@ -1,0 +1,74 @@
+"""Determinism of the parallel per-group correlation campaign.
+
+Each counter group is measured on its own independently seeded core
+(RNG forks named after the group, derived statelessly from the config
+seed), so fanning the groups over a process pool must produce a report
+byte-identical to running them serially — that equivalence is the
+contract that makes ``--jobs`` legal, and it is asserted here.
+"""
+
+import pytest
+
+from repro.core.correlation import run_group_campaign
+from repro.experiments.common import quick_config
+from repro.hpm.groups import default_catalog
+
+
+def _canonical(report):
+    """A stable, fully-ordered rendering of every field of the report."""
+    return (
+        tuple(
+            (e.name, c.r, c.group, c.n_samples)
+            for e, c in sorted(
+                report.correlations.items(), key=lambda kv: kv[0].name
+            )
+        ),
+        report.r_target_miss_vs_icache_miss,
+        report.r_speculation_vs_l1_miss,
+        report.r_branches_vs_target_miss,
+        report.r_cond_miss_vs_branches,
+    )
+
+
+@pytest.fixture(scope="module")
+def config():
+    return quick_config(seed=2007)
+
+
+@pytest.fixture(scope="module")
+def serial_report(config):
+    return run_group_campaign(config, windows_per_group=10, jobs=1)
+
+
+class TestParallelMatchesSerial:
+    def test_byte_identical(self, config, serial_report):
+        parallel = run_group_campaign(config, windows_per_group=10, jobs=3)
+        assert _canonical(parallel) == _canonical(serial_report)
+
+    def test_repeatable(self, config, serial_report):
+        again = run_group_campaign(config, windows_per_group=10, jobs=1)
+        assert _canonical(again) == _canonical(serial_report)
+
+
+class TestCampaignShape:
+    def test_covers_all_groups(self, serial_report):
+        groups = {c.group for c in serial_report.correlations.values()}
+        catalog_names = {g.name for g in default_catalog()}
+        assert groups <= catalog_names
+        # Every group contributed at least one non-base event.
+        assert len(groups) >= 3
+
+    def test_special_pairs_populated(self, serial_report):
+        assert serial_report.r_target_miss_vs_icache_miss is not None
+        assert serial_report.r_speculation_vs_l1_miss is not None
+        assert serial_report.r_branches_vs_target_miss is not None
+        assert serial_report.r_cond_miss_vs_branches is not None
+
+    def test_sane_r_values(self, serial_report):
+        for corr in serial_report.correlations.values():
+            assert -1.0 <= corr.r <= 1.0
+            assert corr.n_samples == 10
+
+    def test_minimum_windows_enforced(self, config):
+        with pytest.raises(ValueError):
+            run_group_campaign(config, windows_per_group=2)

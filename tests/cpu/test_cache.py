@@ -105,7 +105,7 @@ def test_occupancy_never_exceeds_capacity(blocks, policy):
             cache.fill(b)
     assert cache.occupancy <= cache.capacity
     # Every set individually respects associativity.
-    for ways in cache._sets:
+    for ways in cache.sets:
         assert len(ways) <= cache.associativity
 
 

@@ -1,0 +1,108 @@
+"""Property tests: the array-backed cache kernel is access-for-access
+equivalent to the original OrderedDict reference implementation.
+
+The optimized :class:`~repro.cpu.cache.SetAssociativeCache` (flat
+preallocated way lists, manual LRU/FIFO rotation) must agree with
+:class:`~repro.cpu.reference.ReferenceSetAssociativeCache` on *every*
+observable: hit/miss booleans per access, eviction victims per fill,
+hit/miss counters, occupancy, and membership — for both replacement
+policies.  Hypothesis drives randomized operation sequences over small
+geometries where collisions and evictions are frequent.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cpu.cache import SetAssociativeCache
+from repro.cpu.reference import ReferenceSetAssociativeCache
+
+# Small geometries make every set contended.
+_GEOMETRIES = st.sampled_from([(1, 1), (1, 2), (2, 2), (4, 2), (2, 4), (8, 2)])
+_POLICIES = st.sampled_from(["lru", "fifo"])
+
+# An operation is (opcode, block).
+_OPS = st.lists(
+    st.tuples(
+        st.sampled_from(["lookup", "fill", "access", "contains", "invalidate", "flush"]),
+        st.integers(0, 63),
+    ),
+    min_size=1,
+    max_size=300,
+)
+
+
+def _pair(geometry, policy):
+    n_sets, ways = geometry
+    return (
+        SetAssociativeCache(n_sets, ways, policy),
+        ReferenceSetAssociativeCache(n_sets, ways, policy),
+    )
+
+
+def _assert_same_state(new, ref):
+    assert new.hits == ref.hits
+    assert new.misses == ref.misses
+    assert new.occupancy == ref.occupancy
+    # Membership and replacement order agree set by set: the reference
+    # OrderedDict's iteration order (victim first) must equal the
+    # optimized way list's order (index 0 = victim).
+    for ways, ref_ways in zip(new.sets, ref._sets):
+        assert list(ways) == list(ref_ways)
+
+
+@settings(max_examples=120, deadline=None)
+@given(_GEOMETRIES, _POLICIES, _OPS)
+def test_operation_sequences_equivalent(geometry, policy, ops):
+    new, ref = _pair(geometry, policy)
+    for op, block in ops:
+        if op == "lookup":
+            assert new.lookup(block) == ref.lookup(block)
+        elif op == "fill":
+            assert new.fill(block) == ref.fill(block)
+        elif op == "access":
+            # The fused lookup-or-fill kernel vs the reference's
+            # two-step protocol (what the seed memory system did).
+            got = new.access(block)
+            want = ref.lookup(block)
+            if not want:
+                ref.fill(block)
+            assert got == want
+        elif op == "contains":
+            assert new.contains(block) == ref.contains(block)
+        elif op == "invalidate":
+            assert new.invalidate(block) == ref.invalidate(block)
+        elif op == "flush":
+            new.flush()
+            ref.flush()
+        _assert_same_state(new, ref)
+
+
+@settings(max_examples=60, deadline=None)
+@given(_POLICIES, st.lists(st.integers(0, 31), min_size=1, max_size=200))
+def test_fill_victims_identical(policy, blocks):
+    """Eviction order must match exactly on a fill-only workload."""
+    new, ref = _pair((2, 2), policy)
+    victims_new = [new.fill(b) for b in blocks]
+    victims_ref = [ref.fill(b) for b in blocks]
+    assert victims_new == victims_ref
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.integers(0, 31), min_size=1, max_size=200))
+def test_lru_touch_order_identical(blocks):
+    """Interleaved hits must rotate the LRU order identically."""
+    new, ref = _pair((1, 4), "lru")
+    for b in blocks:
+        if not new.lookup(b):
+            new.fill(b)
+        if not ref.lookup(b):
+            ref.fill(b)
+        _assert_same_state(new, ref)
+
+
+def test_hit_rate_matches_reference():
+    new, ref = _pair((4, 2), "fifo")
+    for b in [0, 4, 8, 0, 4, 8, 12, 0]:
+        new.access(b)
+        if not ref.lookup(b):
+            ref.fill(b)
+    assert new.hit_rate == ref.hit_rate

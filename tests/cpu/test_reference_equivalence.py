@@ -1,0 +1,120 @@
+"""Determinism regression: the kernel rewrite changed no golden output.
+
+Runs the optimized :class:`~repro.cpu.core_model.CoreModel` and the
+pinned pre-optimization :class:`~repro.cpu.reference.ReferenceCoreModel`
+side by side on a fixed seed and asserts every per-window counter
+snapshot and every piece of persistent hardware state (cache and TLB
+hit/miss totals) is identical — the optimized kernels must draw the
+same RNG sequence and add the same floats in the same order as the
+original structures.
+"""
+
+import random
+
+import pytest
+
+from repro.config import JvmConfig, MachineConfig, SamplingConfig
+from repro.cpu.core_model import CoreModel, StaticSchedule
+from repro.cpu.phases import (
+    PhaseDescriptor,
+    gc_mark_profile,
+    idle_profile,
+    kernel_profile,
+)
+from repro.cpu.reference import ReferenceCoreModel
+from repro.cpu.regions import AddressSpace
+from repro.util.rng import RngFactory
+
+N_WINDOWS = 8
+
+
+def _build(model_cls, seed):
+    machine = MachineConfig()
+    space = AddressSpace.build(machine, JvmConfig())
+    prof_rng = random.Random(7)
+    kernel = kernel_profile(prof_rng, space)
+    gc = gc_mark_profile(prof_rng, space)
+    idle = idle_profile(prof_rng, space)
+    descriptor = PhaseDescriptor(slices=((kernel, 0.5), (gc, 0.3), (idle, 0.2)))
+    sampling = SamplingConfig(window_cycles=30000)
+    return model_cls(
+        machine, space, StaticSchedule(descriptor), sampling, RngFactory(seed)
+    )
+
+
+@pytest.fixture(scope="module", params=[42, 2007])
+def models(request):
+    seed = request.param
+    optimized = _build(CoreModel, seed)
+    reference = _build(ReferenceCoreModel, seed)
+    snaps = [
+        (optimized.execute_window(w), reference.execute_window(w))
+        for w in range(N_WINDOWS)
+    ]
+    return optimized, reference, snaps
+
+
+class TestSnapshotsIdentical:
+    def test_every_window_bit_identical(self, models):
+        _, _, snaps = models
+        for w, (opt, ref) in enumerate(snaps):
+            assert dict(opt.counts) == dict(ref.counts), f"window {w} diverged"
+
+    def test_nonzero_activity(self, models):
+        """Guard against vacuous equality: the windows did real work."""
+        _, _, snaps = models
+        total = sum(s.instructions for s, _ in snaps)
+        assert total > 10_000
+
+
+class TestHardwareStateIdentical:
+    def test_cache_stats(self, models):
+        optimized, reference, _ = models
+        for attr in ("l1i", "l1d"):
+            opt = getattr(optimized.memory, attr)
+            ref = getattr(reference.memory, attr)
+            assert (opt.hits, opt.misses) == (ref.hits, ref.misses)
+
+    def test_translation_stats(self, models):
+        optimized, reference, _ = models
+        opt_t, ref_t = optimized.translation, reference.translation
+        for erat in ("ierat", "derat"):
+            opt_c = getattr(opt_t, erat).cache
+            ref_c = getattr(ref_t, erat).cache
+            assert (opt_c.hits, opt_c.misses) == (ref_c.hits, ref_c.misses)
+        opt_tlb, ref_tlb = opt_t.tlb, ref_t.tlb
+        assert (
+            opt_tlb.data_hits,
+            opt_tlb.data_misses,
+            opt_tlb.inst_hits,
+            opt_tlb.inst_misses,
+        ) == (
+            ref_tlb.data_hits,
+            ref_tlb.data_misses,
+            ref_tlb.inst_hits,
+            ref_tlb.inst_misses,
+        )
+
+    def test_prefetcher_state(self, models):
+        optimized, reference, _ = models
+        assert (
+            optimized.memory.prefetcher.active_streams
+            == reference.memory.prefetcher.active_streams
+        )
+
+
+def test_reference_runner_never_fuses():
+    reference = _build(ReferenceCoreModel, 1)
+    runner = reference.slice_runner_cls(
+        profile=kernel_profile(random.Random(1), reference.space),
+        space=reference.space,
+        memory=reference.memory,
+        translation=reference.translation,
+        branches=reference.branches,
+        accountant=reference.accountant_cls(
+            reference.machine.latencies, random.Random(2)
+        ),
+        counters=reference._bank,
+        rng=random.Random(3),
+    )
+    assert not runner._can_fuse()
