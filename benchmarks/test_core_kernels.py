@@ -23,13 +23,13 @@ the perf-trajectory artifact CI uploads.  Run with::
 
 from __future__ import annotations
 
-import json
 import pathlib
 import random
 import time
 
 import pytest
 
+from repro.benchio import write_bench_json
 from repro.config import JvmConfig, MachineConfig, SamplingConfig
 from repro.core.characterization import Characterization
 from repro.cpu.cache import SetAssociativeCache
@@ -52,6 +52,11 @@ from repro.hpm.events import EVENT_INDEX, Event
 from repro.hpm.groups import default_catalog
 from repro.util.rng import RngFactory
 
+#: Everything here is a microbenchmark: excluded from the default
+#: tier-1 selection, run explicitly with ``-m bench`` (see
+#: ``pyproject.toml`` and the CI ``benchmarks-smoke`` job).
+pytestmark = pytest.mark.bench
+
 BENCH_PATH = pathlib.Path(__file__).parent.parent / "BENCH_core_model.json"
 
 #: Module-level accumulator; written out by the module-scoped fixture's
@@ -63,9 +68,7 @@ _RESULTS: dict = {}
 def bench_json():
     yield _RESULTS
     if _RESULTS:
-        payload = dict(_RESULTS)
-        payload["schema"] = "core_model_bench/1"
-        BENCH_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        write_bench_json(BENCH_PATH, _RESULTS, kind="core_model_bench")
         print(f"\nwrote {BENCH_PATH}")
 
 

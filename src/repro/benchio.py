@@ -1,0 +1,54 @@
+"""Writer for the ``BENCH_*.json`` perf-trajectory artifacts.
+
+Every benchmark artifact the repo emits (kernel microbenchmarks,
+sweep stats) goes through :func:`write_bench_json`, which stamps the
+common envelope:
+
+* ``"schema": 1`` — an **integer** version for the envelope itself
+  (consumers can ``payload.get("schema") == 1`` before parsing);
+* ``"kind"`` — which benchmark family produced the file;
+* ``"host"`` — the interpreter/platform fingerprint
+  (:func:`repro.obs.manifest.host_fingerprint`), so numbers from two
+  measurement environments are never compared as if they were one.
+
+The envelope is regression-tested in ``tests/obs/test_benchio.py``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Union
+
+from repro.obs.manifest import host_fingerprint
+
+#: Envelope schema version (integer; bump on incompatible change).
+BENCH_SCHEMA = 1
+
+#: Keys the envelope owns; results must not collide with them.
+RESERVED_KEYS = frozenset({"schema", "kind", "host"})
+
+
+def bench_payload(results: Dict[str, object], kind: str) -> Dict[str, object]:
+    """The results wrapped in the common envelope (pure; no I/O)."""
+    collisions = RESERVED_KEYS & results.keys()
+    if collisions:
+        raise ValueError(
+            f"benchmark results may not use reserved keys: {sorted(collisions)}"
+        )
+    payload: Dict[str, object] = dict(results)
+    payload["schema"] = BENCH_SCHEMA
+    payload["kind"] = kind
+    payload["host"] = host_fingerprint()
+    return payload
+
+
+def write_bench_json(
+    path: Union[str, Path], results: Dict[str, object], kind: str
+) -> Path:
+    """Write ``results`` under the envelope to ``path``; returns the path."""
+    target = Path(path)
+    target.write_text(
+        json.dumps(bench_payload(results, kind), indent=2, sort_keys=True) + "\n"
+    )
+    return target

@@ -16,9 +16,13 @@ Commands::
     compare        jas2004 vs the simple-benchmark baselines
     reproduce-all  regenerate the entire paper into one report
     profile        cProfile the core-model hot paths (top-N + JSON)
+    conform        the paper-conformance gate (golden bands + waivers)
+    trace          run an instrumented sample and export spans/metrics
 
 Every command accepts ``--scale quick|bench|full`` (default ``quick``)
-and ``--seed N``.
+and ``--seed N``.  ``characterize``, ``figure`` and ``reproduce-all``
+also accept ``--trace-json FILE`` to run under an observability
+session and export the span trace plus a run manifest.
 """
 
 from __future__ import annotations
@@ -49,6 +53,43 @@ def _config(args: argparse.Namespace) -> ExperimentConfig:
 
 def _emit(lines: List[str]) -> None:
     print("\n".join(lines))
+
+
+def _with_tracing(handler):
+    """Wrap a command handler with the ``--trace-json`` protocol.
+
+    When the flag is set the whole command body runs under an
+    observability session; afterwards the span trace is written to the
+    given path and a run manifest (config keys, seeds, cache
+    provenance, metric snapshot) next to it.
+    """
+
+    def wrapped(args: argparse.Namespace) -> int:
+        path = getattr(args, "trace_json", None)
+        if not path:
+            return handler(args)
+        from pathlib import Path
+
+        from repro.obs import observe, write_manifest
+
+        with observe() as obs:
+            code = handler(args)
+        target = Path(path)
+        target.write_text(obs.tracer.to_json() + "\n")
+        manifest = target.with_suffix(".manifest.json")
+        write_manifest(
+            manifest,
+            obs,
+            extra={
+                "command": args.command,
+                "scale": getattr(args, "scale", None),
+                "seed": getattr(args, "seed", None),
+            },
+        )
+        print(f"trace written to {target}; run manifest to {manifest}")
+        return code
+
+    return wrapped
 
 
 def cmd_characterize(args: argparse.Namespace) -> int:
@@ -179,6 +220,72 @@ def cmd_reproduce_all(args: argparse.Namespace) -> int:
     return 0 if len(result.rows_off) <= 3 else 1
 
 
+def cmd_conform(args: argparse.Namespace) -> int:
+    from repro.conformance import evaluate
+
+    report = evaluate(
+        _config(args),
+        include_slow=not args.skip_slow,
+        hw_windows=args.windows,
+    )
+    _emit(report.render_lines())
+    if args.json:
+        import json
+        from pathlib import Path
+
+        Path(args.json).write_text(
+            json.dumps(report.to_json_dict(), indent=2, sort_keys=True) + "\n"
+        )
+        print(f"\nconformance JSON written to {args.json}")
+    return 0 if report.passed else 1
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    from repro.core.characterization import Characterization
+    from repro.obs import audit_lines, observe, write_manifest
+
+    with observe() as obs:
+        study = Characterization(_config(args))
+        study.result  # the workload run (run/gc/sim spans)
+        study.sample_windows(args.windows)  # cpu spans + counters
+    tracer = obs.tracer
+    lines = ["Instrumented sample", "=" * 48]
+    for category in sorted({s.category for s in tracer.spans}):
+        spans = tracer.by_category(category)
+        clock = spans[0].clock
+        total = sum(s.duration_s for s in spans)
+        lines.append(
+            f"  {category:12s} {len(spans):6d} spans  "
+            f"{total:10.3f} s ({clock})"
+        )
+    lines.append("-" * 48)
+    lines.extend(obs.metrics.render_lines())
+    lines.append("-" * 48)
+    lines.append("runs:")
+    lines.extend(audit_lines(obs))
+    _emit(lines)
+    from pathlib import Path
+
+    if args.json:
+        Path(args.json).write_text(tracer.to_json() + "\n")
+        print(f"trace JSON written to {args.json}")
+    if args.chrome:
+        import json
+
+        Path(args.chrome).write_text(
+            json.dumps(tracer.to_chrome_trace(), indent=2) + "\n"
+        )
+        print(f"Chrome trace written to {args.chrome}")
+    if args.manifest:
+        write_manifest(
+            Path(args.manifest),
+            obs,
+            extra={"command": "trace", "scale": args.scale, "seed": args.seed},
+        )
+        print(f"run manifest written to {args.manifest}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     common = argparse.ArgumentParser(add_help=False)
     common.add_argument(
@@ -222,7 +329,14 @@ def build_parser() -> argparse.ArgumentParser:
         "N worker processes (byte-identical for any N>1; default 1 "
         "keeps the classic shared-core campaign)",
     )
-    characterize.set_defaults(handler=cmd_characterize)
+    characterize.add_argument(
+        "--trace-json",
+        metavar="FILE",
+        default=None,
+        help="run under an observability session; write the span trace "
+        "here and a run manifest next to it",
+    )
+    characterize.set_defaults(handler=_with_tracing(cmd_characterize))
     figure = sub.add_parser(
         "figure", help="regenerate one figure", parents=[common]
     )
@@ -236,7 +350,14 @@ def build_parser() -> argparse.ArgumentParser:
         "worker processes (byte-identical for any N>1; default 1 keeps "
         "the classic shared-core campaign)",
     )
-    figure.set_defaults(handler=cmd_figure)
+    figure.add_argument(
+        "--trace-json",
+        metavar="FILE",
+        default=None,
+        help="run under an observability session; write the span trace "
+        "here and a run manifest next to it",
+    )
+    figure.set_defaults(handler=_with_tracing(cmd_figure))
     sub.add_parser(
         "tables", help="regenerate the in-text tables", parents=[common]
     ).set_defaults(handler=cmd_tables)
@@ -306,7 +427,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write wall-clock / per-experiment / cache-counter "
         "stats as JSON",
     )
-    everything.set_defaults(handler=cmd_reproduce_all)
+    everything.add_argument(
+        "--trace-json",
+        metavar="FILE",
+        default=None,
+        help="run under an observability session; write the span trace "
+        "here and a run manifest next to it",
+    )
+    everything.set_defaults(handler=_with_tracing(cmd_reproduce_all))
     profile = sub.add_parser(
         "profile",
         help="cProfile the core-model hot paths",
@@ -326,6 +454,46 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write the report as JSON",
     )
     profile.set_defaults(handler=cmd_profile)
+    conform = sub.add_parser(
+        "conform",
+        help="the paper-conformance gate (golden bands + strict waivers)",
+        parents=[common],
+    )
+    conform.add_argument(
+        "--skip-slow",
+        action="store_true",
+        help="skip the correlation and large-pages campaigns (their "
+        "bands, including known-gap waivers 1, 3 and 4, are listed as "
+        "skipped rather than judged)",
+    )
+    conform.add_argument(
+        "--json",
+        metavar="FILE",
+        default=None,
+        help="also write the evaluated bands as JSON",
+    )
+    conform.set_defaults(handler=cmd_conform)
+    trace = sub.add_parser(
+        "trace",
+        help="run an instrumented sample; print/export spans and metrics",
+        parents=[common],
+    )
+    trace.add_argument(
+        "--json", metavar="FILE", default=None, help="write the trace JSON"
+    )
+    trace.add_argument(
+        "--chrome",
+        metavar="FILE",
+        default=None,
+        help="write the Chrome/Perfetto traceEvents document",
+    )
+    trace.add_argument(
+        "--manifest",
+        metavar="FILE",
+        default=None,
+        help="write the run manifest (config keys, provenance, metrics)",
+    )
+    trace.set_defaults(handler=cmd_trace)
     return parser
 
 

@@ -48,6 +48,7 @@ is asserted by tests and by ``benchmarks/test_core_kernels.py``.
 from __future__ import annotations
 
 import random
+import time
 from math import log as _log
 from typing import Dict, List, Tuple
 
@@ -62,6 +63,8 @@ from repro.cpu.sources import DataSource, InstSource
 from repro.cpu.translation import TranslationUnit
 from repro.hpm.counters import CounterBank
 from repro.hpm.events import EVENT_INDEX, Event
+from repro.obs import runtime as _obs
+from repro.obs.trace import WALL
 
 #: Bytes per instruction on the modeled ISA (fixed-width PowerPC).
 INSTR_BYTES = 4
@@ -434,6 +437,38 @@ class SliceRunner:
     # ------------------------------------------------------------------
     def run_until(self, cycle_limit: float) -> None:
         """Generate blocks until the accountant reaches ``cycle_limit``.
+
+        When an observability session is active the invocation is
+        wrapped in a wall-clock span and cycle/instruction counters;
+        the kernel itself is untouched either way (instrumentation
+        reads the accountant before and after, nothing more).
+        """
+        obs = _obs._ACTIVE
+        if obs is None:
+            self._run_until_impl(cycle_limit)
+            return
+        t0 = time.perf_counter()
+        cycles_before = self.acct.cycles
+        instr_before = self.acct.completed
+        try:
+            self._run_until_impl(cycle_limit)
+        finally:
+            obs.metrics.counter("cpu.slices").inc()
+            obs.metrics.counter("cpu.cycles").inc(self.acct.cycles - cycles_before)
+            obs.metrics.counter("cpu.instructions").inc(
+                self.acct.completed - instr_before
+            )
+            obs.tracer.record(
+                "slice",
+                "cpu",
+                start_s=t0,
+                duration_s=time.perf_counter() - t0,
+                clock=WALL,
+                labels={"profile": self.profile.name},
+            )
+
+    def _run_until_impl(self, cycle_limit: float) -> None:
+        """The real main loop behind :meth:`run_until`.
 
         Dispatches to the fused kernel below, where the whole block
         pipeline is inlined; see the module docstring for the kernel

@@ -3,10 +3,13 @@
 from __future__ import annotations
 
 import dataclasses
+import time
 from dataclasses import dataclass
 from typing import List, Optional, Union
 
 from repro.config import ExperimentConfig, SamplingConfig
+from repro.obs import runtime as _obs
+from repro.obs.trace import WALL
 from repro.runcache import RunCache, default_cache
 from repro.workload.presets import jas2004
 from repro.workload.sut import RunResult
@@ -31,7 +34,25 @@ def simulate(
     the cache key.
     """
     chosen = cache if cache is not None else default_cache()
-    return chosen.get_or_run(config, rng_fork=rng_fork)
+    obs = _obs._ACTIVE
+    if obs is None:
+        return chosen.get_or_run(config, rng_fork=rng_fork)
+    before = chosen.stats.snapshot()
+    t0 = time.perf_counter()
+    result = chosen.get_or_run(config, rng_fork=rng_fork)
+    delta = chosen.stats.since(before)
+    obs.tracer.record(
+        "simulate",
+        "sim",
+        start_s=t0,
+        duration_s=time.perf_counter() - t0,
+        clock=WALL,
+        labels={
+            "fork": rng_fork if rng_fork is not None else "-",
+            "cached": delta.misses == 0,
+        },
+    )
+    return result
 
 
 @dataclass(frozen=True)

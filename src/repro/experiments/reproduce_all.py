@@ -34,6 +34,8 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from repro.config import ExperimentConfig
 from repro.experiments.common import bench_config
+from repro.obs import runtime as _obs
+from repro.obs.trace import WALL
 from repro.runcache import default_cache
 
 #: (experiment name, module, extra run() kwargs) in paper order.
@@ -202,6 +204,17 @@ def _execute(task: Tuple[str, str, dict, ExperimentConfig]) -> ReproductionRecor
     result = module.run(config, **kwargs)
     elapsed = time.perf_counter() - started
     delta = stats.since(before)
+    obs = _obs._ACTIVE
+    if obs is not None:
+        obs.metrics.counter("experiments.completed").inc()
+        obs.tracer.record(
+            module_name,
+            "experiment",
+            start_s=started,
+            duration_s=elapsed,
+            clock=WALL,
+            labels={"cache_hits": delta.hits + delta.disk_hits},
+        )
     rows = result.rows()
     return ReproductionRecord(
         title=title,
@@ -247,6 +260,7 @@ def run(
     sweep_start = time.perf_counter()
     if jobs > 1 and len(tasks) > 1:
         records = _run_pool(tasks, jobs)
+        _record_pool_observability(records, sweep_start)
     else:
         jobs = 1
         records = [_execute(task) for task in tasks]
@@ -256,6 +270,32 @@ def run(
         total_seconds=time.perf_counter() - sweep_start,
         jobs=jobs,
     )
+
+
+def _record_pool_observability(
+    records: List[ReproductionRecord], sweep_start: float
+) -> None:
+    """Fold pool-worker outcomes into the parent's session, if any.
+
+    Workers run with their own (inactive) observability state, so the
+    parent reconstructs the per-experiment spans from the returned
+    records.  Durations are the workers' real measurements; start
+    offsets are not knowable from here, so every span is anchored at
+    the sweep start and labeled accordingly.
+    """
+    obs = _obs._ACTIVE
+    if obs is None:
+        return
+    for record in records:
+        obs.metrics.counter("experiments.completed").inc()
+        obs.tracer.record(
+            record.module,
+            "experiment",
+            start_s=sweep_start,
+            duration_s=record.seconds,
+            clock=WALL,
+            labels={"cache_hits": record.cache_hits, "worker": "pool"},
+        )
 
 
 def _run_pool(tasks, jobs: int) -> List[ReproductionRecord]:

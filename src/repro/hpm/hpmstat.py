@@ -16,12 +16,15 @@ simulator-only omniscient view (no real HPM can produce it).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import List, Optional, Protocol, Sequence
 
 from repro.hpm.counters import CounterSnapshot
 from repro.hpm.events import Event
 from repro.hpm.groups import CounterGroup, GroupCatalog, default_catalog
+from repro.obs import runtime as _obs
+from repro.obs.trace import WALL
 from repro.util.timeline import SeriesBundle, TimeGrid
 
 
@@ -70,6 +73,8 @@ class HpmStat:
         contain only the group's eight events.
         """
         group = self.catalog[group_name]
+        obs = _obs._ACTIVE
+        t0 = time.perf_counter() if obs is not None else 0.0
         samples = []
         for idx in window_indices:
             full = self._executor.execute_window(idx)
@@ -80,6 +85,21 @@ class HpmStat:
                     group_name=group.name,
                     snapshot=full.restricted_to(group.events),
                 )
+            )
+        if obs is not None:
+            # One span per group campaign — the group-switch structure
+            # of the paper's hpmstat runs, visible in the trace.
+            obs.metrics.counter("hpm.group_campaigns").inc()
+            obs.metrics.counter(
+                "hpm.windows", {"group": group.name}
+            ).inc(len(window_indices))
+            obs.tracer.record(
+                "group",
+                "hpm",
+                start_s=t0,
+                duration_s=time.perf_counter() - t0,
+                clock=WALL,
+                labels={"group": group.name, "windows": len(window_indices)},
             )
         return samples
 

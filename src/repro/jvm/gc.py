@@ -23,6 +23,7 @@ from typing import Optional
 
 from repro.config import GcCostModel
 from repro.jvm.heap import FlatHeap
+from repro.obs import runtime as _obs
 from repro.util.units import MB
 
 
@@ -87,6 +88,21 @@ class MarkSweepCompactCollector:
 
         freed = heap.reclaim(self.SURVIVOR_FRACTION, dark_added)
         self.collections += 1
+        obs = _obs._ACTIVE
+        if obs is not None:
+            pause_ms = mark_ms + sweep_ms + compact_ms
+            obs.metrics.counter("jvm.gc.collections").inc()
+            if compacted:
+                obs.metrics.counter("jvm.gc.compactions").inc()
+            obs.metrics.counter("jvm.gc.freed_bytes").inc(freed)
+            obs.metrics.histogram("jvm.gc.pause_ms").observe(pause_ms)
+            obs.tracer.record(
+                "gc",
+                "gc",
+                start_s=now_s,
+                duration_s=pause_ms / 1000.0,
+                labels={"compacted": compacted},
+            )
         return GcEvent(
             start_time_s=now_s,
             mark_ms=mark_ms,

@@ -1,0 +1,89 @@
+"""The process-wide observability session.
+
+One :class:`Observability` bundles a metrics registry, a span tracer
+and the run-provenance records.  At most one session is *active* per
+process; instrumented call sites in the simulator guard on
+:func:`active` (or, on hot paths, on the module-level ``_ACTIVE``
+directly) and do nothing when no session is installed — the disabled
+path is a single ``is not None`` test, and the instrumentation never
+draws randomness or reorders float accumulation, so a disabled run is
+bit-identical to an uninstrumented one and an enabled run changes only
+what is *recorded*, never what is *computed*.  Both guarantees are
+asserted by ``tests/obs/test_determinism.py``.
+
+Usage::
+
+    from repro.obs import Observability, observe
+
+    with observe() as obs:
+        result = simulate(config)
+    print(obs.metrics.render_lines())
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, List, Optional
+
+from repro.obs.manifest import RunRecord
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
+
+
+class Observability:
+    """One observability session: metrics + tracer + run provenance."""
+
+    def __init__(
+        self,
+        metrics: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
+    ):
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.tracer = tracer if tracer is not None else Tracer()
+        self.run_records: List[RunRecord] = []
+
+    def record_run(
+        self, config_key: str, seed: int, rng_fork: Optional[str], source: str
+    ) -> None:
+        self.run_records.append(
+            RunRecord(
+                config_key=config_key, seed=seed, rng_fork=rng_fork, source=source
+            )
+        )
+
+
+#: The active session, or None.  Hot paths may read this directly; all
+#: writes go through :func:`observe` / :func:`install`.
+_ACTIVE: Optional[Observability] = None
+
+
+def active() -> Optional[Observability]:
+    """The active session (None when observability is disabled)."""
+    return _ACTIVE
+
+
+def install(obs: Optional[Observability]) -> Optional[Observability]:
+    """Set the active session; returns the previous one.
+
+    Prefer :func:`observe` — this exists for process-pool workers and
+    tests that need non-scoped control.
+    """
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = obs
+    return previous
+
+
+@contextmanager
+def observe(obs: Optional[Observability] = None) -> Iterator[Observability]:
+    """Activate an observability session for the ``with`` body.
+
+    Creates a fresh :class:`Observability` when none is passed.
+    Nesting restores the outer session on exit.
+    """
+    session = obs if obs is not None else Observability()
+    previous = install(session)
+    try:
+        yield session
+    finally:
+        install(previous)

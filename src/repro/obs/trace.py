@@ -1,0 +1,240 @@
+"""Run-scoped span tracing.
+
+A :class:`Tracer` records *spans* — named, categorized intervals — on
+two clocks:
+
+* **virtual** — seconds of simulated benchmark time (GC pauses, fault
+  windows, steady-state phases).  These are deterministic in the
+  config seed.
+* **wall** — host seconds measured with ``perf_counter`` (experiment
+  bodies, HPM group campaigns, simulation runs).  These vary run to
+  run and never feed the science.
+
+The span taxonomy used by the instrumented layers (see
+``docs/observability.md`` for the full list):
+
+===========  ====================================================
+category     spans
+===========  ====================================================
+``run``      ``warmup`` / ``steady`` / ``rampdown`` phases and the
+             whole SUT run (virtual), plus the run's wall time
+``gc``       one span per stop-the-world collection (virtual)
+``cpu``      one span per slice-runner invocation (wall; labeled
+             with the phase profile name)
+``hpm``      one span per counter-group sampling campaign — the
+             group-switch structure of the paper's hpmstat runs
+``sim``      one span per ``simulate()`` lookup (wall; labeled
+             cached/simulated)
+``experiment``  one span per catalog experiment in ``reproduce-all``
+===========  ====================================================
+
+Exports: a JSON document, the Chrome ``chrome://tracing`` /Perfetto
+event format, and :class:`~repro.util.timeline.SeriesBundle` — the
+same time-grid format every measurement tool in this reproduction
+produces, so traced spans can be aligned with hpmstat/vmstat series by
+the vertical-profiling analysis.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence
+
+from repro.obs.metrics import LabelPairs, _label_key
+from repro.util.timeline import SeriesBundle, TimeGrid
+
+#: Trace document schema version (bumped on incompatible change).
+TRACE_SCHEMA = "repro_trace/1"
+
+VIRTUAL = "virtual"
+WALL = "wall"
+
+
+@dataclass(frozen=True)
+class Span:
+    """One closed interval on one clock."""
+
+    name: str
+    category: str
+    start_s: float
+    duration_s: float
+    clock: str = VIRTUAL
+    labels: LabelPairs = ()
+
+    @property
+    def end_s(self) -> float:
+        return self.start_s + self.duration_s
+
+
+class Tracer:
+    """Collects spans; cheap to append to, exported after the run."""
+
+    def __init__(self) -> None:
+        self.spans: List[Span] = []
+
+    def record(
+        self,
+        name: str,
+        category: str,
+        start_s: float,
+        duration_s: float,
+        clock: str = VIRTUAL,
+        labels: Optional[Mapping[str, object]] = None,
+    ) -> Span:
+        span = Span(
+            name=name,
+            category=category,
+            start_s=start_s,
+            duration_s=duration_s,
+            clock=clock,
+            labels=_label_key(labels),
+        )
+        self.spans.append(span)
+        return span
+
+    @contextmanager
+    def span(
+        self,
+        name: str,
+        category: str,
+        labels: Optional[Mapping[str, object]] = None,
+    ) -> Iterator[None]:
+        """A wall-clock span around a ``with`` body."""
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.record(
+                name,
+                category,
+                start_s=t0,
+                duration_s=time.perf_counter() - t0,
+                clock=WALL,
+                labels=dict(labels) if labels else None,
+            )
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def by_category(self, category: str) -> List[Span]:
+        return [s for s in self.spans if s.category == category]
+
+    def total_duration(self, category: str, clock: str = VIRTUAL) -> float:
+        return sum(
+            s.duration_s
+            for s in self.spans
+            if s.category == category and s.clock == clock
+        )
+
+    # ------------------------------------------------------------------
+    # Exports
+    # ------------------------------------------------------------------
+    def to_json_dict(self) -> Dict[str, object]:
+        return {
+            "schema": TRACE_SCHEMA,
+            "span_count": len(self.spans),
+            "spans": [
+                {
+                    "name": s.name,
+                    "category": s.category,
+                    "clock": s.clock,
+                    "start_s": s.start_s,
+                    "duration_s": s.duration_s,
+                    "labels": dict(s.labels),
+                }
+                for s in self.spans
+            ],
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_json_dict(), indent=indent, sort_keys=True)
+
+    def to_chrome_trace(self) -> Dict[str, object]:
+        """The Chrome/Perfetto ``traceEvents`` document.
+
+        The two clocks become two "processes" so virtual-time spans and
+        wall-time spans each get a coherent axis; categories become
+        threads within them.
+        """
+        pids = {VIRTUAL: 1, WALL: 2}
+        tids: Dict[str, int] = {}
+        events: List[Dict[str, object]] = []
+        for clock, pid in pids.items():
+            events.append(
+                {
+                    "ph": "M",
+                    "pid": pid,
+                    "name": "process_name",
+                    "args": {"name": f"{clock} time"},
+                }
+            )
+        for s in self.spans:
+            tid = tids.setdefault(s.category, len(tids) + 1)
+            events.append(
+                {
+                    "ph": "X",
+                    "pid": pids[s.clock],
+                    "tid": tid,
+                    "name": s.name,
+                    "cat": s.category,
+                    "ts": s.start_s * 1e6,
+                    "dur": s.duration_s * 1e6,
+                    "args": dict(s.labels),
+                }
+            )
+        for category, tid in tids.items():
+            for pid in pids.values():
+                events.append(
+                    {
+                        "ph": "M",
+                        "pid": pid,
+                        "tid": tid,
+                        "name": "thread_name",
+                        "args": {"name": category},
+                    }
+                )
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+    def to_bundle(
+        self,
+        interval_s: float,
+        categories: Optional[Sequence[str]] = None,
+        clock: str = VIRTUAL,
+    ) -> SeriesBundle:
+        """Bin span time onto a :class:`~repro.util.timeline.TimeGrid`.
+
+        Produces one series per category whose values are the seconds
+        of span time falling inside each interval — the same shape as
+        a vmstat or verbosegc series, so traces join the existing
+        vertical-profiling alignment machinery.
+        """
+        spans = [s for s in self.spans if s.clock == clock]
+        if categories is not None:
+            wanted = set(categories)
+            spans = [s for s in spans if s.category in wanted]
+        if not spans:
+            raise ValueError("no spans to bundle")
+        start = min(s.start_s for s in spans)
+        end = max(s.end_s for s in spans)
+        count = max(1, int((end - start) / interval_s) + 1)
+        grid = TimeGrid(start=start, interval=interval_s, count=count)
+        names = sorted({s.category for s in spans})
+        bundle = SeriesBundle(grid)
+        columns = {name: [0.0] * count for name in names}
+        for s in spans:
+            lo = max(0, int((s.start_s - start) / interval_s))
+            hi = min(count - 1, int((s.end_s - start) / interval_s))
+            for i in range(lo, hi + 1):
+                slot_start = start + i * interval_s
+                slot_end = slot_start + interval_s
+                overlap = min(s.end_s, slot_end) - max(s.start_s, slot_start)
+                if overlap > 0.0:
+                    columns[s.category][i] += overlap
+        for name in names:
+            series = bundle.add_series(name)
+            for value in columns[name]:
+                series.append(value)
+        return bundle

@@ -40,6 +40,8 @@ from typing import Dict, Optional, Union
 
 from repro.config import ExperimentConfig
 from repro.config_io import config_to_dict
+from repro.obs import runtime as _obs
+from repro.obs.manifest import SOURCE_DISK, SOURCE_MEMORY, SOURCE_SIMULATED
 from repro.util.rng import RngFactory
 from repro.workload.sut import RunResult, SystemUnderTest
 
@@ -106,11 +108,13 @@ class RunCache:
         cached = self._memory.get(key)
         if cached is not None:
             self.stats.hits += 1
+            self._record(key, config, rng_fork, SOURCE_MEMORY)
             return cached
         result = self._load_disk(key)
         if result is not None:
             self.stats.disk_hits += 1
             self._memory[key] = result
+            self._record(key, config, rng_fork, SOURCE_DISK)
             return result
         self.stats.misses += 1
         factory = RngFactory(config.seed)
@@ -119,7 +123,26 @@ class RunCache:
         result = SystemUnderTest(config, factory).run()
         self._memory[key] = result
         self._store_disk(key, result)
+        self._record(key, config, rng_fork, SOURCE_SIMULATED)
         return result
+
+    @staticmethod
+    def _record(
+        key: str,
+        config: ExperimentConfig,
+        rng_fork: Optional[str],
+        source: str,
+    ) -> None:
+        """Stamp this lookup into the active observability session.
+
+        Makes every cache hit auditable: the run manifest shows which
+        results were simulated and which were served from a tier.
+        """
+        obs = _obs._ACTIVE
+        if obs is None:
+            return
+        obs.record_run(key, config.seed, rng_fork, source)
+        obs.metrics.counter("runcache.lookups", {"source": source}).inc()
 
     # ------------------------------------------------------------------
     # Disk tier

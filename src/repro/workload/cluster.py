@@ -29,6 +29,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.config import ExperimentConfig, TransactionSpec
 from repro.jvm.gc import GcEvent, MarkSweepCompactCollector
 from repro.jvm.heap import FlatHeap
+from repro.obs import runtime as _obs
 from repro.util.rng import RngFactory
 from repro.util.stats import percentile
 from repro.util.units import KB, MB
@@ -371,6 +372,22 @@ class ClusterSUT:
             "db": tiers[("db", 0)].utilization,
         }
         bottleneck = max(utilization, key=utilization.get)
+        obs = _obs._ACTIVE
+        if obs is not None:
+            # Read-only fold of the finished run; the science above is
+            # already computed.
+            metrics = obs.metrics
+            metrics.counter("cluster.runs").inc()
+            metrics.counter("cluster.jobs.completed").inc(len(responses))
+            metrics.counter("cluster.jobs.failed").inc(failed_jobs)
+            for tier_name, value in utilization.items():
+                metrics.gauge(
+                    "cluster.tier.utilization", {"tier": tier_name}
+                ).set(value)
+            for blade, count in enumerate(gc_counts):
+                metrics.counter(
+                    "cluster.gc.collections", {"blade": blade}
+                ).inc(count)
         return ClusterRunResult(
             layout=self.layout,
             jops=jops,

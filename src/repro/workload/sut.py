@@ -23,6 +23,7 @@ bit-identical to the pre-fault simulator.
 
 from __future__ import annotations
 
+import time
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Deque, List, Optional, Tuple
@@ -30,6 +31,8 @@ from typing import Deque, List, Optional, Tuple
 from repro.config import ExperimentConfig
 from repro.jvm.gc import GcEvent, MarkSweepCompactCollector
 from repro.jvm.heap import FlatHeap
+from repro.obs import runtime as _obs
+from repro.obs.trace import WALL
 from repro.util.rng import RngFactory
 from repro.util.units import KB, MB
 from repro.workload.appserver import AppServer
@@ -186,6 +189,15 @@ class SystemUnderTest:
         gc_wall_remaining_ms = 0.0
         was_down = False
 
+        # Observability is read-only: gauges/counters sample state the
+        # loop computes anyway, so the disabled path (obs is None) is
+        # bit-identical to an uninstrumented run.
+        obs = _obs._ACTIVE
+        wall_t0 = time.perf_counter() if obs is not None else 0.0
+        if obs is not None:
+            heap_gauge = obs.metrics.gauge("sut.heap.used_bytes")
+            queue_gauge = obs.metrics.gauge("sut.appserver.in_flight")
+
         for tick_index in range(n_ticks):
             now = tick_index * tick_s
 
@@ -315,9 +327,12 @@ class SystemUnderTest:
                     queue_length=appserver.in_flight,
                 )
             )
+            if obs is not None:
+                heap_gauge.set(heap.used_bytes)
+                queue_gauge.set(appserver.in_flight)
 
         tracker.retries_denied = driver.retries_denied
-        return RunResult(
+        result = RunResult(
             config=self.config,
             timeline=timeline,
             gc_events=gc_events,
@@ -330,3 +345,49 @@ class SystemUnderTest:
             final_dark_matter=heap.dark_matter_bytes,
             resilience=tracker.freeze(),
         )
+        if obs is not None:
+            _record_run_observability(
+                obs, result, time.perf_counter() - wall_t0
+            )
+        return result
+
+
+def _record_run_observability(obs, result: RunResult, wall_s: float) -> None:
+    """Fold one finished SUT run into the active observability session.
+
+    Runs *after* the result exists — reads it, never alters it.
+    """
+    cfg = result.config.workload
+    metrics = obs.metrics
+    metrics.counter("sut.runs").inc()
+    metrics.histogram("sut.run.wall_s").observe(wall_s)
+    for type_index, spec in enumerate(cfg.transactions):
+        labels = {"type": spec.name}
+        metrics.counter("sut.completions", labels).inc(
+            len(result.responses[type_index])
+        )
+        metrics.counter("sut.rejected", labels).inc(result.rejected[type_index])
+        response_hist = metrics.histogram("sut.response_s", labels)
+        for _, response_s in result.responses[type_index]:
+            response_hist.observe(response_s)
+
+    tracer = obs.tracer
+    steady_start, steady_end = result.steady_window()
+    tracer.record("warmup", "run", start_s=0.0, duration_s=steady_start)
+    tracer.record(
+        "steady", "run", start_s=steady_start, duration_s=steady_end - steady_start
+    )
+    tracer.record(
+        "rampdown",
+        "run",
+        start_s=steady_end,
+        duration_s=cfg.duration_s - steady_end,
+    )
+    tracer.record(
+        "sut.run",
+        "run",
+        start_s=0.0,
+        duration_s=wall_s,
+        clock=WALL,
+        labels={"duration_s": cfg.duration_s, "seed": result.config.seed},
+    )

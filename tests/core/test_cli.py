@@ -28,6 +28,8 @@ class TestParser:
             "save-config",
             "reproduce-all",
             "profile",
+            "conform",
+            "trace",
         }
 
     def test_scale_flag_after_subcommand(self):

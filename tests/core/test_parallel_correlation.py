@@ -13,6 +13,9 @@ from repro.core.correlation import run_group_campaign
 from repro.experiments.common import quick_config
 from repro.hpm.groups import default_catalog
 
+#: Multi-process campaign determinism — full-CI tier, not tier-1.
+pytestmark = pytest.mark.slow
+
 
 def _canonical(report):
     """A stable, fully-ordered rendering of every field of the report."""

@@ -10,10 +10,15 @@ policies.  Hypothesis drives randomized operation sequences over small
 geometries where collisions and evictions are frequent.
 """
 
+import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.cpu.cache import SetAssociativeCache
 from repro.cpu.reference import ReferenceSetAssociativeCache
+
+#: Property suite: exhaustive but long — runs in the full CI job, not
+#: the tier-1 default selection.
+pytestmark = pytest.mark.slow
 
 # Small geometries make every set contended.
 _GEOMETRIES = st.sampled_from([(1, 1), (1, 2), (2, 2), (4, 2), (2, 4), (8, 2)])

@@ -103,6 +103,42 @@ class TestHardwareStateIdentical:
         )
 
 
+class TestInstrumentedWindowIdentical:
+    """An active observability session must not perturb the kernels.
+
+    One window of the optimized model executed *under a session* is
+    compared against the uninstrumented reference — the instrumentation
+    in the slice runner reads accountant totals and wall time only, so
+    the counter snapshot must stay bit-identical while the session
+    records real slice activity.
+    """
+
+    @pytest.fixture(scope="class")
+    def window(self):
+        from repro.obs import Observability, observe
+
+        optimized = _build(CoreModel, 2007)
+        reference = _build(ReferenceCoreModel, 2007)
+        with observe(Observability()) as obs:
+            instrumented = optimized.execute_window(0)
+        baseline = reference.execute_window(0)
+        return instrumented, baseline, obs
+
+    def test_counts_bit_identical(self, window):
+        instrumented, baseline, _ = window
+        assert dict(instrumented.counts) == dict(baseline.counts)
+
+    def test_session_saw_the_slices(self, window):
+        _, _, obs = window
+        assert obs.metrics.value("cpu.slices") >= 1
+        assert obs.metrics.value("cpu.instructions") > 0
+        profiles = {
+            dict(s.labels).get("profile")
+            for s in obs.tracer.by_category("cpu")
+        }
+        assert profiles  # every slice span is labeled with its phase
+
+
 def test_reference_runner_never_fuses():
     reference = _build(ReferenceCoreModel, 1)
     runner = reference.slice_runner_cls(

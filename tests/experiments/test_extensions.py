@@ -6,6 +6,10 @@ import pytest
 from repro.experiments import exp_cluster, exp_scaling, exp_tuning, exp_whatif
 from tests.conftest import make_quick_config
 
+#: Campaign sweeps (the methodology ablation alone re-runs the Figure
+#: 10 study several times) — full-CI tier, not tier-1.
+pytestmark = pytest.mark.slow
+
 
 def off_labels(result):
     return {r.label for r in result.rows() if r.ok is False}

@@ -71,6 +71,7 @@ class TestOnlyValidation:
             run(make_quick_config(), only=["fig03-gc"])
 
 
+@pytest.mark.slow
 class TestParallelSweep:
     """jobs=N must be a pure wall-clock optimization."""
 

@@ -1,0 +1,55 @@
+"""Regression tests for the BENCH_*.json envelope."""
+
+import json
+
+import pytest
+
+from repro.benchio import BENCH_SCHEMA, RESERVED_KEYS, bench_payload, write_bench_json
+from repro.obs.manifest import host_fingerprint
+
+
+class TestEnvelope:
+    def test_schema_is_the_integer_one(self):
+        payload = bench_payload({"kernel": {"ns": 12}}, kind="core_model_bench")
+        # An *integer* version — consumers compare with == 1, and the
+        # envelope format is pinned by this test.
+        assert payload["schema"] == 1
+        assert isinstance(payload["schema"], int)
+        assert BENCH_SCHEMA == 1
+
+    def test_kind_and_host_stamped(self):
+        payload = bench_payload({"a": 1}, kind="sweep_bench")
+        assert payload["kind"] == "sweep_bench"
+        assert payload["host"] == host_fingerprint()
+
+    def test_results_preserved_untouched(self):
+        results = {"fill": {"ns_per_op": 81.5}, "access": {"ns_per_op": 44.0}}
+        payload = bench_payload(results, kind="k")
+        for key, value in results.items():
+            assert payload[key] == value
+
+    def test_input_not_mutated(self):
+        results = {"a": 1}
+        bench_payload(results, kind="k")
+        assert results == {"a": 1}
+
+    def test_reserved_key_collision_rejected(self):
+        for key in sorted(RESERVED_KEYS):
+            with pytest.raises(ValueError, match="reserved"):
+                bench_payload({key: "clobber"}, kind="k")
+
+
+class TestWriter:
+    def test_roundtrip(self, tmp_path):
+        path = write_bench_json(
+            tmp_path / "BENCH_test.json", {"kernel": 1}, kind="core_model_bench"
+        )
+        doc = json.loads(path.read_text())
+        assert doc["schema"] == 1
+        assert doc["kind"] == "core_model_bench"
+        assert doc["kernel"] == 1
+        assert set(doc["host"]) == {"python", "implementation", "platform", "machine"}
+
+    def test_trailing_newline(self, tmp_path):
+        path = write_bench_json(tmp_path / "b.json", {}, kind="k")
+        assert path.read_text().endswith("\n")

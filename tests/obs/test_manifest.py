@@ -1,0 +1,84 @@
+"""Unit tests for run manifests: provenance records, the manifest
+document, and the host/code identity stamps."""
+
+import json
+
+from repro.obs import Observability
+from repro.obs.manifest import (
+    MANIFEST_SCHEMA,
+    SOURCE_DISK,
+    SOURCE_MEMORY,
+    SOURCE_SIMULATED,
+    audit_lines,
+    build_manifest,
+    git_describe,
+    host_fingerprint,
+    write_manifest,
+)
+
+
+def _session():
+    obs = Observability()
+    obs.record_run("a" * 64, 2007, "workload", SOURCE_SIMULATED)
+    obs.record_run("a" * 64, 2007, "workload", SOURCE_MEMORY)
+    obs.record_run("b" * 64, 2007, None, SOURCE_DISK)
+    obs.metrics.counter("runcache.lookups", {"source": SOURCE_SIMULATED}).inc()
+    return obs
+
+
+class TestIdentity:
+    def test_git_describe_never_fails(self):
+        # In this repo it resolves to a commit-ish; the contract is
+        # simply "a non-empty string, never an exception".
+        desc = git_describe()
+        assert isinstance(desc, str) and desc
+
+    def test_host_fingerprint_keys(self):
+        fp = host_fingerprint()
+        assert set(fp) == {"python", "implementation", "platform", "machine"}
+        assert all(isinstance(v, str) and v for v in fp.values())
+
+
+class TestBuildManifest:
+    def test_document_shape(self):
+        doc = build_manifest(_session())
+        assert doc["schema"] == MANIFEST_SCHEMA
+        assert len(doc["runs"]) == 3
+        assert doc["runs"][0] == {
+            "config_key": "a" * 64,
+            "seed": 2007,
+            "rng_fork": "workload",
+            "source": SOURCE_SIMULATED,
+        }
+        assert "counters" in doc["metrics"]
+
+    def test_cache_provenance_distinguished(self):
+        doc = build_manifest(_session())
+        sources = [r["source"] for r in doc["runs"]]
+        assert sources == [SOURCE_SIMULATED, SOURCE_MEMORY, SOURCE_DISK]
+
+    def test_extra_fields_merge(self):
+        doc = build_manifest(_session(), extra={"command": "conform", "seed": 7})
+        assert doc["command"] == "conform"
+        assert doc["seed"] == 7
+
+    def test_json_serializable(self):
+        json.dumps(build_manifest(_session()))
+
+
+class TestWriteManifest:
+    def test_roundtrip(self, tmp_path):
+        path = write_manifest(tmp_path / "run.manifest.json", _session())
+        doc = json.loads(path.read_text())
+        assert doc["schema"] == MANIFEST_SCHEMA
+        assert len(doc["runs"]) == 3
+
+
+class TestAuditLines:
+    def test_one_line_per_lookup_with_provenance(self):
+        lines = audit_lines(_session())
+        assert len(lines) == 3
+        assert SOURCE_SIMULATED in lines[0]
+        assert SOURCE_MEMORY in lines[1]
+        # A missing fork renders as "-".
+        assert "fork=-" in lines[2].replace(" ", "")

@@ -1,0 +1,123 @@
+"""Unit tests for the metrics registry: instrument semantics,
+get-or-create identity over label sets, and deterministic snapshots."""
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_BOUNDS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    render_metric_name,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        c = Counter("x")
+        assert c.value == 0.0
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+
+class TestGauge:
+    def test_tracks_extremes_and_updates(self):
+        g = Gauge("x")
+        for v in (5.0, -1.0, 3.0):
+            g.set(v)
+        assert g.value == 3.0
+        assert g.min_value == -1.0
+        assert g.max_value == 5.0
+        assert g.updates == 3
+
+
+class TestHistogram:
+    def test_bucketing(self):
+        h = Histogram("x", bounds=(1.0, 10.0))
+        for v in (0.5, 1.0, 2.0, 100.0):
+            h.observe(v)
+        # <=1, <=1, <=10, overflow
+        assert h.bucket_counts == [2, 1]
+        assert h.overflow == 1
+        assert h.count == 4
+        assert h.total == pytest.approx(103.5)
+        assert h.mean == pytest.approx(103.5 / 4)
+        assert (h.min_value, h.max_value) == (0.5, 100.0)
+
+    def test_unsorted_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("x", bounds=(10.0, 1.0))
+
+    def test_empty_mean_is_zero(self):
+        assert Histogram("x").mean == 0.0
+
+
+class TestRegistryIdentity:
+    def test_get_or_create_returns_same_instrument(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.gauge("a") is reg.gauge("a")
+        assert reg.histogram("a") is reg.histogram("a")
+
+    def test_label_order_is_canonicalized(self):
+        reg = MetricsRegistry()
+        c1 = reg.counter("a", {"x": 1, "y": 2})
+        c2 = reg.counter("a", {"y": 2, "x": 1})
+        assert c1 is c2
+
+    def test_distinct_labels_distinct_instruments(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a", {"t": "web"}) is not reg.counter("a", {"t": "db"})
+        assert len(reg) == 2
+
+    def test_counter_and_gauge_namespaces_are_separate(self):
+        reg = MetricsRegistry()
+        reg.counter("a").inc(3)
+        reg.gauge("a").set(7)
+        # value() prefers the counter when both exist under one name.
+        assert reg.value("a") == 3
+
+    def test_value_unset_is_none(self):
+        assert MetricsRegistry().value("nope") is None
+
+
+class TestRendering:
+    def test_render_metric_name(self):
+        assert render_metric_name("a", ()) == "a"
+        assert render_metric_name("a", (("k", "v"), ("x", "1"))) == "a{k=v,x=1}"
+
+    def test_snapshot_is_deterministic_across_insertion_orders(self):
+        def build(order):
+            reg = MetricsRegistry()
+            for name in order:
+                reg.counter(name).inc()
+                reg.gauge(f"g.{name}").set(1.0)
+                reg.histogram(f"h.{name}").observe(2.0)
+            return reg.snapshot()
+
+        assert build(["b", "a", "c"]) == build(["c", "b", "a"])
+
+    def test_snapshot_shape(self):
+        reg = MetricsRegistry()
+        reg.counter("runs", {"tier": "was"}).inc(4)
+        reg.gauge("heap").set(10.0)
+        reg.histogram("pause", bounds=(1.0,)).observe(0.5)
+        snap = reg.snapshot()
+        assert snap["counters"] == {"runs{tier=was}": 4.0}
+        assert snap["gauges"]["heap"]["value"] == 10.0
+        hist = snap["histograms"]["pause"]
+        assert hist["count"] == 1 and hist["buckets"] == [1]
+
+    def test_render_lines_sorted_and_complete(self):
+        reg = MetricsRegistry()
+        reg.counter("b").inc()
+        reg.counter("a").inc()
+        reg.histogram("h").observe(3.0)
+        lines = reg.render_lines()
+        assert lines[0].startswith("a") and lines[1].startswith("b")
+        assert any("n=1" in line for line in lines)
+
+    def test_default_bounds_are_sorted(self):
+        assert tuple(sorted(DEFAULT_BOUNDS)) == DEFAULT_BOUNDS

@@ -1,0 +1,69 @@
+"""Unit tests for the active-session mechanism: installation, scoping
+and restoration — the machinery the zero-cost guards rely on."""
+
+import pytest
+
+from repro.obs import Observability, active, install, observe
+from repro.obs import runtime
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_session():
+    assert active() is None, "a previous test leaked an active session"
+    yield
+    install(None)
+
+
+class TestInstall:
+    def test_install_returns_previous(self):
+        first = Observability()
+        second = Observability()
+        assert install(first) is None
+        assert install(second) is first
+        assert active() is second
+        install(None)
+        assert active() is None
+
+    def test_module_global_tracks_active(self):
+        obs = Observability()
+        install(obs)
+        # Hot paths read the global directly; it must be the same object.
+        assert runtime._ACTIVE is obs is active()
+        install(None)
+
+
+class TestObserve:
+    def test_creates_and_restores(self):
+        with observe() as obs:
+            assert active() is obs
+        assert active() is None
+
+    def test_accepts_existing_session(self):
+        mine = Observability()
+        with observe(mine) as obs:
+            assert obs is mine
+
+    def test_nesting_restores_outer(self):
+        with observe() as outer:
+            with observe() as inner:
+                assert active() is inner
+            assert active() is outer
+
+    def test_restores_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with observe():
+                raise RuntimeError("boom")
+        assert active() is None
+
+
+class TestSessionState:
+    def test_fresh_session_is_empty(self):
+        obs = Observability()
+        assert len(obs.metrics) == 0
+        assert obs.tracer.spans == []
+        assert obs.run_records == []
+
+    def test_record_run_appends(self):
+        obs = Observability()
+        obs.record_run("k", 1, None, "simulated")
+        assert obs.run_records[0].config_key == "k"

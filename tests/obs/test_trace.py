@@ -1,0 +1,112 @@
+"""Unit tests for the span tracer and its three export formats."""
+
+import json
+
+import pytest
+
+from repro.obs.trace import TRACE_SCHEMA, VIRTUAL, WALL, Span, Tracer
+
+
+@pytest.fixture
+def tracer():
+    t = Tracer()
+    t.record("warmup", "run", start_s=0.0, duration_s=60.0)
+    t.record("steady", "run", start_s=60.0, duration_s=180.0)
+    t.record("gc", "gc", start_s=30.0, duration_s=0.35, labels={"compacted": False})
+    t.record("gc", "gc", start_s=90.0, duration_s=0.40, labels={"compacted": False})
+    t.record("fig03_gc", "experiment", start_s=5.0, duration_s=1.5, clock=WALL)
+    return t
+
+
+class TestRecording:
+    def test_span_end(self):
+        s = Span("x", "run", start_s=2.0, duration_s=3.0)
+        assert s.end_s == 5.0
+
+    def test_by_category(self, tracer):
+        assert len(tracer.by_category("gc")) == 2
+        assert tracer.by_category("nope") == []
+
+    def test_total_duration_respects_clock(self, tracer):
+        assert tracer.total_duration("gc") == pytest.approx(0.75)
+        assert tracer.total_duration("experiment", clock=VIRTUAL) == 0.0
+        assert tracer.total_duration("experiment", clock=WALL) == pytest.approx(1.5)
+
+    def test_context_manager_records_wall_span(self):
+        t = Tracer()
+        with t.span("body", "experiment", labels={"k": "v"}):
+            pass
+        (s,) = t.spans
+        assert s.clock == WALL
+        assert s.duration_s >= 0.0
+        assert dict(s.labels) == {"k": "v"}
+
+    def test_labels_canonicalized(self, tracer):
+        gc = tracer.by_category("gc")[0]
+        assert gc.labels == (("compacted", "False"),)
+
+
+class TestJsonExport:
+    def test_schema_and_roundtrip(self, tracer):
+        doc = json.loads(tracer.to_json())
+        assert doc["schema"] == TRACE_SCHEMA
+        assert doc["span_count"] == 5
+        names = {s["name"] for s in doc["spans"]}
+        assert {"warmup", "steady", "gc", "fig03_gc"} <= names
+
+    def test_span_fields(self, tracer):
+        doc = tracer.to_json_dict()
+        steady = next(s for s in doc["spans"] if s["name"] == "steady")
+        assert steady == {
+            "name": "steady",
+            "category": "run",
+            "clock": VIRTUAL,
+            "start_s": 60.0,
+            "duration_s": 180.0,
+            "labels": {},
+        }
+
+
+class TestChromeExport:
+    def test_clocks_become_processes(self, tracer):
+        doc = tracer.to_chrome_trace()
+        events = doc["traceEvents"]
+        complete = [e for e in events if e["ph"] == "X"]
+        assert len(complete) == 5
+        # Virtual and wall spans land on different pids.
+        pids = {e["name"]: e["pid"] for e in complete}
+        assert pids["steady"] != pids["fig03_gc"]
+
+    def test_microsecond_timestamps(self, tracer):
+        doc = tracer.to_chrome_trace()
+        steady = next(
+            e for e in doc["traceEvents"] if e.get("name") == "steady"
+        )
+        assert steady["ts"] == 60.0 * 1e6
+        assert steady["dur"] == 180.0 * 1e6
+
+    def test_json_serializable(self, tracer):
+        json.dumps(tracer.to_chrome_trace())
+
+
+class TestBundleExport:
+    def test_bins_span_time_onto_grid(self, tracer):
+        bundle = tracer.to_bundle(interval_s=60.0, categories=["run"])
+        series = bundle["run"]
+        # 0-60: warmup fills the slot; 60-240: steady fills three slots;
+        # the trailing slot is empty.
+        assert list(series.values) == pytest.approx(
+            [60.0, 60.0, 60.0, 60.0, 0.0]
+        )
+        assert sum(series.values) == pytest.approx(240.0)
+
+    def test_partial_overlap(self):
+        t = Tracer()
+        t.record("x", "gc", start_s=50.0, duration_s=20.0)
+        bundle = t.to_bundle(interval_s=60.0)
+        # Grid starts at the first span: one slot, full 20s inside it.
+        assert sum(bundle["gc"].values) == pytest.approx(20.0)
+
+    def test_empty_selection_raises(self, tracer):
+        with pytest.raises(ValueError):
+            tracer.to_bundle(interval_s=1.0, categories=["nope"])
