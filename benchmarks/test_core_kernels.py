@@ -15,17 +15,22 @@ implementations in :mod:`repro.cpu.reference`:
   correlation campaign (the ``reproduce-all --only fig10_correlation``
   workload) on optimized vs reference cores.
 
-Results accumulate into ``BENCH_core_model.json`` at the repo root —
-the perf-trajectory artifact CI uploads.  Run with::
+Every timing is **best-of-N** (N = ``REPS`` >= 5) through
+:func:`repro.perf.benchsuite.best_of`: each repetition rebuilds the
+stateful structures outside the timed region and the full repetition
+sample (plus its relative spread) lands in the envelope, so the
+recorded ``speedup`` — a ratio of minima — is no longer hostage to
+one scheduler hiccup.  Results accumulate into
+``BENCH_core_model.json`` at the repo root under the schema-2
+envelope — the perf-trajectory artifact CI uploads.  Run with::
 
-    PYTHONPATH=src python -m pytest benchmarks/test_core_kernels.py -q
+    PYTHONPATH=src python -m pytest benchmarks/test_core_kernels.py -q -s -m bench
 """
 
 from __future__ import annotations
 
 import pathlib
 import random
-import time
 
 import pytest
 
@@ -50,6 +55,7 @@ from repro.experiments.common import quick_config
 from repro.hpm.counters import CounterBank
 from repro.hpm.events import EVENT_INDEX, Event
 from repro.hpm.groups import default_catalog
+from repro.perf.benchsuite import best_of
 from repro.util.rng import RngFactory
 
 #: Everything here is a microbenchmark: excluded from the default
@@ -58,6 +64,10 @@ from repro.util.rng import RngFactory
 pytestmark = pytest.mark.bench
 
 BENCH_PATH = pathlib.Path(__file__).parent.parent / "BENCH_core_model.json"
+
+#: Best-of-N repetitions per timed side (the schema-2 envelope policy;
+#: the perf-gate's Mann-Whitney comparison needs N >= 5).
+REPS = 5
 
 #: Module-level accumulator; written out by the module-scoped fixture's
 #: teardown so a partial run still records what it measured.
@@ -68,7 +78,18 @@ _RESULTS: dict = {}
 def bench_json():
     yield _RESULTS
     if _RESULTS:
-        write_bench_json(BENCH_PATH, _RESULTS, kind="core_model_bench")
+        spread = {
+            name: entry["spread"]
+            for name, entry in sorted(_RESULTS.items())
+            if "spread" in entry
+        }
+        write_bench_json(
+            BENCH_PATH,
+            _RESULTS,
+            kind="core_model_bench",
+            repetitions=REPS,
+            spread=spread,
+        )
         print(f"\nwrote {BENCH_PATH}")
 
 
@@ -89,33 +110,56 @@ def _build_core(model_cls, seed: int = 42):
     )
 
 
+def _versus(entry_name, bench_json, opt, ref, extra):
+    """Record one optimized-vs-reference pair (best-of-REPS minima)."""
+    opt_s = opt["best_s"]
+    ref_s = ref["best_s"]
+    entry = dict(extra)
+    entry.update(
+        {
+            "optimized_s": opt_s,
+            "reference_s": ref_s,
+            "optimized_reps_s": opt["reps_s"],
+            "reference_reps_s": ref["reps_s"],
+            "spread": opt["spread"],
+            "speedup": round(ref_s / opt_s, 2),
+        }
+    )
+    bench_json[entry_name] = entry
+    print(
+        f"\n{entry_name}: {ref_s:.3f}s -> {opt_s:.3f}s "
+        f"({ref_s / opt_s:.1f}x, best of {REPS})"
+    )
+    return ref_s / opt_s
+
+
 def test_window_execution_speedup(bench_json):
     """Full windows, optimized vs reference — identical output, >=3x faster."""
     n_windows = 12
+
+    # The speedup must be for the same work: bit-identical snapshots
+    # (checked on one untimed pass; the timed repetitions rebuild the
+    # cores identically from the same seeds).
     optimized = _build_core(CoreModel)
     reference = _build_core(ReferenceCoreModel)
-
-    t0 = time.perf_counter()
     opt_snaps = [optimized.execute_window(w) for w in range(n_windows)]
-    opt_s = time.perf_counter() - t0
-
-    t0 = time.perf_counter()
     ref_snaps = [reference.execute_window(w) for w in range(n_windows)]
-    ref_s = time.perf_counter() - t0
-
-    # The speedup must be for the same work: bit-identical snapshots.
     for w, (opt, ref) in enumerate(zip(opt_snaps, ref_snaps)):
         assert dict(opt.counts) == dict(ref.counts), f"window {w} diverged"
 
-    speedup = ref_s / opt_s
-    bench_json["window_execution"] = {
-        "windows": n_windows,
-        "window_cycles": 60000,
-        "optimized_s": round(opt_s, 4),
-        "reference_s": round(ref_s, 4),
-        "speedup": round(speedup, 2),
-    }
-    print(f"\nwindow execution: {ref_s:.3f}s -> {opt_s:.3f}s ({speedup:.1f}x)")
+    def body(core):
+        for w in range(n_windows):
+            core.execute_window(w)
+
+    opt = best_of(lambda: _build_core(CoreModel), body, REPS)
+    ref = best_of(lambda: _build_core(ReferenceCoreModel), body, REPS)
+    speedup = _versus(
+        "window_execution",
+        bench_json,
+        opt,
+        ref,
+        {"windows": n_windows, "window_cycles": 60000},
+    )
     assert speedup >= 3.0, f"window-execution speedup {speedup:.2f}x < 3x"
 
 
@@ -124,29 +168,25 @@ def test_cache_kernel_speedup(bench_json):
     rng = random.Random(99)
     trace = [rng.randrange(4096) for _ in range(200_000)]
 
-    def drive(cache) -> float:
-        t0 = time.perf_counter()
+    def body(cache):
         for block in trace:
             if not cache.lookup(block):
                 cache.fill(block)
-        return time.perf_counter() - t0
 
     opt_cache = SetAssociativeCache(128, 2, "lru")
     ref_cache = ReferenceSetAssociativeCache(128, 2, "lru")
-    opt_s = drive(opt_cache)
-    ref_s = drive(ref_cache)
+    body(opt_cache)
+    body(ref_cache)
     assert (opt_cache.hits, opt_cache.misses) == (ref_cache.hits, ref_cache.misses)
 
-    bench_json["cache_kernel"] = {
-        "accesses": len(trace),
-        "optimized_s": round(opt_s, 4),
-        "reference_s": round(ref_s, 4),
-        "speedup": round(ref_s / opt_s, 2),
-    }
-    print(f"\ncache kernel: {ref_s:.3f}s -> {opt_s:.3f}s ({ref_s / opt_s:.1f}x)")
+    opt = best_of(lambda: SetAssociativeCache(128, 2, "lru"), body, REPS)
+    ref = best_of(lambda: ReferenceSetAssociativeCache(128, 2, "lru"), body, REPS)
+    _versus(
+        "cache_kernel", bench_json, opt, ref, {"accesses": len(trace)}
+    )
     # The cache kernel alone need not hit 3x (dict ops are C-fast);
     # it must simply not be a regression.
-    assert opt_s < ref_s * 1.1
+    assert opt["best_s"] < ref["best_s"] * 1.1
 
 
 def test_counter_kernel_speedup(bench_json):
@@ -154,28 +194,26 @@ def test_counter_kernel_speedup(bench_json):
     n = 300_000
     slot = EVENT_INDEX[Event.PM_LD_REF_L1]
 
-    opt_bank = CounterBank()
-    t0 = time.perf_counter()
-    data = opt_bank.data
-    for _ in range(n):
-        data[slot] += 1
-    opt_s = time.perf_counter() - t0
+    def opt_body(bank):
+        data = bank.data
+        for _ in range(n):
+            data[slot] += 1
 
-    ref_bank = ReferenceCounterBank()
-    t0 = time.perf_counter()
-    for _ in range(n):
-        ref_bank.add(Event.PM_LD_REF_L1)
-    ref_s = time.perf_counter() - t0
+    def ref_body(bank):
+        for _ in range(n):
+            bank.add(Event.PM_LD_REF_L1)
 
-    assert opt_bank.value(Event.PM_LD_REF_L1) == ref_bank.value(Event.PM_LD_REF_L1)
-    bench_json["counter_kernel"] = {
-        "increments": n,
-        "optimized_s": round(opt_s, 4),
-        "reference_s": round(ref_s, 4),
-        "speedup": round(ref_s / opt_s, 2),
-    }
-    print(f"\ncounter kernel: {ref_s:.3f}s -> {opt_s:.3f}s ({ref_s / opt_s:.1f}x)")
-    assert opt_s < ref_s
+    check_opt, check_ref = CounterBank(), ReferenceCounterBank()
+    opt_body(check_opt)
+    ref_body(check_ref)
+    assert check_opt.value(Event.PM_LD_REF_L1) == check_ref.value(
+        Event.PM_LD_REF_L1
+    )
+
+    opt = best_of(CounterBank, opt_body, REPS)
+    ref = best_of(ReferenceCounterBank, ref_body, REPS)
+    _versus("counter_kernel", bench_json, opt, ref, {"increments": n})
+    assert opt["best_s"] < ref["best_s"]
 
 
 class _ReferenceCharacterization(Characterization):
@@ -184,32 +222,39 @@ class _ReferenceCharacterization(Characterization):
     core_model_cls = ReferenceCoreModel
 
 
-def _campaign_wallclock(study_cls, config, windows_per_group: int) -> float:
-    """Time the serial per-group Figure 10 campaign on ``study_cls`` cores."""
-    study = study_cls(config)
-    study.result  # pull the workload simulation outside the timing
-    t0 = time.perf_counter()
-    for group in default_catalog():
-        hpm = study.group_hpm(group.name)
-        hpm.sample_group(group.name, range(windows_per_group))
-    return time.perf_counter() - t0
+def _campaign_setup(study_cls, config):
+    def setup():
+        study = study_cls(config)
+        study.result  # pull the workload simulation outside the timing
+        return study
+
+    return setup
+
+
+def _campaign_body(windows_per_group):
+    def body(study):
+        for group in default_catalog():
+            hpm = study.group_hpm(group.name)
+            hpm.sample_group(group.name, range(windows_per_group))
+
+    return body
 
 
 def test_fig10_campaign_wallclock(bench_json):
     """Wall-clock of the fig10 correlation workload, optimized vs reference."""
     config = quick_config()
     windows_per_group = 20
-    opt_s = _campaign_wallclock(Characterization, config, windows_per_group)
-    ref_s = _campaign_wallclock(
-        _ReferenceCharacterization, config, windows_per_group
+    body = _campaign_body(windows_per_group)
+    opt = best_of(_campaign_setup(Characterization, config), body, REPS)
+    ref = best_of(
+        _campaign_setup(_ReferenceCharacterization, config), body, REPS
     )
-    bench_json["fig10_campaign"] = {
-        "scale": "quick",
-        "windows_per_group": windows_per_group,
-        "optimized_s": round(opt_s, 4),
-        "reference_s": round(ref_s, 4),
-        "speedup": round(ref_s / opt_s, 2),
-    }
-    print(f"\nfig10 campaign: {ref_s:.3f}s -> {opt_s:.3f}s ({ref_s / opt_s:.1f}x)")
+    _versus(
+        "fig10_campaign",
+        bench_json,
+        opt,
+        ref,
+        {"scale": "quick", "windows_per_group": windows_per_group},
+    )
     # The acceptance bar: a measured wall-clock reduction.
-    assert opt_s < ref_s
+    assert opt["best_s"] < ref["best_s"]

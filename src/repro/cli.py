@@ -15,9 +15,14 @@ Commands::
     methodology    sampling-budget ablation for the correlation study
     compare        jas2004 vs the simple-benchmark baselines
     reproduce-all  regenerate the entire paper into one report
-    profile        cProfile the core-model hot paths (top-N + JSON)
+    profile        profile the core-model hot paths (cProfile top-N,
+                   sampling flat profile, flamegraph, host-cost drivers)
     conform        the paper-conformance gate (golden bands + waivers)
     trace          run an instrumented sample and export spans/metrics
+    bench          run the best-of-N kernel suite; append to the
+                   bench-history trajectory
+    perf-diff      compare two bench-history records
+    perf-gate      the statistical perf-regression gate (exit 0/1)
 
 Every command accepts ``--scale quick|bench|full`` (default ``quick``)
 and ``--seed N``.  ``characterize``, ``figure`` and ``reproduce-all``
@@ -172,7 +177,7 @@ def cmd_save_config(args: argparse.Namespace) -> int:
 
 
 def cmd_profile(args: argparse.Namespace) -> int:
-    from repro.profiling import profile_windows
+    from repro.perf.cprofile import profile_windows
 
     report = profile_windows(
         _config(args), windows=args.windows, top_n=args.top
@@ -183,7 +188,117 @@ def cmd_profile(args: argparse.Namespace) -> int:
 
         Path(args.json).write_text(report.to_json() + "\n")
         print(f"\nprofile JSON written to {args.json}")
+    if args.flamegraph or args.self_flat:
+        from repro.perf.flatprofile import write_collapsed_stacks
+        from repro.perf.sampler import self_profile
+
+        sp = self_profile(
+            _config(args), windows=args.windows, interval_s=args.interval
+        )
+        _emit(sp.render_lines(top_n=args.top))
+        if args.flamegraph:
+            write_collapsed_stacks(args.flamegraph, sp.log)
+            print(
+                f"\ncollapsed stacks ({len(sp.log)} samples) written to "
+                f"{args.flamegraph}"
+            )
+    if args.correlate:
+        from repro.perf.selfcorr import host_cost_correlation
+
+        corr = host_cost_correlation(_config(args), windows=max(args.windows, 12))
+        _emit(corr.render_lines(top_n=args.top))
     return 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    from repro.benchio import write_bench_json
+    from repro.perf.benchsuite import (
+        SUITE_KIND,
+        render_suite_lines,
+        run_suite,
+        suite_spread,
+    )
+    from repro.perf.history import append_record, describe_record, read_history
+
+    results = run_suite(quick=args.quick, reps=args.reps)
+    _emit(render_suite_lines(results, args.reps))
+    spread = suite_spread(results)
+    if args.no_record:
+        record = None
+    else:
+        record = append_record(
+            args.history, results, SUITE_KIND, repetitions=args.reps, spread=spread
+        )
+        history = read_history(args.history, kind=SUITE_KIND)
+        print(
+            f"\nrecorded trajectory point {len(history)} in {args.history}: "
+            f"{describe_record(record)}"
+        )
+    if args.json:
+        write_bench_json(
+            args.json, results, SUITE_KIND, repetitions=args.reps, spread=spread
+        )
+        print(f"suite envelope written to {args.json}")
+    return 0
+
+
+def cmd_perf_diff(args: argparse.Namespace) -> int:
+    from repro.perf.gate import diff_lines
+    from repro.perf.history import read_history
+
+    records = read_history(args.history)
+    if len(records) < 2:
+        print(
+            f"history {args.history} has {len(records)} record(s); "
+            "need two to diff (run `repro bench`)"
+        )
+        return 2
+    try:
+        a = records[args.a]
+        b = records[args.b]
+    except IndexError:
+        print(
+            f"record index out of range: history has {len(records)} records, "
+            f"asked for {args.a} and {args.b}"
+        )
+        return 2
+    lines = diff_lines(a, b)
+    _emit(lines)
+    if args.output:
+        from pathlib import Path
+
+        Path(args.output).write_text("\n".join(lines) + "\n")
+        print(f"\nperf-diff report written to {args.output}")
+    return 0
+
+
+def cmd_perf_gate(args: argparse.Namespace) -> int:
+    from repro.perf.benchsuite import SUITE_KIND
+    from repro.perf.gate import (
+        DEFAULT_ALPHA,
+        DEFAULT_FAIL_RATIO,
+        DEFAULT_WARN_RATIO,
+        evaluate_gate,
+    )
+    from repro.perf.history import read_history
+
+    records = read_history(args.history, kind=args.kind or SUITE_KIND)
+    report = evaluate_gate(
+        records,
+        fail_ratio=args.fail_ratio if args.fail_ratio is not None else DEFAULT_FAIL_RATIO,
+        warn_ratio=args.warn_ratio if args.warn_ratio is not None else DEFAULT_WARN_RATIO,
+        alpha=args.alpha if args.alpha is not None else DEFAULT_ALPHA,
+    )
+    _emit(report.render_lines())
+    if args.json:
+        import json
+        from pathlib import Path
+
+        Path(args.json).write_text(
+            json.dumps(report.to_json_dict(), indent=2, sort_keys=True) + "\n"
+        )
+        print(f"\ngate JSON written to {args.json}")
+    return 0 if report.passed else 1
 
 
 def cmd_reproduce_all(args: argparse.Namespace) -> int:
@@ -437,7 +552,7 @@ def build_parser() -> argparse.ArgumentParser:
     everything.set_defaults(handler=_with_tracing(cmd_reproduce_all))
     profile = sub.add_parser(
         "profile",
-        help="cProfile the core-model hot paths",
+        help="profile the core-model hot paths (cProfile + sampling)",
         parents=[common],
     )
     profile.add_argument(
@@ -445,15 +560,147 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=15,
         metavar="N",
-        help="report the top N functions by inclusive time (default: 15)",
+        help="report the top N entries in every profile view (default: 15)",
     )
     profile.add_argument(
         "--json",
         metavar="FILE",
         default=None,
-        help="also write the report as JSON",
+        help="also write the cProfile report as JSON",
+    )
+    profile.add_argument(
+        "--flamegraph",
+        metavar="FILE",
+        default=None,
+        help="also run the sampling profiler over the same windows and "
+        "write collapsed stacks (flamegraph folded format) here; prints "
+        "the sampled flat profile and span attribution too",
+    )
+    profile.add_argument(
+        "--self-flat",
+        action="store_true",
+        help="print the sampling flat profile + span attribution without "
+        "writing a flamegraph file",
+    )
+    profile.add_argument(
+        "--correlate",
+        action="store_true",
+        help="also correlate per-window host seconds against simulated "
+        "event counts (Figure 10 turned inward)",
+    )
+    profile.add_argument(
+        "--interval",
+        type=float,
+        default=0.005,
+        metavar="S",
+        help="sampling interval in seconds for --flamegraph/--self-flat "
+        "(default: 0.005)",
     )
     profile.set_defaults(handler=cmd_profile)
+    bench = sub.add_parser(
+        "bench",
+        help="run the best-of-N kernel suite; append to the trajectory",
+    )
+    bench.add_argument(
+        "--quick",
+        action="store_true",
+        help="smaller per-kernel work (CI smoke); same repetition policy",
+    )
+    bench.add_argument(
+        "--reps",
+        type=int,
+        default=5,
+        metavar="N",
+        help="timing repetitions per kernel (best-of-N; minimum 5, "
+        "default 5)",
+    )
+    bench.add_argument(
+        "--history",
+        metavar="FILE",
+        default="BENCH_history.jsonl",
+        help="the append-only trajectory file (default: "
+        "BENCH_history.jsonl)",
+    )
+    bench.add_argument(
+        "--no-record",
+        action="store_true",
+        help="run and print the suite without appending to the history",
+    )
+    bench.add_argument(
+        "--json",
+        metavar="FILE",
+        default=None,
+        help="also write this run's envelope as a standalone BENCH json",
+    )
+    bench.set_defaults(handler=cmd_bench)
+    perf_diff = sub.add_parser(
+        "perf-diff", help="compare two bench-history records"
+    )
+    perf_diff.add_argument(
+        "--history", metavar="FILE", default="BENCH_history.jsonl"
+    )
+    perf_diff.add_argument(
+        "--a",
+        type=int,
+        default=-2,
+        metavar="IDX",
+        help="baseline record index into the history (default: -2)",
+    )
+    perf_diff.add_argument(
+        "--b",
+        type=int,
+        default=-1,
+        metavar="IDX",
+        help="comparison record index (default: -1, the latest)",
+    )
+    perf_diff.add_argument(
+        "--output",
+        metavar="FILE",
+        default=None,
+        help="also write the rendered report here",
+    )
+    perf_diff.set_defaults(handler=cmd_perf_diff)
+    perf_gate = sub.add_parser(
+        "perf-gate",
+        help="statistically gate the latest bench record (exit 0/1)",
+    )
+    perf_gate.add_argument(
+        "--history", metavar="FILE", default="BENCH_history.jsonl"
+    )
+    perf_gate.add_argument(
+        "--fail-ratio",
+        type=float,
+        default=None,
+        metavar="X",
+        help="fail on a significant slowdown at or beyond X (default 1.4)",
+    )
+    perf_gate.add_argument(
+        "--warn-ratio",
+        type=float,
+        default=None,
+        metavar="X",
+        help="warn on a significant slowdown at or beyond X (default 1.15)",
+    )
+    perf_gate.add_argument(
+        "--alpha",
+        type=float,
+        default=None,
+        metavar="P",
+        help="significance level for the Mann-Whitney test (default 0.05)",
+    )
+    perf_gate.add_argument(
+        "--kind",
+        metavar="KIND",
+        default=None,
+        help="history record kind to gate (default: perf_suite)",
+    )
+    perf_gate.add_argument(
+        "--json",
+        metavar="FILE",
+        default=None,
+        help="also write the gate verdicts as JSON",
+    )
+    perf_gate.set_defaults(handler=cmd_perf_gate)
     conform = sub.add_parser(
         "conform",
         help="the paper-conformance gate (golden bands + strict waivers)",

@@ -267,6 +267,42 @@ def run_group_campaign(
     return report
 
 
+@dataclass(frozen=True)
+class SeriesCorrelation:
+    """Correlation of one named series against a target series."""
+
+    name: str
+    r: float
+    n_samples: int
+
+
+def correlate_against(
+    target: Sequence[float], columns: Dict[str, Sequence[float]]
+) -> List[SeriesCorrelation]:
+    """Correlate every named series in ``columns`` against ``target``.
+
+    The host-window series adapter: the self-characterization profiler
+    (:mod:`repro.perf.selfcorr`) feeds per-window *host* seconds as the
+    target and per-window simulated event counts as the columns —
+    Figure 10's methodology turned inward, asking which simulated
+    activity predicts what the reproduction itself costs to run.
+    Columns whose length doesn't match the target are rejected; results
+    come back sorted most-positive r first, ties broken by name so the
+    ordering is deterministic.
+    """
+    n = len(target)
+    out: List[SeriesCorrelation] = []
+    for name in sorted(columns):
+        series = columns[name]
+        if len(series) != n:
+            raise ValueError(
+                f"series {name!r} has {len(series)} samples, target has {n}"
+            )
+        out.append(SeriesCorrelation(name=name, r=pearson(series, target), n_samples=n))
+    out.sort(key=lambda c: (-c.r, c.name))
+    return out
+
+
 def correlation_matrix(
     columns: Dict[str, Sequence[float]]
 ) -> Dict[Tuple[str, str], float]:

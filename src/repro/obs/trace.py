@@ -129,6 +129,24 @@ class Tracer:
             if s.category == category and s.clock == clock
         )
 
+    def spans_at(self, t: float, clock: str = WALL) -> List[Span]:
+        """Every span on ``clock`` covering instant ``t``, outermost first.
+
+        The span↔sample attribution seam: the sampling profiler
+        (:mod:`repro.perf.sampler`) records stack samples on the same
+        ``perf_counter`` clock wall spans use, so a sample's timestamp
+        can be attributed to the spans that were open when it fired.
+        Sorted longest-duration first, so the last element is the
+        innermost (most specific) enclosing span.
+        """
+        covering = [
+            s
+            for s in self.spans
+            if s.clock == clock and s.start_s <= t <= s.end_s
+        ]
+        covering.sort(key=lambda s: s.duration_s, reverse=True)
+        return covering
+
     # ------------------------------------------------------------------
     # Exports
     # ------------------------------------------------------------------

@@ -1,0 +1,193 @@
+"""Paper-style flat profile of the reproduction's own stack samples.
+
+tprof's flat profile (PAPER.md §4.1.2) ranks code locations by the
+share of periodic samples that landed in them, then asks shape
+questions: how concentrated is the profile, how many items cover 50%
+and 90% of the time, does the classic 90/10 rule hold?
+:class:`FlatProfile` computes exactly that over a
+:class:`~repro.perf.sampler.SampleLog`, reusing
+:func:`repro.core.profile_analysis.analyze_profile` — the same
+analysis the reproduction applies to the simulated method profile —
+on the host samples, so the "does 90/10 apply to us?" verdict is
+rendered by the identical machinery.
+
+The rendering is a pure function of the sample log (stable sort keys,
+no timestamps, no dict-order dependence), asserted by
+``tests/perf/test_flatprofile.py``, and
+:func:`write_collapsed_stacks` exports the standard collapsed-stack
+("folded") format every flamegraph renderer accepts::
+
+    main;run;execute_window;run_until 417
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Tuple, Union
+
+from repro.core.profile_analysis import ProfileAnalysis, analyze_profile
+from repro.perf.sampler import FrameKey, SampleLog
+
+
+@dataclass(frozen=True)
+class FlatEntry:
+    """One code location's row in the flat profile."""
+
+    frame: FrameKey
+    #: Samples whose innermost frame was this location (tprof "ticks").
+    self_samples: int
+    #: Samples with this location anywhere on the stack.
+    cum_samples: int
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "function": self.frame.func,
+            "file": self.frame.file,
+            "line": self.frame.line,
+            "self_samples": self.self_samples,
+            "cum_samples": self.cum_samples,
+        }
+
+
+@dataclass
+class FlatProfile:
+    """The distilled flat profile of one sampling session."""
+
+    total_samples: int
+    interval_s: float
+    entries: List[FlatEntry]
+
+    @classmethod
+    def from_log(cls, log: SampleLog) -> "FlatProfile":
+        self_counts: Dict[FrameKey, int] = {}
+        cum_counts: Dict[FrameKey, int] = {}
+        for sample in log.samples:
+            if not sample.frames:
+                continue
+            leaf = sample.frames[-1]
+            self_counts[leaf] = self_counts.get(leaf, 0) + 1
+            # A frame recursing onto the stack twice still gets one
+            # cumulative tick per sample.
+            for frame in set(sample.frames):
+                cum_counts[frame] = cum_counts.get(frame, 0) + 1
+        entries = [
+            FlatEntry(
+                frame=frame,
+                self_samples=self_counts.get(frame, 0),
+                cum_samples=cum,
+            )
+            for frame, cum in cum_counts.items()
+        ]
+        # Deterministic order: hottest self first, then cumulative,
+        # then the frame identity as the total tiebreak.
+        entries.sort(
+            key=lambda e: (
+                -e.self_samples,
+                -e.cum_samples,
+                e.frame.file,
+                e.frame.line,
+                e.frame.func,
+            )
+        )
+        return cls(
+            total_samples=len(log.samples),
+            interval_s=log.interval_s,
+            entries=entries,
+        )
+
+    # ------------------------------------------------------------------
+    # Shape analysis — the paper's questions asked about us
+    # ------------------------------------------------------------------
+    def self_shares(self) -> List[float]:
+        """Per-entry share of self samples, hottest first."""
+        total = max(1, self.total_samples)
+        return [
+            e.self_samples / total for e in self.entries if e.self_samples > 0
+        ]
+
+    def coverage_curve(self) -> List[Tuple[int, float]]:
+        """``(rank, cumulative self share)`` — the paper's Figure 4 shape.
+
+        Rank *k*'s value is the share of all samples covered by the k
+        hottest locations; the curve's knee is how quickly "top
+        methods" saturate coverage.
+        """
+        curve: List[Tuple[int, float]] = []
+        acc = 0.0
+        for rank, share in enumerate(self.self_shares(), start=1):
+            acc += share
+            curve.append((rank, acc))
+        return curve
+
+    def analysis(self) -> ProfileAnalysis:
+        """The §4.1.2 shape statistics of our own profile."""
+        weights = [float(e.self_samples) for e in self.entries if e.self_samples]
+        if not weights:
+            raise ValueError("no self samples to analyze")
+        return analyze_profile(weights)
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+    def render_lines(self, top_n: int = 15) -> List[str]:
+        est_s = self.total_samples * self.interval_s
+        lines = [
+            "",
+            "=" * 72,
+            f"Self flat profile: {self.total_samples} samples @ "
+            f"{self.interval_s * 1000:.1f} ms (~{est_s:.2f}s attributed)",
+            "=" * 72,
+            f"  {'location':44s} {'self%':>6s} {'cum%':>6s} {'~self s':>8s}",
+        ]
+        total = max(1, self.total_samples)
+        for e in self.entries[:top_n]:
+            lines.append(
+                f"  {e.frame.label():44.44s} "
+                f"{100.0 * e.self_samples / total:>5.1f}% "
+                f"{100.0 * e.cum_samples / total:>5.1f}% "
+                f"{e.self_samples * self.interval_s:>8.3f}"
+            )
+        if self.entries and self.entries[0].self_samples:
+            analysis = self.analysis()
+            lines.append("-" * 72)
+            lines.extend("  " + line for line in analysis.verdict_lines())
+        return lines
+
+    def to_json_dict(self) -> Dict[str, object]:
+        return {
+            "total_samples": self.total_samples,
+            "interval_s": self.interval_s,
+            "entries": [e.to_dict() for e in self.entries],
+        }
+
+    # ------------------------------------------------------------------
+    # Flamegraph export
+    # ------------------------------------------------------------------
+    @staticmethod
+    def collapsed_stacks(log: SampleLog) -> List[str]:
+        """The folded flamegraph lines: ``root;...;leaf count``.
+
+        Sorted by count descending then stack name, so the export is a
+        deterministic function of the log.
+        """
+        counts: Dict[str, int] = {}
+        for sample in log.samples:
+            if not sample.frames:
+                continue
+            stack = ";".join(f.label() for f in sample.frames)
+            counts[stack] = counts.get(stack, 0) + 1
+        return [
+            f"{stack} {count}"
+            for stack, count in sorted(
+                counts.items(), key=lambda kv: (-kv[1], kv[0])
+            )
+        ]
+
+
+def write_collapsed_stacks(path: Union[str, Path], log: SampleLog) -> Path:
+    """Write the folded flamegraph file for ``log``; returns the path."""
+    target = Path(path)
+    lines = FlatProfile.collapsed_stacks(log)
+    target.write_text("\n".join(lines) + ("\n" if lines else ""))
+    return target

@@ -1,0 +1,309 @@
+"""The self-characterization stack sampler — tprof for the simulator.
+
+The paper's tprof attributes ticks to code locations by periodic
+sampling; :class:`StackSampler` does the same to the reproduction: a
+daemon thread wakes every ``interval_s`` seconds, reads the target
+thread's Python stack via :func:`sys._current_frames`, and appends one
+:class:`StackSample` per wakeup.  Nothing in the sampled thread is
+touched — no tracing hooks, no RNG draws, no allocation on the hot
+path — so a sampled run's scientific outputs are bit-identical to an
+unsampled one (the determinism suite asserts this) and the overhead is
+bounded by the GIL hand-off per sample (<5% at the default interval;
+``tests/perf/test_sampler.py`` measures it).
+
+Samples are timestamped on the same ``perf_counter`` clock the
+:class:`~repro.obs.trace.Tracer` uses for wall spans, which is what
+makes :func:`attribute_to_spans` possible: each sample lands inside
+whatever obs spans were open when it fired, so host time can be split
+by span category (cpu / hpm / sim / ...) as well as by code location.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+#: Sample-log document schema version.
+SAMPLE_LOG_SCHEMA = "repro_samples/1"
+
+
+@dataclass(frozen=True)
+class FrameKey:
+    """One stack frame's stable identity.
+
+    ``line`` is the function's *first* line (``co_firstlineno``), not
+    the currently executing line — samples of the same function then
+    aggregate under one key, which is what a flat profile wants.
+    """
+
+    func: str
+    file: str
+    line: int
+
+    def label(self) -> str:
+        short = self.file.rsplit("/", 1)[-1]
+        return f"{self.func} ({short}:{self.line})"
+
+
+@dataclass(frozen=True)
+class StackSample:
+    """One sampler wakeup: when, and the stack root-first."""
+
+    t: float
+    #: Frames ordered outermost (root) first — the collapsed-stack
+    #: flamegraph order.
+    frames: Tuple[FrameKey, ...]
+
+
+@dataclass
+class SampleLog:
+    """Everything one sampling session captured."""
+
+    interval_s: float
+    started_s: float
+    stopped_s: float
+    samples: List[StackSample] = field(default_factory=list)
+
+    @property
+    def duration_s(self) -> float:
+        return self.stopped_s - self.started_s
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    def to_json_dict(self) -> Dict[str, object]:
+        """JSON form with an interned frame table (stacks repeat a lot)."""
+        table: Dict[FrameKey, int] = {}
+        stacks: List[List[int]] = []
+        times: List[float] = []
+        for s in self.samples:
+            times.append(s.t)
+            stacks.append(
+                [table.setdefault(f, len(table)) for f in s.frames]
+            )
+        frames = [None] * len(table)
+        for key, idx in table.items():
+            frames[idx] = [key.func, key.file, key.line]
+        return {
+            "schema": SAMPLE_LOG_SCHEMA,
+            "interval_s": self.interval_s,
+            "started_s": self.started_s,
+            "stopped_s": self.stopped_s,
+            "frames": frames,
+            "times": times,
+            "stacks": stacks,
+        }
+
+    @classmethod
+    def from_json_dict(cls, doc: Dict[str, object]) -> "SampleLog":
+        if doc.get("schema") != SAMPLE_LOG_SCHEMA:
+            raise ValueError(f"unsupported sample log schema: {doc.get('schema')!r}")
+        frames = [FrameKey(func=f[0], file=f[1], line=f[2]) for f in doc["frames"]]
+        samples = [
+            StackSample(t=t, frames=tuple(frames[i] for i in stack))
+            for t, stack in zip(doc["times"], doc["stacks"])
+        ]
+        return cls(
+            interval_s=doc["interval_s"],
+            started_s=doc["started_s"],
+            stopped_s=doc["stopped_s"],
+            samples=samples,
+        )
+
+
+class StackSampler:
+    """Samples one thread's stack on a timer until stopped.
+
+    Usage::
+
+        sampler = StackSampler(interval_s=0.005)
+        sampler.start()            # samples the *calling* thread
+        ...                        # the workload under observation
+        log = sampler.stop()
+    """
+
+    def __init__(self, interval_s: float = 0.005, max_depth: int = 128):
+        if interval_s <= 0:
+            raise ValueError("sampling interval must be positive")
+        self.interval_s = interval_s
+        self.max_depth = max_depth
+        self._target_tid: Optional[int] = None
+        self._thread: Optional[threading.Thread] = None
+        self._stop = threading.Event()
+        self._samples: List[StackSample] = []
+        self._started_s = 0.0
+
+    def start(self, target_thread_id: Optional[int] = None) -> "StackSampler":
+        """Begin sampling ``target_thread_id`` (default: the caller)."""
+        if self._thread is not None:
+            raise RuntimeError("sampler already running")
+        self._target_tid = (
+            target_thread_id if target_thread_id is not None else threading.get_ident()
+        )
+        self._stop.clear()
+        self._samples = []
+        self._started_s = time.perf_counter()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-perf-sampler", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> SampleLog:
+        """Stop the sampler thread and return the captured log."""
+        if self._thread is None:
+            raise RuntimeError("sampler not running")
+        self._stop.set()
+        self._thread.join()
+        self._thread = None
+        return SampleLog(
+            interval_s=self.interval_s,
+            started_s=self._started_s,
+            stopped_s=time.perf_counter(),
+            samples=self._samples,
+        )
+
+    # ------------------------------------------------------------------
+    def _run(self) -> None:
+        tid = self._target_tid
+        samples = self._samples
+        max_depth = self.max_depth
+        while not self._stop.wait(self.interval_s):
+            frame = sys._current_frames().get(tid)
+            if frame is None:
+                continue
+            t = time.perf_counter()
+            stack: List[FrameKey] = []
+            depth = 0
+            while frame is not None and depth < max_depth:
+                code = frame.f_code
+                stack.append(
+                    FrameKey(
+                        func=code.co_name,
+                        file=code.co_filename,
+                        line=code.co_firstlineno,
+                    )
+                )
+                frame = frame.f_back
+                depth += 1
+            # Walked leaf->root; store root-first.
+            stack.reverse()
+            samples.append(StackSample(t=t, frames=tuple(stack)))
+
+
+# ----------------------------------------------------------------------
+# Span attribution
+# ----------------------------------------------------------------------
+@dataclass
+class SpanAttribution:
+    """Host seconds split by the obs span category each sample fell in."""
+
+    interval_s: float
+    total_samples: int
+    #: category -> sample count (a sample goes to the innermost
+    #: enclosing wall span's category).
+    by_category: Dict[str, int] = field(default_factory=dict)
+    unattributed: int = 0
+
+    def seconds(self, category: str) -> float:
+        return self.by_category.get(category, 0) * self.interval_s
+
+    def render_lines(self) -> List[str]:
+        lines = ["Host time by obs span category", "-" * 48]
+        total = max(1, self.total_samples)
+        for category in sorted(
+            self.by_category, key=lambda c: -self.by_category[c]
+        ):
+            count = self.by_category[category]
+            lines.append(
+                f"  {category:14s} {count:6d} samples  "
+                f"~{count * self.interval_s:8.3f} s  {100.0 * count / total:5.1f}%"
+            )
+        if self.unattributed:
+            lines.append(
+                f"  {'(no span)':14s} {self.unattributed:6d} samples  "
+                f"~{self.unattributed * self.interval_s:8.3f} s  "
+                f"{100.0 * self.unattributed / total:5.1f}%"
+            )
+        return lines
+
+
+def attribute_to_spans(log: SampleLog, tracer) -> SpanAttribution:
+    """Split the log's samples across the tracer's wall-span categories.
+
+    Each sample is credited to the *innermost* wall span open at its
+    timestamp (``Tracer.spans_at`` returns outermost-first); samples
+    landing outside every span count as unattributed — host time the
+    instrumentation taxonomy doesn't cover yet.
+    """
+    attribution = SpanAttribution(
+        interval_s=log.interval_s, total_samples=len(log.samples)
+    )
+    for sample in log.samples:
+        covering = tracer.spans_at(sample.t)
+        if not covering:
+            attribution.unattributed += 1
+            continue
+        category = covering[-1].category
+        attribution.by_category[category] = (
+            attribution.by_category.get(category, 0) + 1
+        )
+    return attribution
+
+
+# ----------------------------------------------------------------------
+# The one-call self-characterization run
+# ----------------------------------------------------------------------
+@dataclass
+class SelfProfile:
+    """One self-characterization run: samples, flat profile, spans."""
+
+    windows: int
+    log: SampleLog
+    flat: "FlatProfile"
+    spans: SpanAttribution
+
+    def render_lines(self, top_n: int = 15) -> List[str]:
+        lines = self.flat.render_lines(top_n=top_n)
+        lines.append("")
+        lines.extend(self.spans.render_lines())
+        return lines
+
+
+def self_profile(
+    config=None,
+    windows: int = 12,
+    interval_s: float = 0.005,
+) -> SelfProfile:
+    """Sample the reproduction while it samples the workload.
+
+    Builds a characterization study for ``config`` (quick preset when
+    None), warms it outside the measurement, then executes ``windows``
+    omniscient windows under both an observability session (for span
+    attribution) and the stack sampler.  The paper's §4.1.2 question —
+    "is the profile flat, does 90/10 apply?" — is answered about *us*
+    by the returned :class:`SelfProfile`.
+    """
+    from repro.core.characterization import Characterization
+    from repro.experiments.common import quick_config
+    from repro.obs import observe
+    from repro.perf.flatprofile import FlatProfile
+
+    study = Characterization(config if config is not None else quick_config())
+    study.ensure_warm()
+    sampler = StackSampler(interval_s=interval_s)
+    with observe() as obs:
+        sampler.start()
+        try:
+            study.sample_windows(windows)
+        finally:
+            log = sampler.stop()
+    return SelfProfile(
+        windows=windows,
+        log=log,
+        flat=FlatProfile.from_log(log),
+        spans=attribute_to_spans(log, obs.tracer),
+    )

@@ -1,0 +1,98 @@
+"""Host-cost correlation: Figure 10's methodology turned inward.
+
+The paper's Figure 10 correlates per-window sampled hardware events
+against CPI to find what actually costs cycles.  This module runs the
+same statistical machinery with the roles recast: the *cost* series is
+per-window **host seconds** (what the reproduction pays to execute
+each sampling window), and the candidate series are the simulated
+event counts of that window.  A strongly positive correlate names the
+simulated activity that drives our own wall-clock — the evidence base
+for the next kernel optimization, exactly as Figure 10 was the
+evidence base for the paper's optimization opportunities.
+
+Timing per window is wall-clock and noisy; correlation across many
+windows is the whole point (the paper makes the same argument for its
+sampled counters).  The event *counts* are untouched science — timing
+wraps each ``sample_all`` call, it never reaches inside.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.core.correlation import SeriesCorrelation, correlate_against
+from repro.hpm.events import Event
+
+
+@dataclass
+class HostCostReport:
+    """Per-event correlation of simulated counts with host seconds."""
+
+    windows: int
+    total_host_s: float
+    correlations: List[SeriesCorrelation]
+
+    def strongest(self, n: int = 5) -> List[SeriesCorrelation]:
+        return sorted(self.correlations, key=lambda c: -abs(c.r))[:n]
+
+    def r_of(self, name: str) -> float:
+        for c in self.correlations:
+            if c.name == name:
+                return c.r
+        raise KeyError(name)
+
+    def render_lines(self, top_n: int = 12) -> List[str]:
+        lines = [
+            "",
+            "=" * 72,
+            f"Host-cost drivers: r(event count, host seconds) over "
+            f"{self.windows} windows ({self.total_host_s:.2f}s host)",
+            "=" * 72,
+        ]
+        for c in self.strongest(top_n):
+            bar = "#" * int(round(abs(c.r) * 30))
+            lines.append(f"  {c.name:28s} {c.r:+6.2f}  {bar}")
+        return lines
+
+
+def host_cost_correlation(
+    config=None,
+    windows: int = 24,
+    events: Optional[List[Event]] = None,
+) -> HostCostReport:
+    """Measure per-window host seconds and correlate with event counts.
+
+    Builds a characterization study for ``config`` (quick preset when
+    None), warms it outside the measurement, then samples ``windows``
+    omniscient windows one at a time with a ``perf_counter`` pair
+    around each.  Events with zero variance across the windows are
+    dropped (their correlation is undefined; the paper treats flat
+    series the same way).
+    """
+    from repro.core.characterization import Characterization
+    from repro.experiments.common import quick_config
+
+    if windows < 3:
+        raise ValueError("need at least 3 windows to correlate")
+    study = Characterization(config if config is not None else quick_config())
+    study.ensure_warm()
+    host_s: List[float] = []
+    snapshots = []
+    for w in range(windows):
+        t0 = time.perf_counter()
+        samples = study.hpm.sample_all([w])
+        host_s.append(time.perf_counter() - t0)
+        snapshots.append(samples[0].snapshot)
+    chosen = events if events is not None else list(Event)
+    columns: Dict[str, List[float]] = {}
+    for event in chosen:
+        series = [float(s[event]) for s in snapshots]
+        if min(series) != max(series):
+            columns[event.value] = series
+    return HostCostReport(
+        windows=windows,
+        total_host_s=sum(host_s),
+        correlations=correlate_against(host_s, columns),
+    )

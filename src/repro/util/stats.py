@@ -18,8 +18,9 @@ plus small summary-statistics utilities.
 from __future__ import annotations
 
 import math
+import random
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List, Sequence, Tuple
 
 
 def pearson(xs: Sequence[float], ys: Sequence[float]) -> float:
@@ -94,6 +95,112 @@ def shifted_zipf_weights(n: int, shift: float = 0.0, exponent: float = 1.0) -> L
     raw = [(i + shift) ** -exponent for i in range(1, n + 1)]
     total = math.fsum(raw)
     return [w / total for w in raw]
+
+
+@dataclass(frozen=True)
+class MannWhitneyResult:
+    """One-sided Mann-Whitney U test of ``ys`` stochastically > ``xs``."""
+
+    u: float
+    #: One-sided p-value for H1: values in ``ys`` tend to be larger
+    #: than values in ``xs`` (normal approximation, tie-corrected).
+    p_greater: float
+    n_x: int
+    n_y: int
+
+
+def mann_whitney_u(xs: Sequence[float], ys: Sequence[float]) -> MannWhitneyResult:
+    """Mann-Whitney U with a one-sided normal-approximation p-value.
+
+    Used by the perf-regression gate (:mod:`repro.perf.gate`) to ask
+    whether the *new* repetition sample ``ys`` is stochastically larger
+    (slower) than the *baseline* sample ``xs`` — a distribution-aware
+    comparison that doesn't assume normal timing noise.  Ranks are
+    midranked on ties and the variance gets the standard tie
+    correction; a continuity correction keeps the small-n p-values
+    conservative.
+
+    Raises:
+        ValueError: if either sample is empty.
+    """
+    if not xs or not ys:
+        raise ValueError("mann_whitney_u needs two non-empty samples")
+    n_x, n_y = len(xs), len(ys)
+    pooled = [(v, 0) for v in xs] + [(v, 1) for v in ys]
+    pooled.sort(key=lambda pair: pair[0])
+    # Midranks over the pooled sample.
+    ranks = [0.0] * len(pooled)
+    i = 0
+    tie_sizes: List[int] = []
+    while i < len(pooled):
+        j = i
+        while j + 1 < len(pooled) and pooled[j + 1][0] == pooled[i][0]:
+            j += 1
+        midrank = (i + j) / 2.0 + 1.0
+        for k in range(i, j + 1):
+            ranks[k] = midrank
+        if j > i:
+            tie_sizes.append(j - i + 1)
+        i = j + 1
+    rank_sum_y = math.fsum(r for r, (_, which) in zip(ranks, pooled) if which == 1)
+    u_y = rank_sum_y - n_y * (n_y + 1) / 2.0
+    mean_u = n_x * n_y / 2.0
+    n = n_x + n_y
+    tie_term = math.fsum(t ** 3 - t for t in tie_sizes)
+    var_u = n_x * n_y / 12.0 * ((n + 1) - tie_term / (n * (n - 1)))
+    if var_u <= 0.0:
+        # All values identical: no evidence either way.
+        return MannWhitneyResult(u=u_y, p_greater=1.0, n_x=n_x, n_y=n_y)
+    z = (u_y - mean_u - 0.5) / math.sqrt(var_u)
+    p = 0.5 * math.erfc(z / math.sqrt(2.0))
+    return MannWhitneyResult(u=u_y, p_greater=p, n_x=n_x, n_y=n_y)
+
+
+def bootstrap_ci_mean(
+    values: Sequence[float],
+    confidence: float = 0.95,
+    resamples: int = 2000,
+    seed: int = 2007,
+) -> Tuple[float, float]:
+    """Percentile bootstrap confidence interval for the mean.
+
+    Deterministic in ``seed`` (its own :class:`random.Random`; never
+    touches the simulation RNG streams).  Used to report the
+    uncertainty of small benchmark repetition samples without a
+    normality assumption.
+    """
+    if not values:
+        raise ValueError("bootstrap of empty sequence")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence out of range: {confidence}")
+    n = len(values)
+    if n == 1:
+        return (values[0], values[0])
+    rng = random.Random(seed)
+    means = sorted(
+        math.fsum(rng.choice(values) for _ in range(n)) / n
+        for _ in range(resamples)
+    )
+    alpha = (1.0 - confidence) / 2.0
+    return (
+        percentile(means, 100.0 * alpha),
+        percentile(means, 100.0 * (1.0 - alpha)),
+    )
+
+
+def relative_spread(values: Sequence[float]) -> float:
+    """``(max - min) / min`` of a positive sample; 0.0 for singletons.
+
+    The repetition-noise figure recorded in schema-2 bench envelopes:
+    how far apart the best and worst of the N timing repetitions were,
+    relative to the best.
+    """
+    if not values:
+        raise ValueError("relative_spread of empty sequence")
+    lo = min(values)
+    if lo <= 0.0:
+        raise ValueError("relative_spread needs positive values")
+    return (max(values) - lo) / lo
 
 
 @dataclass

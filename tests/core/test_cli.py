@@ -28,6 +28,9 @@ class TestParser:
             "save-config",
             "reproduce-all",
             "profile",
+            "bench",
+            "perf-diff",
+            "perf-gate",
             "conform",
             "trace",
         }

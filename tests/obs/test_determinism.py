@@ -67,6 +67,44 @@ class TestSutRunIdentical:
         assert obs.metrics.value("jvm.gc.collections") == len(baseline.gc_events)
 
 
+class TestSamplerZeroCost:
+    """The performance observatory inherits the zero-cost contract:
+    sampling the host stack reads frames, never touches the science."""
+
+    def test_sampled_run_bit_identical(self, quick_config, quick_run):
+        from repro.perf.sampler import StackSampler
+
+        sampler = StackSampler(interval_s=0.002)
+        sampler.start()
+        try:
+            sampled = SystemUnderTest(quick_config).run()
+        finally:
+            log = sampler.stop()
+        baseline = quick_run
+        assert sampled.timeline.records == baseline.timeline.records
+        assert sampled.gc_events == baseline.gc_events
+        assert sampled.responses == baseline.responses
+        assert sampled.rejected == baseline.rejected
+        assert sampled.db_hit_ratio == baseline.db_hit_ratio
+        assert sampled.final_heap_used == baseline.final_heap_used
+        # Non-vacuity: the sampler really ran alongside the science.
+        assert log.duration_s > 0
+
+    def test_sampled_observed_sweep_bit_identical(self, disabled_sweep):
+        """Sampler + obs session together — still byte-identical."""
+        from repro.perf.sampler import StackSampler
+
+        sampler = StackSampler(interval_s=0.002)
+        sampler.start()
+        try:
+            with observe():
+                sampled = _isolated_sweep()
+        finally:
+            sampler.stop()
+        assert sampled.render_lines(include_timing=False) == \
+            disabled_sweep.render_lines(include_timing=False)
+
+
 class TestSweepReportIdentical:
     def test_report_byte_identical(self, disabled_sweep, enabled_sweep):
         enabled, _ = enabled_sweep

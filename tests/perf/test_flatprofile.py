@@ -1,0 +1,137 @@
+"""Flat profile, coverage curve, and flamegraph export — all exact.
+
+Everything runs against the synthetic log in ``conftest.py`` (6/2/2
+samples over three stacks), so the expected self/cum counts, the
+coverage curve, and the rendered text are known in closed form — and
+determinism can be asserted by permuting sample insertion order.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.perf.flatprofile import FlatProfile, write_collapsed_stacks
+from repro.perf.sampler import FrameKey, SampleLog, StackSample
+from tests.perf.conftest import (
+    HOT_STACK,
+    MAIN,
+    REPORT,
+    RUN_UNTIL,
+    SIMULATE,
+    make_sample_log,
+)
+
+
+class TestFromLog:
+    def test_self_and_cumulative_counts(self, sample_log):
+        flat = FlatProfile.from_log(sample_log)
+        by_frame = {e.frame: e for e in flat.entries}
+        assert flat.total_samples == 10
+        # Leaves own self ticks; everything on-stack owns cum ticks.
+        assert by_frame[RUN_UNTIL].self_samples == 6
+        assert by_frame[RUN_UNTIL].cum_samples == 6
+        assert by_frame[SIMULATE].self_samples == 2
+        assert by_frame[SIMULATE].cum_samples == 8
+        assert by_frame[REPORT].self_samples == 2
+        assert by_frame[MAIN].self_samples == 0
+        assert by_frame[MAIN].cum_samples == 10
+
+    def test_hottest_self_first(self, sample_log):
+        flat = FlatProfile.from_log(sample_log)
+        assert flat.entries[0].frame == RUN_UNTIL
+        selfs = [e.self_samples for e in flat.entries]
+        assert selfs == sorted(selfs, reverse=True)
+
+    def test_recursive_frame_gets_one_cum_tick_per_sample(self):
+        rec = FrameKey(func="recurse", file="r.py", line=1)
+        log = SampleLog(
+            interval_s=0.01,
+            started_s=0.0,
+            stopped_s=1.0,
+            samples=[StackSample(t=0.1, frames=(rec, rec, rec))],
+        )
+        flat = FlatProfile.from_log(log)
+        assert len(flat.entries) == 1
+        assert flat.entries[0].cum_samples == 1
+        assert flat.entries[0].self_samples == 1
+
+    def test_empty_log(self):
+        log = SampleLog(interval_s=0.01, started_s=0.0, stopped_s=1.0)
+        flat = FlatProfile.from_log(log)
+        assert flat.entries == []
+        with pytest.raises(ValueError, match="no self samples"):
+            flat.analysis()
+
+
+class TestDeterminism:
+    def test_rendering_invariant_under_sample_order(self):
+        """Same sample multiset, any arrival order -> identical text."""
+        reference = FlatProfile.from_log(make_sample_log()).render_lines()
+        permuted = make_sample_log(order=[9, 3, 7, 0, 5, 1, 8, 2, 6, 4])
+        assert FlatProfile.from_log(permuted).render_lines() == reference
+
+    def test_json_dict_invariant_under_sample_order(self):
+        reference = FlatProfile.from_log(make_sample_log()).to_json_dict()
+        permuted = make_sample_log(order=list(reversed(range(10))))
+        assert FlatProfile.from_log(permuted).to_json_dict() == reference
+
+    def test_rendering_repeatable(self, sample_log):
+        flat = FlatProfile.from_log(sample_log)
+        assert flat.render_lines() == flat.render_lines()
+
+
+class TestShapeAnalysis:
+    def test_self_shares(self, sample_log):
+        flat = FlatProfile.from_log(sample_log)
+        assert flat.self_shares() == [0.6, 0.2, 0.2]
+
+    def test_coverage_curve(self, sample_log):
+        flat = FlatProfile.from_log(sample_log)
+        curve = flat.coverage_curve()
+        assert [rank for rank, _ in curve] == [1, 2, 3]
+        shares = [share for _, share in curve]
+        assert shares[0] == pytest.approx(0.6)
+        assert shares[-1] == pytest.approx(1.0)
+        assert shares == sorted(shares)  # monotone non-decreasing
+
+    def test_verdict_lines_appended(self, sample_log):
+        text = "\n".join(FlatProfile.from_log(sample_log).render_lines())
+        # The §4.1.2 machinery renders its verdict under the table.
+        assert "run_until" in text
+        assert "%" in text
+        analysis = FlatProfile.from_log(sample_log).analysis()
+        for line in analysis.verdict_lines():
+            assert line in text
+
+
+class TestCollapsedStacks:
+    def test_folded_format(self, sample_log):
+        lines = FlatProfile.collapsed_stacks(sample_log)
+        assert lines[0] == (
+            f"{MAIN.label()};{SIMULATE.label()};{RUN_UNTIL.label()} 6"
+        )
+        assert len(lines) == 3
+        for line in lines:
+            stack, count = line.rsplit(" ", 1)
+            assert int(count) > 0
+            assert ";" in stack or stack  # root-first path
+
+    def test_sorted_by_count_then_name(self, sample_log):
+        lines = FlatProfile.collapsed_stacks(sample_log)
+        counts = [int(line.rsplit(" ", 1)[1]) for line in lines]
+        assert counts == sorted(counts, reverse=True)
+        # The two 2-sample stacks tie on count; name breaks the tie.
+        tied = [line for line in lines if line.endswith(" 2")]
+        assert tied == sorted(tied)
+
+    def test_write_collapsed_stacks(self, tmp_path, sample_log):
+        path = write_collapsed_stacks(tmp_path / "flame.folded", sample_log)
+        content = path.read_text()
+        assert content.endswith("\n")
+        assert len(content.splitlines()) == 3
+        assert str(HOT_STACK[0].label()) in content
+
+    def test_empty_log_writes_empty_file(self, tmp_path):
+        log = SampleLog(interval_s=0.01, started_s=0.0, stopped_s=1.0)
+        path = write_collapsed_stacks(tmp_path / "empty.folded", log)
+        assert path.read_text() == ""

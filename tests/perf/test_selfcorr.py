@@ -1,0 +1,80 @@
+"""Host-cost correlation (Figure 10 inward) and the series adapter."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.correlation import correlate_against
+from repro.perf.selfcorr import HostCostReport, host_cost_correlation
+
+
+class TestCorrelateAgainst:
+    def test_perfectly_correlated_series(self):
+        target = [1.0, 2.0, 3.0, 4.0]
+        out = correlate_against(target, {"double": [2.0, 4.0, 6.0, 8.0]})
+        assert len(out) == 1
+        assert out[0].name == "double"
+        assert out[0].r == pytest.approx(1.0)
+        assert out[0].n_samples == 4
+
+    def test_anticorrelated_series(self):
+        out = correlate_against(
+            [1.0, 2.0, 3.0], {"neg": [3.0, 2.0, 1.0]}
+        )
+        assert out[0].r == pytest.approx(-1.0)
+
+    def test_sorted_by_r_then_name(self):
+        target = [1.0, 2.0, 3.0, 4.0]
+        out = correlate_against(
+            target,
+            {
+                "b_up": [1.0, 2.0, 3.0, 4.0],
+                "a_up": [2.0, 4.0, 6.0, 8.0],
+                "down": [4.0, 3.0, 2.0, 1.0],
+            },
+        )
+        # r descending; ties (both r=1) break on the name.
+        assert [c.name for c in out] == ["a_up", "b_up", "down"]
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            correlate_against([1.0, 2.0], {"short": [1.0]})
+
+
+class TestHostCostCorrelation:
+    @pytest.fixture(scope="class")
+    def report(self) -> HostCostReport:
+        return host_cost_correlation(windows=8)
+
+    def test_requires_three_windows(self):
+        with pytest.raises(ValueError, match="at least 3"):
+            host_cost_correlation(windows=2)
+
+    def test_report_shape(self, report):
+        assert report.windows == 8
+        assert report.total_host_s > 0.0
+        assert report.correlations, "no event had variance across windows"
+        for c in report.correlations:
+            assert -1.0 <= c.r <= 1.0 + 1e-9
+            assert c.n_samples == 8
+
+    def test_zero_variance_events_dropped(self, report):
+        # Each surviving column had variance, hence a defined r.
+        names = [c.name for c in report.correlations]
+        assert len(names) == len(set(names))
+
+    def test_strongest_orders_by_magnitude(self, report):
+        strongest = report.strongest(5)
+        mags = [abs(c.r) for c in strongest]
+        assert mags == sorted(mags, reverse=True)
+
+    def test_r_of_lookup(self, report):
+        first = report.correlations[0]
+        assert report.r_of(first.name) == first.r
+        with pytest.raises(KeyError):
+            report.r_of("no_such_event")
+
+    def test_render_mentions_windows_and_bars(self, report):
+        text = "\n".join(report.render_lines())
+        assert "8 windows" in text
+        assert "r(event count, host seconds)" in text
