@@ -15,6 +15,9 @@ Commands::
     methodology    sampling-budget ablation for the correlation study
     compare        jas2004 vs the simple-benchmark baselines
     reproduce-all  regenerate the entire paper into one report
+                   (supervised worker pool; --resume FILE makes the
+                   sweep crash-safe and resumable)
+    cache          run-cache maintenance: verify / gc / stats
     profile        profile the core-model hot paths (cProfile top-N,
                    sampling flat profile, flamegraph, host-cost drivers)
     conform        the paper-conformance gate (golden bands + waivers)
@@ -302,7 +305,10 @@ def cmd_perf_gate(args: argparse.Namespace) -> int:
 
 
 def cmd_reproduce_all(args: argparse.Namespace) -> int:
+    import dataclasses as _dc
+
     from repro.experiments.reproduce_all import run as run_all
+    from repro.experiments.supervisor import DEFAULT_POLICY
 
     only = None
     if args.only:
@@ -310,17 +316,27 @@ def cmd_reproduce_all(args: argparse.Namespace) -> int:
         only = [
             name for chunk in args.only for name in chunk.split(",") if name
         ]
+    policy = None
+    if args.task_timeout is not None:
+        policy = _dc.replace(DEFAULT_POLICY, task_timeout_s=args.task_timeout)
     try:
-        result = run_all(_config(args), only=only, jobs=args.jobs)
+        result = run_all(
+            _config(args),
+            only=only,
+            jobs=args.jobs,
+            journal=args.resume,
+            policy=policy,
+        )
     except ValueError as exc:
         print(exc)
         return 2
-    text = "\n".join(result.render_lines())
+    include_timing = not args.no_timing
+    text = "\n".join(result.render_lines(include_timing=include_timing))
     if args.output:
         from pathlib import Path
 
         Path(args.output).write_text(text + "\n")
-        print("\n".join(result.summary_lines()))
+        print("\n".join(result.summary_lines(include_timing=include_timing)))
         print(f"\nfull report written to {args.output}")
     else:
         print(text)
@@ -333,6 +349,41 @@ def cmd_reproduce_all(args: argparse.Namespace) -> int:
         )
         print(f"sweep stats written to {args.stats_json}")
     return 0 if len(result.rows_off) <= 3 else 1
+
+
+def cmd_cache(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.runcache import cache_dir_stats, gc_cache_dir, verify_cache_dir
+
+    disk_dir = args.dir or os.environ.get("REPRO_RUN_CACHE_DIR")
+    if not disk_dir:
+        print(
+            "no cache directory: pass --dir or set REPRO_RUN_CACHE_DIR"
+        )
+        return 2
+    if args.action == "verify":
+        report = verify_cache_dir(disk_dir)
+        _emit(report.render_lines())
+        return 0 if report.passed else 1
+    if args.action == "gc":
+        removed = gc_cache_dir(disk_dir)
+        print(
+            f"run cache {disk_dir}: removed {removed['quarantined']} "
+            f"quarantined entries, {removed['tmp']} stray tmp files"
+        )
+        return 0
+    stats = cache_dir_stats(disk_dir)
+    _emit(
+        [
+            f"run cache {disk_dir}",
+            f"  entries: {stats['entries']} ({stats['bytes']} bytes)",
+            f"  quarantined: {stats['quarantined']} "
+            f"({stats['quarantine_bytes']} bytes)",
+            f"  stray tmp files: {stats['tmp_strays']}",
+        ]
+    )
+    return 0
 
 
 def cmd_conform(args: argparse.Namespace) -> int:
@@ -540,7 +591,30 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         default=None,
         help="also write wall-clock / per-experiment / cache-counter "
-        "stats as JSON",
+        "stats as JSON (schema 2: includes attempts/retries/timed_out)",
+    )
+    everything.add_argument(
+        "--resume",
+        metavar="FILE",
+        default=None,
+        help="append-only sweep journal: completed experiments are "
+        "logged there (fsync per line) and restored on re-run, so an "
+        "interrupted sweep restarts from where it died",
+    )
+    everything.add_argument(
+        "--task-timeout",
+        type=float,
+        default=None,
+        metavar="S",
+        help="per-experiment wall-clock timeout for the supervised "
+        "pool (jobs > 1); a task over budget is retried with backoff",
+    )
+    everything.add_argument(
+        "--no-timing",
+        action="store_true",
+        help="render the report without wall-clock/cache/retry lines "
+        "(the remainder is a pure function of the config — "
+        "byte-comparable across runs)",
     )
     everything.add_argument(
         "--trace-json",
@@ -701,6 +775,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write the gate verdicts as JSON",
     )
     perf_gate.set_defaults(handler=cmd_perf_gate)
+    cache = sub.add_parser(
+        "cache",
+        help="run-cache maintenance: verify checksums, clear "
+        "quarantine, show stats",
+    )
+    cache.add_argument(
+        "action",
+        choices=("verify", "gc", "stats"),
+        help="verify: checksum every entry (quarantines corrupt ones; "
+        "exit 1 while any entry is corrupt or quarantined) | gc: "
+        "delete quarantined entries and stray tmp files | stats: "
+        "entry/byte counts",
+    )
+    cache.add_argument(
+        "--dir",
+        metavar="DIR",
+        default=None,
+        help="cache directory (default: $REPRO_RUN_CACHE_DIR)",
+    )
+    cache.set_defaults(handler=cmd_cache)
     conform = sub.add_parser(
         "conform",
         help="the paper-conformance gate (golden bands + strict waivers)",

@@ -1,0 +1,173 @@
+"""Test-only chaos layer: injected worker deaths, hangs, bit rot.
+
+The supervised sweep (:mod:`repro.experiments.supervisor`) claims to
+survive crashed workers, hung tasks and corrupted cache entries; this
+module is how the test suite and the CI chaos-smoke job *prove* it.
+Fault points are compiled into the worker path
+(:func:`repro.experiments.reproduce_all._execute` calls
+:func:`fault_point` before running an experiment) but cost one
+``os.environ`` lookup when chaos is not armed, and can only ever fire
+inside a pool worker process — never in the parent, never in a plain
+serial run.
+
+Arming is environment-driven so it crosses the process-pool boundary
+without any plumbing: set :data:`ENV_VAR` to a JSON object, e.g.::
+
+    {
+      "dir": "/tmp/chaos-markers",        # claim-marker directory
+      "kill": {"fig03_gc": 1},            # kill the worker running
+                                          #   fig03_gc, once
+      "hang": {"fig04_profile": 1},       # hang it once instead
+      "hang_s": 6.0                       # for this long
+    }
+
+Each injection has a *budget* (the integer) enforced across every
+worker via O_EXCL claim-marker files in ``dir`` — exactly-once
+semantics even when retries re-dispatch the same experiment, which is
+precisely what makes "kill once, then succeed on retry" testable.
+
+:func:`corrupt_entry` / :func:`corrupt_one` flip a bit inside a
+run-cache entry's pickled body, past the envelope header, so the
+checksum catches it — the disk-tier self-healing path
+(quarantine-and-recompute) under test.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+#: Environment variable carrying the JSON chaos spec.
+ENV_VAR = "REPRO_CHAOS"
+
+#: Exit status of a chaos-killed worker (distinctive in pool logs).
+KILL_EXIT_CODE = 113
+
+#: Set by the supervised pool's worker initializer; fault points are
+#: inert everywhere else so a kill can never take down the parent.
+_IS_POOL_WORKER = False
+
+
+def mark_pool_worker() -> None:
+    """Pool-worker initializer hook: arm fault points in this process."""
+    global _IS_POOL_WORKER
+    _IS_POOL_WORKER = True
+
+
+def load_spec() -> Optional[Dict[str, object]]:
+    """The parsed chaos spec, or None when unset/invalid."""
+    raw = os.environ.get(ENV_VAR)
+    if not raw:
+        return None
+    try:
+        spec = json.loads(raw)
+    except ValueError:
+        return None
+    return spec if isinstance(spec, dict) else None
+
+
+def chaos_active() -> bool:
+    return load_spec() is not None
+
+
+def _claim(marker_dir: str, kind: str, name: str, budget: int) -> bool:
+    """Atomically claim one of ``budget`` injection slots, if any left."""
+    for slot in range(budget):
+        marker = Path(marker_dir) / f"{kind}.{name}.{slot}"
+        try:
+            fd = os.open(marker, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            continue  # slot already spent (possibly by another worker)
+        except OSError:
+            return False  # marker dir gone: chaos disarms rather than loops
+        os.close(fd)
+        return True
+    return False
+
+
+def fault_point(kind: str, name: str) -> None:
+    """Maybe inject the ``kind`` fault at the point named ``name``.
+
+    ``kind`` is ``"kill"`` (the worker dies via ``os._exit``, the
+    moral equivalent of SIGKILL mid-task) or ``"hang"`` (the worker
+    sleeps ``hang_s`` seconds, long enough to trip the supervisor's
+    per-task timeout).  No-op unless this process is a pool worker and
+    the spec budgets an injection for ``name``.
+    """
+    if not _IS_POOL_WORKER:
+        return
+    spec = load_spec()
+    if spec is None:
+        return
+    budgets = spec.get(kind)
+    if not isinstance(budgets, dict):
+        return
+    try:
+        budget = int(budgets.get(name, 0))
+    except (TypeError, ValueError):
+        return
+    marker_dir = spec.get("dir")
+    if budget <= 0 or not isinstance(marker_dir, str):
+        return
+    if not _claim(marker_dir, kind, name, budget):
+        return
+    if kind == "kill":
+        os._exit(KILL_EXIT_CODE)
+    elif kind == "hang":
+        time.sleep(float(spec.get("hang_s", 30.0)))
+
+
+# ---------------------------------------------------------------------------
+# Cache bit rot
+# ---------------------------------------------------------------------------
+
+
+def corrupt_entry(path: Union[str, Path], offset: Optional[int] = None) -> None:
+    """Flip one bit of the entry at ``path`` (in the pickled body).
+
+    ``offset`` indexes the file; by default the byte at three quarters
+    of the file is flipped — always past the envelope header, so the
+    write stays a *checksum* failure rather than a magic failure.
+    """
+    target = Path(path)
+    blob = bytearray(target.read_bytes())
+    if not blob:
+        raise ValueError(f"cannot corrupt empty file {target}")
+    at = (len(blob) * 3 // 4) if offset is None else offset
+    blob[at] ^= 0x40
+    target.write_bytes(bytes(blob))
+
+
+def corrupt_one(cache_dir: Union[str, Path]) -> str:
+    """Bit-flip the first entry (sorted) of a run-cache directory.
+
+    Returns the corrupted file name; raises if the directory holds no
+    entries — a chaos run against an empty cache is a misconfigured
+    test, not a pass.
+    """
+    entries = sorted(Path(cache_dir).glob("*.pkl"))
+    if not entries:
+        raise FileNotFoundError(f"no cache entries under {cache_dir}")
+    corrupt_entry(entries[0])
+    return entries[0].name
+
+
+def main(argv=None) -> int:  # pragma: no cover - exercised by the CI job
+    """``python -m repro.experiments.chaos corrupt-one DIR`` helper."""
+    import argparse
+
+    parser = argparse.ArgumentParser(prog="repro.experiments.chaos")
+    sub = parser.add_subparsers(dest="action", required=True)
+    corrupt = sub.add_parser("corrupt-one", help="bit-flip one cache entry")
+    corrupt.add_argument("dir")
+    args = parser.parse_args(argv)
+    name = corrupt_one(args.dir)
+    print(f"corrupted {name}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,178 @@
+"""Append-only journal making ``reproduce-all`` sweeps resumable.
+
+One fsync'd JSON line per completed experiment: if the sweep process
+dies — OOM kill, ctrl-C, power loss — a re-run with the same journal
+path restarts from where it died instead of from zero, and the resumed
+report is byte-identical to an uninterrupted run (the journal stores
+the experiment's rendered lines verbatim, not something re-derived).
+
+File format (JSON Lines)::
+
+    {"schema": 1, "kind": "repro_sweep_journal", "config_key": ...,
+     "seed": ..., "git_describe": ...}          # header, line 1
+    {"module": "fig02_throughput", "title": ..., "lines": [...], ...}
+    ...                                         # one line per record
+
+The header keys the journal the same way the run cache keys a
+simulation — config content hash (:func:`repro.runcache.config_key`),
+seed, and ``git describe`` — so a journal can never leak results
+across configs or code revisions: on mismatch the stale file is
+rotated aside (``<path>.stale``) and the sweep starts fresh.  A
+partial trailing line (the crash interrupted a write) is truncated
+away on resume — leaving it in place would glue the next append onto
+the torn fragment — and the fsync-per-line discipline guarantees
+every *earlier* line is whole.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from repro.config import ExperimentConfig
+from repro.obs.manifest import git_describe
+from repro.runcache import config_key
+
+#: Journal document schema (bump on incompatible record change).
+JOURNAL_SCHEMA = 1
+JOURNAL_KIND = "repro_sweep_journal"
+
+
+class SweepJournal:
+    """One sweep's append-only completion log.
+
+    Use :meth:`open` (not the constructor) so header validation and
+    recovery of completed records happen in one place.
+    """
+
+    def __init__(self, path: Path, header: Dict[str, object]):
+        self.path = path
+        self.header = header
+        #: Records recovered from a previous run, keyed by module name.
+        self.completed: Dict[str, Dict[str, object]] = {}
+        #: Byte offset past the last whole line recovered; anything
+        #: beyond it is a torn write and gets truncated before append.
+        self._good_end = 0
+        self._fh = None
+
+    # ------------------------------------------------------------------
+    # Opening and recovery
+    # ------------------------------------------------------------------
+    @classmethod
+    def open(
+        cls, path: Union[str, Path], config: ExperimentConfig
+    ) -> "SweepJournal":
+        """Open (resuming) or create the journal for ``config``."""
+        target = Path(path)
+        header: Dict[str, object] = {
+            "schema": JOURNAL_SCHEMA,
+            "kind": JOURNAL_KIND,
+            "config_key": config_key(config),
+            "seed": config.seed,
+            "git_describe": git_describe(),
+        }
+        journal = cls(target, header)
+        if target.exists():
+            if journal._recover():
+                journal._truncate_torn_tail()
+                journal._fh = target.open("a", encoding="utf-8")
+                return journal
+            # Stale or foreign journal: park it, never mix sweeps.
+            try:
+                os.replace(target, target.with_name(target.name + ".stale"))
+            except OSError:
+                try:
+                    os.unlink(target)
+                except OSError:
+                    pass
+        target.parent.mkdir(parents=True, exist_ok=True)
+        journal._fh = target.open("a", encoding="utf-8")
+        journal._append_line(header)
+        return journal
+
+    def _recover(self) -> bool:
+        """Load a prior journal; False if it belongs to another sweep."""
+        try:
+            raw = self.path.read_bytes()
+        except OSError:
+            return False
+        chunks = raw.splitlines(keepends=True)
+        if not chunks or not chunks[0].endswith(b"\n"):
+            return False
+        try:
+            header = json.loads(chunks[0].decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            return False
+        if not self._matches(header):
+            return False
+        self._good_end = len(chunks[0])
+        offset = self._good_end
+        for chunk in chunks[1:]:
+            offset += len(chunk)
+            if not chunk.endswith(b"\n"):
+                # A torn trailing write from the crash; everything
+                # before it was fsync'd whole.
+                break
+            try:
+                record = json.loads(chunk.decode("utf-8"))
+            except (ValueError, UnicodeDecodeError):
+                continue
+            self._good_end = offset
+            module = record.get("module")
+            if isinstance(module, str):
+                self.completed[module] = record
+        return True
+
+    def _truncate_torn_tail(self) -> None:
+        """Drop torn trailing bytes so the next append starts a line."""
+        try:
+            if self._good_end < self.path.stat().st_size:
+                with self.path.open("rb+") as fh:
+                    fh.truncate(self._good_end)
+        except OSError:
+            pass
+
+    def _matches(self, header: Dict[str, object]) -> bool:
+        if header.get("schema") != JOURNAL_SCHEMA or header.get("kind") != JOURNAL_KIND:
+            return False
+        if header.get("config_key") != self.header["config_key"]:
+            return False
+        if header.get("seed") != self.header["seed"]:
+            return False
+        # "unknown" (no git metadata available) matches anything:
+        # refusing to resume would be worse than trusting the config
+        # hash alone.
+        theirs, ours = header.get("git_describe"), self.header["git_describe"]
+        if "unknown" not in (theirs, ours) and theirs != ours:
+            return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Appending
+    # ------------------------------------------------------------------
+    def _append_line(self, payload: Dict[str, object]) -> None:
+        if self._fh is None:
+            raise ValueError("journal is closed")
+        self._fh.write(json.dumps(payload, sort_keys=True) + "\n")
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+
+    def append(self, record: Dict[str, object]) -> None:
+        """Durably log one completed experiment (fsync before return)."""
+        if not isinstance(record.get("module"), str):
+            raise ValueError("journal records must carry a 'module' name")
+        self._append_line(record)
+        self.completed[record["module"]] = record
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "SweepJournal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -20,23 +20,42 @@ rather than the sum of its experiments:
   timing/cache-counter lines of the summary vary run to run; pass
   ``include_timing=False`` to render without them.)
 
+Two more make the sweep *crash-safe*:
+
+* the pool runs under the supervisor
+  (:mod:`repro.experiments.supervisor`): per-task wall-clock
+  timeouts, crashed-worker recovery, bounded retry with backoff, and
+  serial fallback after repeated pool failure — a dead worker costs a
+  retry, not the sweep;
+* ``run(journal=PATH)`` (the CLI's ``--resume FILE``) appends one
+  fsync'd JSON line per completed experiment
+  (:mod:`repro.experiments.journal`); an interrupted sweep re-run with
+  the same journal restarts from where it died, and the resumed
+  report is byte-identical to an uninterrupted one.
+
 Exposed on the CLI as ``python -m repro reproduce-all
-[--jobs N] [--only MODULE] [--output FILE] [--stats-json FILE]``.
+[--jobs N] [--only MODULE] [--resume FILE] [--task-timeout S]
+[--output FILE] [--no-timing] [--stats-json FILE]``.
 """
 
 from __future__ import annotations
 
 import importlib
 import time
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple, Union
 
 from repro.config import ExperimentConfig
+from repro.experiments import chaos
 from repro.experiments.common import bench_config
+from repro.experiments.journal import SweepJournal
+from repro.experiments.supervisor import (
+    SupervisorPolicy,
+    TaskStats,
+    supervise,
+)
 from repro.obs import runtime as _obs
 from repro.obs.trace import WALL
-from repro.runcache import default_cache
 
 #: (experiment name, module, extra run() kwargs) in paper order.
 CATALOG: Tuple[Tuple[str, str, dict], ...] = (
@@ -63,6 +82,10 @@ CATALOG: Tuple[Tuple[str, str, dict], ...] = (
     ("Sampling methodology", "exp_methodology", {}),
 )
 
+#: Schema of the ``--stats-json`` artifact.  The pre-supervisor shape
+#: (no ``schema`` key, no attempt accounting) is read back as v1.
+SWEEP_STATS_SCHEMA = 2
+
 
 def catalog_modules() -> List[str]:
     """The catalog's module names, in paper order."""
@@ -83,10 +106,48 @@ class ReproductionRecord:
     #: and disk hits folded together).
     cache_hits: int = 0
     cache_misses: int = 0
+    #: Supervisor accounting: executions charged to this experiment,
+    #: how many were retries, and how many of those hit the per-task
+    #: wall-clock timeout.  A serial, failure-free run is 1/0/0.
+    attempts: int = 1
+    retries: int = 0
+    timed_out: int = 0
 
     @property
     def clean(self) -> bool:
         return not self.rows_off
+
+    def to_journal_dict(self) -> Dict[str, Any]:
+        """The journal-line payload (lossless; lines stored verbatim)."""
+        return {
+            "title": self.title,
+            "module": self.module,
+            "seconds": self.seconds,
+            "rows_total": self.rows_total,
+            "rows_off": list(self.rows_off),
+            "lines": list(self.lines),
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "attempts": self.attempts,
+            "retries": self.retries,
+            "timed_out": self.timed_out,
+        }
+
+    @classmethod
+    def from_journal_dict(cls, doc: Dict[str, Any]) -> "ReproductionRecord":
+        return cls(
+            title=doc["title"],
+            module=doc["module"],
+            seconds=float(doc["seconds"]),
+            rows_total=int(doc["rows_total"]),
+            rows_off=list(doc["rows_off"]),
+            lines=list(doc["lines"]),
+            cache_hits=int(doc.get("cache_hits", 0)),
+            cache_misses=int(doc.get("cache_misses", 0)),
+            attempts=int(doc.get("attempts", 1)),
+            retries=int(doc.get("retries", 0)),
+            timed_out=int(doc.get("timed_out", 0)),
+        )
 
 
 @dataclass
@@ -96,6 +157,12 @@ class ReproduceAllResult:
     total_seconds: float
     #: Worker processes the sweep ran with (1 = serial).
     jobs: int = 1
+    #: Modules restored from the resume journal instead of re-run.
+    resumed: Tuple[str, ...] = ()
+    #: Pool teardowns (worker crashes / timeouts) the supervisor
+    #: survived; ``degraded`` is True if it fell back to serial.
+    pool_failures: int = 0
+    degraded: bool = False
 
     @property
     def rows_total(self) -> int:
@@ -110,6 +177,10 @@ class ReproduceAllResult:
         return sum(r.cache_misses for r in self.records.values())
 
     @property
+    def total_retries(self) -> int:
+        return sum(r.retries for r in self.records.values())
+
+    @property
     def rows_off(self) -> List[Tuple[str, str]]:
         return [
             (r.title, label)
@@ -121,9 +192,10 @@ class ReproduceAllResult:
         """The pass/off summary.
 
         ``include_timing=False`` drops the wall-clock, per-experiment
-        time and cache-counter fields — everything left is a pure
-        function of the config, so two sweeps of the same config
-        render it byte-identically regardless of ``jobs``.
+        time, cache-counter and resume/retry fields — everything left
+        is a pure function of the config, so two sweeps of the same
+        config render it byte-identically regardless of ``jobs``,
+        supervision history, or resumption.
         """
         head = (
             f"experiments: {len(self.records)}   "
@@ -134,10 +206,19 @@ class ReproduceAllResult:
             head += f"   wall clock: {self.total_seconds:.0f}s"
         lines = ["=" * 72, "FULL REPRODUCTION SWEEP", "=" * 72, head]
         if include_timing:
-            lines.append(
+            run_line = (
                 f"jobs: {self.jobs}   run cache: {self.cache_hits} hits / "
                 f"{self.cache_misses} misses"
             )
+            if self.resumed:
+                run_line += f"   resumed: {len(self.resumed)}"
+            if self.total_retries:
+                run_line += f"   retries: {self.total_retries}"
+            if self.pool_failures:
+                run_line += f"   pool failures: {self.pool_failures}"
+            if self.degraded:
+                run_line += "   (degraded to serial)"
+            lines.append(run_line)
         lines.append("")
         columns = f"  {'experiment':30s} {'rows':>5} {'off':>4}"
         if include_timing:
@@ -167,6 +248,7 @@ class ReproduceAllResult:
     def stats_dict(self) -> Dict[str, Any]:
         """Machine-readable sweep stats (the CI perf-trajectory shape)."""
         return {
+            "schema": SWEEP_STATS_SCHEMA,
             "wall_clock_s": round(self.total_seconds, 3),
             "jobs": self.jobs,
             "experiments": len(self.records),
@@ -174,6 +256,9 @@ class ReproduceAllResult:
             "rows_off": len(self.rows_off),
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
+            "resumed": sorted(self.resumed),
+            "pool_failures": self.pool_failures,
+            "degraded": self.degraded,
             "per_experiment": {
                 r.module: {
                     "seconds": round(r.seconds, 3),
@@ -181,10 +266,43 @@ class ReproduceAllResult:
                     "off": len(r.rows_off),
                     "cache_hits": r.cache_hits,
                     "cache_misses": r.cache_misses,
+                    "attempts": r.attempts,
+                    "retries": r.retries,
+                    "timed_out": r.timed_out,
                 }
                 for r in self.records.values()
             },
         }
+
+
+def load_stats_dict(doc: Dict[str, Any]) -> Dict[str, Any]:
+    """Normalize a ``--stats-json`` document to the schema-2 shape.
+
+    Schema-2 documents pass through (copied).  Pre-supervisor
+    documents (no ``schema`` key) gain ``resumed``/``pool_failures``/
+    ``degraded`` defaults and per-experiment ``attempts=1``,
+    ``retries=0``, ``timed_out=0``.  Anything else is rejected rather
+    than half-parsed.
+    """
+    schema = doc.get("schema")
+    if schema == SWEEP_STATS_SCHEMA:
+        return dict(doc)
+    if schema is None:
+        migrated = dict(doc)
+        migrated["schema"] = SWEEP_STATS_SCHEMA
+        migrated.setdefault("resumed", [])
+        migrated.setdefault("pool_failures", 0)
+        migrated.setdefault("degraded", False)
+        per = {}
+        for module, entry in dict(migrated.get("per_experiment", {})).items():
+            entry = dict(entry)
+            entry.setdefault("attempts", 1)
+            entry.setdefault("retries", 0)
+            entry.setdefault("timed_out", 0)
+            per[module] = entry
+        migrated["per_experiment"] = per
+        return migrated
+    raise ValueError(f"unsupported sweep-stats schema: {schema!r}")
 
 
 def _execute(task: Tuple[str, str, dict, ExperimentConfig]) -> ReproductionRecord:
@@ -196,7 +314,14 @@ def _execute(task: Tuple[str, str, dict, ExperimentConfig]) -> ReproductionRecor
     in-process cache) or in a pool worker (per-worker cache, plus the
     optional shared disk tier).
     """
+    from repro.runcache import default_cache
+
     title, module_name, kwargs, config = task
+    # Chaos fault points (inert unless REPRO_CHAOS is armed *and* this
+    # is a pool worker): the harness's own resilience is tested with
+    # the same injection rigor the simulator applies to its SUT.
+    chaos.fault_point("kill", module_name)
+    chaos.fault_point("hang", module_name)
     stats = default_cache().stats
     before = stats.snapshot()
     module = importlib.import_module(f"repro.experiments.{module_name}")
@@ -232,6 +357,8 @@ def run(
     config: Optional[ExperimentConfig] = None,
     only: Optional[List[str]] = None,
     jobs: int = 1,
+    journal: Optional[Union[str, "Path"]] = None,
+    policy: Optional[SupervisorPolicy] = None,
 ) -> ReproduceAllResult:
     """Run the full catalog (or the named subset of module names).
 
@@ -242,6 +369,12 @@ def run(
             silently producing an empty — and clean-looking — sweep.
         jobs: worker processes; ``1`` runs serially in-process.  The
             merged records are in catalog order either way.
+        journal: path of the resume journal.  Experiments already
+            completed there (same config hash, seed and git describe)
+            are restored instead of re-run; every fresh completion is
+            appended durably (fsync per line).
+        policy: supervisor policy for the ``jobs > 1`` pool (timeouts,
+            retry budget, backoff, serial-degradation threshold).
     """
     config = config if config is not None else bench_config()
     known = catalog_modules()
@@ -257,18 +390,74 @@ def run(
         for title, module_name, kwargs in CATALOG
         if only is None or module_name in only
     ]
-    sweep_start = time.perf_counter()
-    if jobs > 1 and len(tasks) > 1:
-        records = _run_pool(tasks, jobs)
-        _record_pool_observability(records, sweep_start)
+
+    sweep_journal = (
+        SweepJournal.open(journal, config) if journal is not None else None
+    )
+    restored: Dict[str, ReproductionRecord] = {}
+    pending = []
+    if sweep_journal is not None:
+        for task in tasks:
+            doc = sweep_journal.completed.get(task[1])
+            if doc is not None:
+                restored[task[1]] = ReproductionRecord.from_journal_dict(doc)
+            else:
+                pending.append(task)
     else:
-        jobs = 1
-        records = [_execute(task) for task in tasks]
+        pending = list(tasks)
+
+    executed: Dict[str, ReproductionRecord] = {}
+
+    def complete(record: ReproductionRecord) -> None:
+        executed[record.module] = record
+        if sweep_journal is not None:
+            sweep_journal.append(record.to_journal_dict())
+
+    sweep_start = time.perf_counter()
+    pool_failures = 0
+    degraded = False
+    try:
+        if jobs > 1 and len(pending) > 1:
+            def on_result(index: int, record: ReproductionRecord, tstats: TaskStats) -> None:
+                record.attempts = tstats.attempts
+                record.retries = tstats.retries
+                record.timed_out = tstats.timeouts
+                complete(record)
+
+            outcome = supervise(
+                _execute,
+                pending,
+                jobs,
+                policy,
+                on_result=on_result,
+                worker_initializer=chaos.mark_pool_worker,
+            )
+            pool_failures = outcome.pool_failures
+            degraded = outcome.degraded_serial
+            _record_pool_observability(outcome.results, sweep_start)
+        else:
+            jobs = 1
+            for task in pending:
+                complete(_execute(task))
+    finally:
+        if sweep_journal is not None:
+            sweep_journal.close()
+
+    records: Dict[str, ReproductionRecord] = {}
+    for _, module_name, _ in CATALOG:
+        if only is not None and module_name not in only:
+            continue
+        record = executed.get(module_name) or restored.get(module_name)
+        if record is not None:
+            records[module_name] = record
     return ReproduceAllResult(
         config=config,
-        records={record.module: record for record in records},
+        records=records,
         total_seconds=time.perf_counter() - sweep_start,
         jobs=jobs,
+        resumed=tuple(sorted(restored)),
+        pool_failures=pool_failures,
+        degraded=degraded,
     )
 
 
@@ -287,6 +476,8 @@ def _record_pool_observability(
     if obs is None:
         return
     for record in records:
+        if record is None:
+            continue
         obs.metrics.counter("experiments.completed").inc()
         obs.tracer.record(
             record.module,
@@ -296,15 +487,3 @@ def _record_pool_observability(
             clock=WALL,
             labels={"cache_hits": record.cache_hits, "worker": "pool"},
         )
-
-
-def _run_pool(tasks, jobs: int) -> List[ReproductionRecord]:
-    """Fan ``tasks`` out over a process pool, preserving task order."""
-    try:
-        pool = ProcessPoolExecutor(max_workers=min(jobs, len(tasks)))
-    except (ImportError, NotImplementedError, OSError):
-        # No usable multiprocessing primitives (some sandboxes): the
-        # sweep still completes, just serially.
-        return [_execute(task) for task in tasks]
-    with pool:
-        return list(pool.map(_execute, tasks))

@@ -33,6 +33,7 @@ class TestParser:
             "perf-gate",
             "conform",
             "trace",
+            "cache",
         }
 
     def test_scale_flag_after_subcommand(self):
@@ -68,6 +69,33 @@ class TestParser:
         args = build_parser().parse_args(["reproduce-all"])
         assert args.jobs == 1
         assert args.only is None
+        assert args.resume is None
+        assert args.task_timeout is None
+        assert args.no_timing is False
+
+    def test_reproduce_all_crash_safety_flags(self):
+        args = build_parser().parse_args(
+            [
+                "reproduce-all",
+                "--resume",
+                "sweep.jsonl",
+                "--task-timeout",
+                "120",
+                "--no-timing",
+            ]
+        )
+        assert args.resume == "sweep.jsonl"
+        assert args.task_timeout == 120.0
+        assert args.no_timing is True
+
+    def test_cache_actions_parse(self):
+        parser = build_parser()
+        for action in ("verify", "gc", "stats"):
+            args = parser.parse_args(["cache", action, "--dir", "/tmp/c"])
+            assert args.action == action
+            assert args.dir == "/tmp/c"
+        with pytest.raises(SystemExit):
+            parser.parse_args(["cache", "defrag"])
 
 
 class TestExecution:
@@ -111,6 +139,35 @@ class TestExecution:
         stats = json.loads(stats_path.read_text())
         assert set(stats["per_experiment"]) == {"fig03_gc"}
         assert {"wall_clock_s", "jobs", "cache_hits", "cache_misses"} <= set(stats)
+
+    def test_cache_requires_directory(self, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_RUN_CACHE_DIR", raising=False)
+        assert main(["cache", "verify"]) == 2
+        assert "REPRO_RUN_CACHE_DIR" in capsys.readouterr().out
+
+    def test_cache_verify_gc_cycle(self, capsys, tmp_path, monkeypatch):
+        from repro.runcache import RunCache
+        from repro.workload.presets import jas2004
+
+        cache_dir = tmp_path / "cache"
+        RunCache(disk_dir=cache_dir).get_or_run(jas2004(duration_s=120.0, seed=5))
+        monkeypatch.setenv("REPRO_RUN_CACHE_DIR", str(cache_dir))
+
+        assert main(["cache", "verify"]) == 0
+        assert "CLEAN" in capsys.readouterr().out
+
+        victim = sorted(cache_dir.glob("*.pkl"))[0]
+        victim.write_bytes(b"rotten")
+        assert main(["cache", "verify"]) == 1
+        assert "DIRTY" in capsys.readouterr().out
+
+        assert main(["cache", "stats"]) == 0
+        assert "quarantined: 1" in capsys.readouterr().out
+
+        assert main(["cache", "gc"]) == 0
+        assert "removed 1 quarantined" in capsys.readouterr().out
+        assert main(["cache", "verify"]) == 0
+        assert "CLEAN" in capsys.readouterr().out
 
     def test_save_and_reuse_config(self, capsys, tmp_path):
         path = tmp_path / "manifest.json"

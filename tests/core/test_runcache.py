@@ -1,10 +1,25 @@
 """Tests for the content-addressed run cache and ``simulate()``."""
 
 import dataclasses
+import pickle
+
+import pytest
 
 from repro.config import FaultConfig, FaultEvent
 from repro.experiments.common import simulate
-from repro.runcache import RunCache, config_key
+from repro.runcache import (
+    CACHE_MAGIC,
+    QUARANTINE_DIRNAME,
+    CacheIntegrityError,
+    RunCache,
+    cache_dir_stats,
+    config_key,
+    decode_entry,
+    encode_entry,
+    gc_cache_dir,
+    verify_cache_dir,
+    verify_entry_bytes,
+)
 from repro.util.rng import RngFactory
 from repro.workload.presets import jas2004
 from repro.workload.sut import SystemUnderTest
@@ -132,3 +147,156 @@ class TestDeterminism:
         b = simulate(cfg, cache=cache)
         assert a is b
         assert cache.stats.hits == 1
+
+
+class TestEnvelope:
+    def test_round_trip(self):
+        result = SystemUnderTest(small_config()).run()
+        blob = encode_entry(result)
+        assert blob.startswith(CACHE_MAGIC)
+        restored = decode_entry(blob)
+        assert_bit_identical(restored, result)
+
+    def test_missing_magic_rejected(self):
+        with pytest.raises(CacheIntegrityError):
+            verify_entry_bytes(pickle.dumps({"raw": "legacy entry"}))
+
+    def test_truncated_header_rejected(self):
+        with pytest.raises(CacheIntegrityError):
+            verify_entry_bytes(CACHE_MAGIC + b"deadbeef\n" + b"body")
+
+    def test_checksum_mismatch_rejected(self):
+        blob = bytearray(encode_entry(SystemUnderTest(small_config()).run()))
+        blob[-1] ^= 0x01
+        with pytest.raises(CacheIntegrityError):
+            verify_entry_bytes(bytes(blob))
+
+    def test_empty_blob_rejected(self):
+        with pytest.raises(CacheIntegrityError):
+            verify_entry_bytes(b"")
+
+
+class TestSelfHealing:
+    def test_bit_flip_quarantined_and_recomputed(self, tmp_path):
+        cfg = small_config()
+        writer = RunCache(disk_dir=tmp_path)
+        original = writer.get_or_run(cfg)
+        entry = tmp_path / f"{config_key(cfg)}.pkl"
+        blob = bytearray(entry.read_bytes())
+        blob[len(blob) * 3 // 4] ^= 0x40
+        entry.write_bytes(bytes(blob))
+
+        reader = RunCache(disk_dir=tmp_path)
+        healed = reader.get_or_run(cfg)
+        assert reader.stats.quarantined == 1
+        assert reader.stats.disk_hits == 0
+        assert reader.stats.misses == 1
+        assert_bit_identical(healed, original)
+        # The bad bytes were parked, and the recompute re-stored a
+        # valid entry in place.
+        assert (tmp_path / QUARANTINE_DIRNAME / entry.name).exists()
+        verify_entry_bytes(entry.read_bytes())
+
+    def test_legacy_raw_pickle_quarantined_as_schema_drift(self, tmp_path):
+        cfg = small_config()
+        key = config_key(cfg)
+        result = SystemUnderTest(cfg).run()
+        # A pre-envelope cache entry: a bare pickle, no magic/checksum.
+        (tmp_path / f"{key}.pkl").write_bytes(pickle.dumps(result))
+        cache = RunCache(disk_dir=tmp_path)
+        cache.get_or_run(cfg)
+        assert cache.stats.quarantined == 1
+        assert (tmp_path / QUARANTINE_DIRNAME / f"{key}.pkl").exists()
+
+    def test_unwritable_disk_dir_fails_soft(self, tmp_path):
+        # Point disk_dir *under a file* so mkdir/replace must fail —
+        # works even when the test runs as root (chmod 0 would not).
+        blocker = tmp_path / "blocker"
+        blocker.write_text("in the way")
+        cache = RunCache(disk_dir=blocker / "cache")
+        cfg = small_config()
+        result = cache.get_or_run(cfg)
+        assert result is not None
+        assert cache.stats.write_errors == 1
+        assert not cache._disk_writable
+        # Later stores skip the dead tier silently (no new errors).
+        cache.get_or_run(small_config(seed=6))
+        assert cache.stats.write_errors == 1
+        # Memory tier still serves.
+        assert cache.get_or_run(cfg) is result
+        assert cache.stats.hits == 1
+
+    def test_stats_snapshot_tracks_integrity_counters(self, tmp_path):
+        cfg = small_config()
+        RunCache(disk_dir=tmp_path).get_or_run(cfg)
+        entry = tmp_path / f"{config_key(cfg)}.pkl"
+        entry.write_bytes(b"garbage")
+        cache = RunCache(disk_dir=tmp_path)
+        before = cache.stats.snapshot()
+        cache.get_or_run(cfg)
+        delta = cache.stats.since(before)
+        assert delta.quarantined == 1
+        assert delta.misses == 1
+
+
+class TestCacheDirMaintenance:
+    def _populate(self, tmp_path, n=2):
+        for seed in range(n):
+            RunCache(disk_dir=tmp_path).get_or_run(small_config(seed=seed))
+
+    def test_verify_clean_dir(self, tmp_path):
+        self._populate(tmp_path)
+        report = verify_cache_dir(tmp_path)
+        assert report.passed
+        assert report.entries_ok == 2
+        assert report.bytes_ok > 0
+        assert "CLEAN" in "\n".join(report.render_lines())
+
+    def test_verify_quarantines_corrupt_entries(self, tmp_path):
+        self._populate(tmp_path)
+        victim = sorted(tmp_path.glob("*.pkl"))[0]
+        blob = bytearray(victim.read_bytes())
+        blob[len(blob) // 2] ^= 0x01
+        victim.write_bytes(bytes(blob))
+
+        report = verify_cache_dir(tmp_path)
+        assert not report.passed
+        assert report.corrupt == [victim.name]
+        assert report.entries_ok == 1
+        assert not victim.exists()
+        # A second scan finds the live entries clean but still reports
+        # the quarantine backlog: dirty until gc.
+        again = verify_cache_dir(tmp_path)
+        assert again.corrupt == []
+        assert again.quarantined == [victim.name]
+        assert not again.passed
+
+    def test_gc_clears_quarantine_and_tmp_strays(self, tmp_path):
+        self._populate(tmp_path, n=1)
+        victim = sorted(tmp_path.glob("*.pkl"))[0]
+        victim.write_bytes(b"rot")
+        verify_cache_dir(tmp_path)
+        (tmp_path / "dead-writer.tmp").write_bytes(b"partial")
+
+        removed = gc_cache_dir(tmp_path)
+        assert removed == {"quarantined": 1, "tmp": 1}
+        assert verify_cache_dir(tmp_path).passed
+        assert not list(tmp_path.glob("*.tmp"))
+
+    def test_stats_counts(self, tmp_path):
+        self._populate(tmp_path)
+        victim = sorted(tmp_path.glob("*.pkl"))[0]
+        victim.write_bytes(b"rot")
+        verify_cache_dir(tmp_path)
+        (tmp_path / "stray.tmp").write_bytes(b"x")
+        stats = cache_dir_stats(tmp_path)
+        assert stats["entries"] == 1
+        assert stats["quarantined"] == 1
+        assert stats["quarantine_bytes"] == 3
+        assert stats["tmp_strays"] == 1
+        assert stats["bytes"] > 0
+
+    def test_empty_or_missing_dir(self, tmp_path):
+        assert verify_cache_dir(tmp_path / "nope").passed
+        assert gc_cache_dir(tmp_path / "nope") == {"quarantined": 0, "tmp": 0}
+        assert cache_dir_stats(tmp_path / "nope")["entries"] == 0

@@ -1,0 +1,215 @@
+"""Tests for the chaos layer and the full crash-safety acceptance path."""
+
+import json
+import os
+
+import pytest
+
+from repro.experiments import chaos
+from tests.conftest import make_quick_config
+
+
+@pytest.fixture
+def fresh_default_cache():
+    """Reset the process-wide cache before and after the test.
+
+    The acceptance test points ``REPRO_RUN_CACHE_DIR`` at a tmp dir;
+    without the reset, a cache bound earlier (or left behind) would
+    leak across tests — and on Linux, forked pool workers inherit the
+    parent's populated memory tier, which would mask the disk-tier
+    self-healing path entirely.
+    """
+    from repro.runcache import set_default_cache
+
+    set_default_cache(None)
+    yield
+    set_default_cache(None)
+
+
+class TestSpecParsing:
+    def test_unset_env_is_inactive(self, monkeypatch):
+        monkeypatch.delenv(chaos.ENV_VAR, raising=False)
+        assert chaos.load_spec() is None
+        assert not chaos.chaos_active()
+
+    def test_invalid_json_is_inactive(self, monkeypatch):
+        monkeypatch.setenv(chaos.ENV_VAR, "{not json")
+        assert chaos.load_spec() is None
+
+    def test_non_object_json_is_inactive(self, monkeypatch):
+        monkeypatch.setenv(chaos.ENV_VAR, "[1, 2]")
+        assert chaos.load_spec() is None
+
+    def test_valid_spec_parses(self, monkeypatch):
+        monkeypatch.setenv(
+            chaos.ENV_VAR, json.dumps({"dir": "/tmp/x", "kill": {"fig03_gc": 1}})
+        )
+        spec = chaos.load_spec()
+        assert spec["kill"] == {"fig03_gc": 1}
+
+
+class TestFaultPoint:
+    def test_inert_outside_pool_worker(self, tmp_path, monkeypatch):
+        """An armed kill spec must never fire in the parent process."""
+        monkeypatch.setenv(
+            chaos.ENV_VAR,
+            json.dumps({"dir": str(tmp_path), "kill": {"anything": 5}}),
+        )
+        monkeypatch.setattr(chaos, "_IS_POOL_WORKER", False)
+        chaos.fault_point("kill", "anything")  # would os._exit if armed
+        assert list(tmp_path.iterdir()) == []
+
+    def test_inert_without_spec(self, monkeypatch):
+        monkeypatch.delenv(chaos.ENV_VAR, raising=False)
+        monkeypatch.setattr(chaos, "_IS_POOL_WORKER", True)
+        chaos.fault_point("kill", "anything")
+
+    def test_hang_budget_is_exactly_once(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(
+            chaos.ENV_VAR,
+            json.dumps({"dir": str(tmp_path), "hang": {"t": 1}, "hang_s": 0.01}),
+        )
+        monkeypatch.setattr(chaos, "_IS_POOL_WORKER", True)
+        chaos.fault_point("hang", "t")
+        assert (tmp_path / "hang.t.0").exists()
+        before = sorted(p.name for p in tmp_path.iterdir())
+        chaos.fault_point("hang", "t")  # budget spent: no new marker
+        assert sorted(p.name for p in tmp_path.iterdir()) == before
+
+    def test_budget_counts_slots(self, tmp_path):
+        assert chaos._claim(str(tmp_path), "kill", "x", 2)
+        assert chaos._claim(str(tmp_path), "kill", "x", 2)
+        assert not chaos._claim(str(tmp_path), "kill", "x", 2)
+
+    def test_missing_marker_dir_disarms(self, tmp_path):
+        assert not chaos._claim(str(tmp_path / "gone"), "kill", "x", 1)
+
+
+class TestCorruption:
+    def test_corrupt_entry_flips_one_bit(self, tmp_path):
+        target = tmp_path / "e.pkl"
+        original = bytes(range(64)) * 4
+        target.write_bytes(original)
+        chaos.corrupt_entry(target)
+        mutated = target.read_bytes()
+        assert len(mutated) == len(original)
+        diff = [i for i, (a, b) in enumerate(zip(original, mutated)) if a != b]
+        assert len(diff) == 1
+        assert diff[0] == len(original) * 3 // 4
+
+    def test_corrupt_empty_file_raises(self, tmp_path):
+        target = tmp_path / "empty.pkl"
+        target.write_bytes(b"")
+        with pytest.raises(ValueError):
+            chaos.corrupt_entry(target)
+
+    def test_corrupt_one_requires_entries(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            chaos.corrupt_one(tmp_path)
+
+    def test_corrupt_one_picks_first_sorted(self, tmp_path):
+        (tmp_path / "bb.pkl").write_bytes(b"x" * 32)
+        (tmp_path / "aa.pkl").write_bytes(b"y" * 32)
+        assert chaos.corrupt_one(tmp_path) == "aa.pkl"
+
+
+@pytest.mark.slow
+class TestChaosAcceptance:
+    """The ISSUE acceptance scenario, end to end, in one process.
+
+    Worker killed mid-experiment + a second worker hanging past its
+    timeout + one disk-cache entry bit-flipped: the resumable pooled
+    sweep must still exit cleanly with a report byte-identical to a
+    clean serial run, quarantining and recomputing the rotten entry
+    along the way.
+    """
+
+    SUBSET = ["fig02_throughput", "fig03_gc", "fig04_profile", "tab_utilization"]
+
+    def test_acceptance(self, tmp_path, monkeypatch, fresh_default_cache):
+        from repro.experiments.reproduce_all import run
+        from repro.experiments.supervisor import SupervisorPolicy
+        from repro.runcache import (
+            QUARANTINE_DIRNAME,
+            gc_cache_dir,
+            set_default_cache,
+            verify_cache_dir,
+        )
+
+        cache_dir = tmp_path / "cache"
+        monkeypatch.setenv("REPRO_RUN_CACHE_DIR", str(cache_dir))
+        monkeypatch.delenv(chaos.ENV_VAR, raising=False)
+        cfg = make_quick_config()
+
+        # Clean serial baseline; populates the disk cache tier.
+        clean = run(config=cfg, only=self.SUBSET)
+        clean_lines = clean.render_lines(include_timing=False)
+        assert sorted(cache_dir.glob("*.pkl"))
+
+        # Chaos: bit-flip one entry, arm a worker kill and a hang.
+        corrupted = chaos.corrupt_one(cache_dir)
+        markers = tmp_path / "markers"
+        markers.mkdir()
+        monkeypatch.setenv(
+            chaos.ENV_VAR,
+            json.dumps(
+                {
+                    "dir": str(markers),
+                    "kill": {"fig03_gc": 1},
+                    "hang": {"fig04_profile": 1},
+                    "hang_s": 6.0,
+                }
+            ),
+        )
+        # Drop the parent's memory tier: forked workers inherit it, and
+        # a warm memory tier would hide the corrupted disk entry.
+        set_default_cache(None)
+
+        journal = tmp_path / "sweep.jsonl"
+        result = run(
+            config=cfg,
+            only=self.SUBSET,
+            jobs=2,
+            journal=journal,
+            policy=SupervisorPolicy(
+                task_timeout_s=2.5,
+                backoff_base_s=0.05,
+                backoff_cap_s=0.1,
+                jitter=0.0,
+            ),
+        )
+
+        # Byte-identical report despite a kill, a hang and bit rot.
+        assert result.render_lines(include_timing=False) == clean_lines
+        assert list(result.records) == self.SUBSET
+        # Both injections fired and each cost one pool teardown.
+        assert (markers / "kill.fig03_gc.0").exists()
+        assert (markers / "hang.fig04_profile.0").exists()
+        assert result.pool_failures == 2
+        assert not result.degraded
+        assert result.records["fig04_profile"].timed_out == 1
+        assert result.total_retries >= 2
+
+        # The rotten entry was quarantined during the sweep and healed
+        # in place (live bytes valid again).
+        quarantine = cache_dir / QUARANTINE_DIRNAME
+        assert any(quarantine.glob("*.pkl"))
+        report = verify_cache_dir(cache_dir)
+        assert report.corrupt == []  # live entries all pass
+        assert corrupted in report.quarantined
+        assert not report.passed  # dirty until the backlog is cleared
+
+        removed = gc_cache_dir(cache_dir)
+        assert removed["quarantined"] >= 1
+        assert verify_cache_dir(cache_dir).passed
+
+        # The journal recorded every experiment; a resume-after-success
+        # run restores all four without recomputation and renders the
+        # same bytes.
+        lines = journal.read_text().splitlines()
+        assert len(lines) == 1 + len(self.SUBSET)
+        set_default_cache(None)
+        monkeypatch.delenv(chaos.ENV_VAR)
+        resumed = run(config=cfg, only=self.SUBSET, jobs=2, journal=journal)
+        assert set(resumed.resumed) == set(self.SUBSET)
+        assert resumed.render_lines(include_timing=False) == clean_lines

@@ -1,0 +1,144 @@
+"""Tests for the resumable-sweep journal."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.experiments.journal import JOURNAL_KIND, JOURNAL_SCHEMA, SweepJournal
+from repro.runcache import config_key
+from tests.conftest import make_quick_config
+
+
+def _cfg(seed: int = 2007):
+    return make_quick_config(seed=seed)
+
+
+def _record(module: str, **extra):
+    rec = {"module": module, "title": module, "lines": [f"{module} line"]}
+    rec.update(extra)
+    return rec
+
+
+class TestCreateAppendRecover:
+    def test_fresh_journal_writes_header(self, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        cfg = _cfg()
+        with SweepJournal.open(path, cfg) as journal:
+            assert journal.completed == {}
+        lines = path.read_text().splitlines()
+        header = json.loads(lines[0])
+        assert header["schema"] == JOURNAL_SCHEMA
+        assert header["kind"] == JOURNAL_KIND
+        assert header["config_key"] == config_key(cfg)
+        assert header["seed"] == cfg.seed
+
+    def test_reopen_restores_completed(self, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        cfg = _cfg()
+        with SweepJournal.open(path, cfg) as journal:
+            journal.append(_record("fig02_throughput"))
+            journal.append(_record("fig03_gc"))
+        with SweepJournal.open(path, cfg) as journal:
+            assert set(journal.completed) == {"fig02_throughput", "fig03_gc"}
+            assert journal.completed["fig03_gc"]["lines"] == ["fig03_gc line"]
+
+    def test_append_requires_module(self, tmp_path):
+        with SweepJournal.open(tmp_path / "j.jsonl", _cfg()) as journal:
+            with pytest.raises(ValueError):
+                journal.append({"title": "no module key"})
+
+    def test_append_after_close_raises(self, tmp_path):
+        journal = SweepJournal.open(tmp_path / "j.jsonl", _cfg())
+        journal.close()
+        with pytest.raises(ValueError):
+            journal.append(_record("fig02_throughput"))
+
+    def test_duplicate_module_keeps_last(self, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        cfg = _cfg()
+        with SweepJournal.open(path, cfg) as journal:
+            journal.append(_record("fig02_throughput", lines=["old"]))
+            journal.append(_record("fig02_throughput", lines=["new"]))
+        with SweepJournal.open(path, cfg) as journal:
+            assert journal.completed["fig02_throughput"]["lines"] == ["new"]
+
+
+class TestStaleRotation:
+    def test_config_mismatch_rotates_stale(self, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        cfg = _cfg()
+        other = dataclasses.replace(
+            cfg, workload=dataclasses.replace(cfg.workload, duration_s=600.0)
+        )
+        assert config_key(cfg) != config_key(other)
+        with SweepJournal.open(path, cfg) as journal:
+            journal.append(_record("fig02_throughput"))
+        with SweepJournal.open(path, other) as journal:
+            assert journal.completed == {}
+        assert (tmp_path / "sweep.jsonl.stale").exists()
+
+    def test_seed_mismatch_rotates_stale(self, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        with SweepJournal.open(path, _cfg(seed=1)):
+            pass
+        with SweepJournal.open(path, _cfg(seed=2)) as journal:
+            assert journal.completed == {}
+        assert path.with_name(path.name + ".stale").exists()
+
+    def test_garbage_file_rotated_not_trusted(self, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        path.write_text("this is not a journal\n")
+        with SweepJournal.open(path, _cfg()) as journal:
+            assert journal.completed == {}
+        # Fresh journal starts with a valid header.
+        header = json.loads(path.read_text().splitlines()[0])
+        assert header["kind"] == JOURNAL_KIND
+
+
+class TestTornWrites:
+    def test_torn_trailing_line_ignored(self, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        cfg = _cfg()
+        with SweepJournal.open(path, cfg) as journal:
+            journal.append(_record("fig02_throughput"))
+            journal.append(_record("fig03_gc"))
+        # Simulate a crash mid-write: append half a JSON line.
+        with path.open("a") as fh:
+            fh.write('{"module": "fig04_profi')
+        with SweepJournal.open(path, cfg) as journal:
+            assert set(journal.completed) == {"fig02_throughput", "fig03_gc"}
+            # And the journal is still appendable after recovery.
+            journal.append(_record("fig04_profile"))
+        with SweepJournal.open(path, cfg) as journal:
+            assert "fig04_profile" in journal.completed
+
+
+class TestResumeEndToEnd:
+    @pytest.mark.slow
+    def test_resumed_report_byte_identical(self, tmp_path, monkeypatch):
+        """Kill a sweep halfway (by journal surgery), resume, compare."""
+        monkeypatch.delenv("REPRO_RUN_CACHE_DIR", raising=False)
+        from repro.experiments import reproduce_all
+        from repro.runcache import set_default_cache
+
+        cfg = _cfg()
+        subset = ["fig02_throughput", "fig03_gc", "tab_utilization"]
+
+        set_default_cache(None)
+        clean = reproduce_all.run(config=cfg, only=subset)
+        clean_lines = clean.render_lines(include_timing=False)
+
+        # Full journaled run, then drop the last record to simulate a
+        # crash after two experiments had been journaled.
+        path = tmp_path / "sweep.jsonl"
+        set_default_cache(None)
+        reproduce_all.run(config=cfg, only=subset, journal=path)
+        lines = path.read_text().splitlines()
+        assert len(lines) == 1 + len(subset)
+        path.write_text("\n".join(lines[:-1]) + "\n")
+
+        set_default_cache(None)
+        resumed = reproduce_all.run(config=cfg, only=subset, journal=path)
+        assert len(resumed.resumed) == len(subset) - 1
+        assert resumed.render_lines(include_timing=False) == clean_lines

@@ -1,8 +1,16 @@
 """Tests for the full-reproduction sweep driver."""
 
+import json
+
 import pytest
 
-from repro.experiments.reproduce_all import CATALOG, run
+from repro.experiments.reproduce_all import (
+    CATALOG,
+    SWEEP_STATS_SCHEMA,
+    ReproductionRecord,
+    load_stats_dict,
+    run,
+)
 from tests.conftest import make_quick_config
 
 
@@ -69,6 +77,87 @@ class TestOnlyValidation:
     def test_typo_does_not_yield_clean_empty_sweep(self):
         with pytest.raises(ValueError):
             run(make_quick_config(), only=["fig03-gc"])
+
+
+class TestStatsSchema:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run(make_quick_config(), only=["fig03_gc"])
+
+    def test_stats_carry_schema_and_supervision_fields(self, result):
+        stats = result.stats_dict()
+        assert stats["schema"] == SWEEP_STATS_SCHEMA
+        assert stats["resumed"] == []
+        assert stats["pool_failures"] == 0
+        assert stats["degraded"] is False
+        entry = stats["per_experiment"]["fig03_gc"]
+        assert entry["attempts"] == 1
+        assert entry["retries"] == 0
+        assert entry["timed_out"] == 0
+
+    def test_round_trips_through_json(self, result):
+        stats = result.stats_dict()
+        reloaded = load_stats_dict(json.loads(json.dumps(stats)))
+        assert reloaded == stats
+
+    def test_v1_document_migrates_with_defaults(self):
+        legacy = {
+            "wall_clock_s": 12.5,
+            "jobs": 4,
+            "experiments": 1,
+            "per_experiment": {
+                "fig03_gc": {"seconds": 12.5, "rows": 5, "off": 0}
+            },
+        }
+        migrated = load_stats_dict(legacy)
+        assert migrated["schema"] == SWEEP_STATS_SCHEMA
+        assert migrated["resumed"] == []
+        assert migrated["pool_failures"] == 0
+        assert migrated["degraded"] is False
+        entry = migrated["per_experiment"]["fig03_gc"]
+        assert entry["attempts"] == 1
+        assert entry["retries"] == 0
+        assert entry["timed_out"] == 0
+        # Original fields survive; the input is not mutated.
+        assert entry["seconds"] == 12.5
+        assert "schema" not in legacy
+
+    def test_unknown_schema_rejected(self):
+        with pytest.raises(ValueError):
+            load_stats_dict({"schema": 99})
+
+
+class TestJournalRecordRoundTrip:
+    def test_lossless(self):
+        record = ReproductionRecord(
+            title="Figure 3",
+            module="fig03_gc",
+            seconds=1.25,
+            rows_total=5,
+            rows_off=["minor GC count"],
+            lines=["line one", "line two"],
+            cache_hits=2,
+            cache_misses=1,
+            attempts=3,
+            retries=2,
+            timed_out=1,
+        )
+        doc = json.loads(json.dumps(record.to_journal_dict()))
+        assert ReproductionRecord.from_journal_dict(doc) == record
+
+    def test_defaults_for_pre_supervisor_journal_lines(self):
+        doc = {
+            "title": "Figure 3",
+            "module": "fig03_gc",
+            "seconds": 1.0,
+            "rows_total": 5,
+            "rows_off": [],
+            "lines": ["body"],
+        }
+        record = ReproductionRecord.from_journal_dict(doc)
+        assert record.attempts == 1
+        assert record.retries == 0
+        assert record.timed_out == 0
 
 
 @pytest.mark.slow

@@ -122,6 +122,85 @@ class TestFaultSchedule:
         assert FaultModifiers(db_cpu_factor=2.0).neutral is False
 
 
+class TestFaultScheduleEdgeCases:
+    """Boundary semantics the chaos/robustness work leans on."""
+
+    def test_back_to_back_windows_never_compound(self):
+        # One event's end is the next one's start: the half-open
+        # interval [start, end) means exactly one is active at the seam.
+        schedule = FaultSchedule(
+            (
+                FaultEvent(kind="db_slowdown", start_s=0.0, duration_s=5.0, magnitude=2.0),
+                FaultEvent(kind="db_slowdown", start_s=5.0, duration_s=5.0, magnitude=3.0),
+            )
+        )
+        assert schedule.modifiers_at(4.999).db_cpu_factor == 2.0
+        assert schedule.modifiers_at(5.0).db_cpu_factor == 3.0
+        assert schedule.modifiers_at(9.999).db_cpu_factor == 3.0
+        assert schedule.modifiers_at(10.0) is NO_FAULTS
+
+    def test_event_nested_inside_another(self):
+        schedule = FaultSchedule(
+            (
+                FaultEvent(kind="db_slowdown", start_s=0.0, duration_s=20.0, magnitude=2.0),
+                FaultEvent(kind="db_slowdown", start_s=5.0, duration_s=5.0, magnitude=4.0),
+            )
+        )
+        assert schedule.modifiers_at(2.0).db_cpu_factor == 2.0
+        assert schedule.modifiers_at(7.0).db_cpu_factor == 8.0
+        # The inner window closing restores the outer factor alone.
+        assert schedule.modifiers_at(10.0).db_cpu_factor == 2.0
+
+    def test_identical_overlapping_events_compound(self):
+        event = FaultEvent(kind="db_slowdown", start_s=0.0, duration_s=10.0, magnitude=2.0)
+        schedule = FaultSchedule((event, event))
+        assert schedule.modifiers_at(1.0).db_cpu_factor == 4.0
+
+    def test_fault_active_from_time_zero(self):
+        # A fault that begins before warmup ends must already be live
+        # at t=0 — warmup is an observation window, not a grace period.
+        schedule = FaultSchedule(
+            (FaultEvent(kind="tier_crash", start_s=0.0, duration_s=30.0),)
+        )
+        assert schedule.modifiers_at(0.0).server_down
+        assert schedule.active
+
+    def test_overlapping_different_kinds_combine_independently(self):
+        schedule = FaultSchedule(
+            (
+                FaultEvent(kind="db_slowdown", start_s=0.0, duration_s=10.0, magnitude=2.0),
+                FaultEvent(kind="gc_pressure", start_s=5.0, duration_s=10.0, magnitude=50.0),
+            )
+        )
+        early = schedule.modifiers_at(2.0)
+        assert early.db_cpu_factor == 2.0
+        assert early.live_extra_bytes == 0
+        both = schedule.modifiers_at(7.0)
+        assert both.db_cpu_factor == 2.0
+        assert both.live_extra_bytes == 50 * MB
+        late = schedule.modifiers_at(12.0)
+        assert late.db_cpu_factor == 1.0
+        assert late.live_extra_bytes == 50 * MB
+
+    def test_clear_times_for_nested_events_deduplicated_and_sorted(self):
+        schedule = FaultSchedule(
+            (
+                FaultEvent(kind="db_slowdown", start_s=0.0, duration_s=20.0),
+                FaultEvent(kind="net_loss", start_s=5.0, duration_s=15.0, magnitude=0.1),
+                FaultEvent(kind="disk_degraded", start_s=1.0, duration_s=2.0),
+            )
+        )
+        assert schedule.clear_times() == [3.0, 20.0]
+
+    def test_zero_duration_window_cannot_exist(self):
+        # Belt and braces with TestFaultEvent: the schedule can never
+        # hold a window that is active at no instant.
+        with pytest.raises(ValueError):
+            FaultSchedule(
+                (FaultEvent(kind="db_slowdown", start_s=3.0, duration_s=0.0),)
+            )
+
+
 class TestBackoff:
     def policy(self, **kwargs):
         defaults = dict(
