@@ -28,7 +28,10 @@ Commands::
     perf-gate      the statistical perf-regression gate (exit 0/1)
 
 Every command accepts ``--scale quick|bench|full`` (default ``quick``)
-and ``--seed N``.  ``characterize``, ``figure`` and ``reproduce-all``
+and ``--seed N``.  Simulation commands also accept
+``--engine fused|reference|vector`` to pick the window-execution
+engine (see :mod:`repro.cpu.engine`; ``vector`` batches windows on the
+columnar engine).  ``characterize``, ``figure`` and ``reproduce-all``
 also accept ``--trace-json FILE`` to run under an observability
 session and export the span trace plus a run manifest.
 """
@@ -40,6 +43,7 @@ import sys
 from typing import List, Optional
 
 from repro.config import ExperimentConfig
+from repro.cpu.engine import ENGINES, set_default_engine
 
 
 def _config(args: argparse.Namespace) -> ExperimentConfig:
@@ -473,6 +477,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="load the experiment config from a JSON manifest "
         "(overrides --scale/--seed)",
     )
+    common.add_argument(
+        "--engine",
+        choices=ENGINES,
+        default=None,
+        help="window-execution engine: fused (default), reference "
+        "(the pinned pre-optimization core), or vector (the columnar "
+        "batch engine; per-window RNG forks from a shared warm "
+        "snapshot — statistically equivalent, not bit-identical, to "
+        "the serial sweep).  Also settable via $REPRO_ENGINE; the "
+        "flag wins and is inherited by worker processes",
+    )
 
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -746,14 +761,14 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=None,
         metavar="X",
-        help="fail on a significant slowdown at or beyond X (default 1.4)",
+        help="fail on a significant slowdown at or beyond X (default 1.3)",
     )
     perf_gate.add_argument(
         "--warn-ratio",
         type=float,
         default=None,
         metavar="X",
-        help="warn on a significant slowdown at or beyond X (default 1.15)",
+        help="warn on a significant slowdown at or beyond X (default 1.10)",
     )
     perf_gate.add_argument(
         "--alpha",
@@ -841,6 +856,10 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    if getattr(args, "engine", None) is not None:
+        # Written to $REPRO_ENGINE (not just process state) so the
+        # supervised pool and per-group correlation workers inherit it.
+        set_default_engine(args.engine)
     return args.handler(args)
 
 

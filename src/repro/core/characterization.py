@@ -25,6 +25,7 @@ from repro.config import ExperimentConfig
 from repro.core.correlation import CpiCorrelationReport, CpiCorrelationStudy
 from repro.core.profile_analysis import ProfileAnalysis, analyze_profile
 from repro.cpu.core_model import CoreModel
+from repro.cpu.engine import default_engine
 from repro.cpu.regions import AddressSpace
 from repro.cpu.sources import DataSource, InstSource
 from repro.hpm.counters import CounterSnapshot
@@ -153,7 +154,11 @@ class Characterization:
     #: The core-model implementation windows execute on.  A seam for
     #: benchmarking: ``benchmarks/test_core_kernels.py`` rebinds it to
     #: :class:`repro.cpu.reference.ReferenceCoreModel` to time the
-    #: pinned pre-optimization kernels end to end.
+    #: pinned pre-optimization kernels end to end.  When left on the
+    #: stock :class:`CoreModel` the session engine
+    #: (:func:`repro.cpu.engine.default_engine`) picks the actual
+    #: implementation — an explicit rebinding always wins over the
+    #: engine so existing benchmark/test monkeypatching keeps working.
     core_model_cls = CoreModel
 
     def __init__(self, config: ExperimentConfig, include_kernel: bool = False):
@@ -216,6 +221,24 @@ class Characterization:
             )
         return self._jit
 
+    def _resolved_core_model_cls(self):
+        """The core class after engine selection.
+
+        ``reference`` swaps in the pinned
+        :class:`~repro.cpu.reference.ReferenceCoreModel`; ``fused`` and
+        ``vector`` both build the stock :class:`CoreModel` (the vector
+        engine batches *windows*, and falls back to this serial core
+        when a batch is not eligible).  A subclass or test that rebinds
+        :attr:`core_model_cls` bypasses the engine entirely.
+        """
+        if self.core_model_cls is not CoreModel:
+            return self.core_model_cls
+        if default_engine() == "reference":
+            from repro.cpu.reference import ReferenceCoreModel
+
+            return ReferenceCoreModel
+        return CoreModel
+
     @property
     def core(self) -> CoreModel:
         if self._core is None:
@@ -227,7 +250,7 @@ class Characterization:
                 include_kernel=self.include_kernel,
                 jit=self.jit,
             )
-            self._core = self.core_model_cls(
+            self._core = self._resolved_core_model_cls()(
                 self.config.machine,
                 self.space,
                 schedule,
@@ -253,19 +276,78 @@ class Characterization:
     # Sampling helpers (used by the figure experiments too)
     # ------------------------------------------------------------------
     def sample_windows(self, n: int, start: int = 0) -> List[HpmSample]:
-        """Omnisciently sample ``n`` consecutive windows."""
+        """Omnisciently sample ``n`` consecutive windows.
+
+        Under the ``vector`` engine an eligible batch runs on the
+        columnar :class:`~repro.cpu.vector.VectorBatchEngine` instead
+        of the serial window loop — a *different but statistically
+        equivalent realization*: each window executes from the shared
+        warm hardware snapshot with its own per-window RNG fork
+        (``cpu.vec.w<index>``), rather than inheriting the state and
+        stream positions left behind by the previous window.  Each
+        lane is still bit-identical to a serial core given the same
+        fork and snapshot (:func:`repro.cpu.vector.oracle_window`);
+        the sweep-level equivalence is guarded distributionally
+        (KS/Mann-Whitney tests plus the conformance bands).
+        """
         self.ensure_warm()
+        if n > 0 and default_engine() == "vector":
+            samples = self._sample_windows_vector(n, start)
+            if samples is not None:
+                return samples
         return self.hpm.sample_all(range(start, start + n))
 
-    def group_hpm(self, group_name: str) -> HpmStat:
-        """An :class:`HpmStat` over a core dedicated to one counter group.
+    def _sample_windows_vector(
+        self, n: int, start: int
+    ) -> Optional[List[HpmSample]]:
+        """One batch of ``n`` windows on the vector engine (or None)."""
+        from repro.cpu.vector import (
+            HardwareSnapshot,
+            VectorBatchEngine,
+            vector_supported,
+        )
+
+        core = self.core
+        ok, _reason = vector_supported(core, self.space)
+        if not ok:
+            return None
+        snapshot = HardwareSnapshot.capture(core)
+        windows = range(start, start + n)
+        # The bridge draws RNG per descriptor_for() call, so the
+        # descriptors are materialized in ascending window order —
+        # the order the serial loop would have requested them in.
+        descriptors = [core.schedule.descriptor_for(w) for w in windows]
+        root = self._rngs.fork("cpu.vec")
+        lanes = [
+            (desc, root.fork(f"w{w}"))
+            for desc, w in zip(descriptors, windows)
+        ]
+        engine = VectorBatchEngine(
+            self.config.machine,
+            self.space,
+            self.config.sampling,
+            lanes,
+            snapshot,
+        )
+        interval = self.config.sampling.window_interval_s
+        return [
+            HpmSample(
+                window_index=w,
+                time_s=w * interval,
+                group_name=None,
+                snapshot=snap,
+            )
+            for w, snap in zip(windows, engine.run())
+        ]
+
+    def group_core(self, group_name: str) -> CoreModel:
+        """A warmed core dedicated to one counter group's campaign.
 
         The core draws from RNG forks named after the group
         (``bridge.corr.<group>`` / ``cpu.corr.<group>``), which are
         derived statelessly from the config seed — so per-group
         measurement campaigns are order-independent and can run in
         parallel processes (:func:`repro.core.correlation.run_group_campaign`).
-        The core is warmed before it is returned.
         """
         schedule = WorkloadPhaseSchedule(
             self.result,
@@ -275,7 +357,7 @@ class Characterization:
             include_kernel=self.include_kernel,
             jit=self.jit,
         )
-        core = self.core_model_cls(
+        core = self._resolved_core_model_cls()(
             self.config.machine,
             self.space,
             schedule,
@@ -283,7 +365,13 @@ class Characterization:
             self._rngs.fork(f"cpu.corr.{group_name}"),
         )
         core.warm_up(range(self.config.sampling.warmup_windows))
-        return HpmStat(core, self.config.sampling.window_interval_s)
+        return core
+
+    def group_hpm(self, group_name: str) -> HpmStat:
+        """An :class:`HpmStat` over a :meth:`group_core` for the group."""
+        return HpmStat(
+            self.group_core(group_name), self.config.sampling.window_interval_s
+        )
 
     # ------------------------------------------------------------------
     # The full study
@@ -330,7 +418,11 @@ class Characterization:
 
         correlations = None
         if correlation_windows_per_group:
-            if correlation_jobs > 1:
+            # The vector engine always takes the per-group campaign:
+            # its batch realization replaces the shared-core serial
+            # walk (degrading to the serial per-group campaign when a
+            # group core is ineligible for the batch engine).
+            if correlation_jobs > 1 or default_engine() == "vector":
                 from repro.core.correlation import run_group_campaign
 
                 correlations = run_group_campaign(

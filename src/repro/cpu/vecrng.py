@@ -1,0 +1,358 @@
+"""A lane-parallel Mersenne Twister, bit-compatible with CPython.
+
+The vector engine (:mod:`repro.cpu.vector`) promises lane-for-lane
+bit-identical results against the serial core model, and the serial
+model draws everything from :class:`random.Random`.  So the batch
+engine cannot use numpy's own generators — it needs *CPython's*
+MT19937, vectorized: the same 624-word state per lane, the same twist,
+the same tempering, the same 53-bit double construction, the same
+``getrandbits``/``_randbelow`` word consumption.
+
+:class:`VectorMT` keeps the state of ``L`` independent generators as a
+``[L, 624]`` ``uint32`` matrix plus a per-lane word cursor.  A lane's
+word stream is identical to ``random.Random`` seeded/loaded the same
+way; state round-trips exactly through
+:meth:`VectorMT.to_random` / :meth:`VectorMT.load_random`, which is
+also how the engine hands a lane to scalar code (slice setup, window
+finalization) and takes it back.
+
+Hot-path layout
+---------------
+Draws are dominated by numpy *dispatch* overhead, not arithmetic, so
+the class trades memory for call count:
+
+* The tempered output of the current block **and** the next block live
+  in one ``[L, 1248]`` buffer (``out2``); the cursor runs 0..1247, so
+  no draw ever needs a twist check.  :meth:`ensure` — called once per
+  engine round with a conservative word budget — shifts lanes whose
+  cursor entered the second block (twisting is time-invariant: when a
+  block is generated does not change its words).
+* Every adjacent word pair is pre-combined into a 53-bit double
+  (``dpair``), making ``random()`` a single flat gather, and
+  :meth:`random_multi` fetches several *consecutive* doubles per lane
+  in one gather — used by the engine wherever the serial kernel draws
+  back-to-back ``random()`` values.
+
+Everything is integer-exact.  The only float work is CPython's
+``genrand_res53`` combine — ``(a*67108864.0 + b) * (1.0/2**53)`` with
+``a = word >> 5``, ``b = word >> 6`` — whose IEEE-754 result is
+bit-identical in any evaluation order.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, List, Sequence
+
+import numpy as np
+
+_N = 624
+_M = 397
+_SEG = _N - _M  # 227: the twist's dependency stride
+_MATRIX_A = np.uint32(0x9908B0DF)
+_UPPER = np.uint32(0x80000000)
+_LOWER = np.uint32(0x7FFFFFFF)
+_INV53 = 1.0 / 9007199254740992.0  # 2**-53
+_W2 = 2 * _N  # out2 row width
+_DW = _W2 - 1  # dpair row width
+
+
+def _temper(y: np.ndarray) -> np.ndarray:
+    """CPython's tempering, vectorized over any uint32 array."""
+    y = y ^ (y >> 11)
+    y = y ^ ((y << 7) & np.uint32(0x9D2C5680))
+    y = y ^ ((y << 15) & np.uint32(0xEFC60000))
+    return y ^ (y >> 18)
+
+
+def _twist_rows(mt: np.ndarray) -> np.ndarray:
+    """One full twist of ``[n, 624]`` state rows, in place; returns ``mt``.
+
+    The reference twist is a serial loop with a stride-227 dependency
+    (``mt[i]`` consumes ``mt[i+1]`` and ``mt[(i+397) % 624]``, where the
+    second operand is *already twisted* once ``i >= 227``).  Splitting
+    at the dependency boundaries makes every segment a pure array op:
+
+    * ``i in [0, 227)``   reads old ``mt[397:624]``;
+    * ``i in [227, 454)`` reads new ``mt[0:227]`` (segment 1's output);
+    * ``i in [454, 623)`` reads new ``mt[227:396]``;
+    * ``i = 623`` wraps: ``y`` mixes ``mt[623]`` (old) with ``mt[0]``
+      (new), and the source word is new ``mt[396]``.
+    """
+
+    def mix(cur, nxt, src):
+        y = (cur & _UPPER) | (nxt & _LOWER)
+        mag = np.where((y & np.uint32(1)).astype(bool), _MATRIX_A, np.uint32(0))
+        return src ^ (y >> 1) ^ mag
+
+    mt[:, 0:_SEG] = mix(mt[:, 0:_SEG], mt[:, 1 : _SEG + 1], mt[:, _M:_N])
+    mt[:, _SEG : 2 * _SEG] = mix(
+        mt[:, _SEG : 2 * _SEG],
+        mt[:, _SEG + 1 : 2 * _SEG + 1],
+        mt[:, 0:_SEG],
+    )
+    mt[:, 2 * _SEG : _N - 1] = mix(
+        mt[:, 2 * _SEG : _N - 1],
+        mt[:, 2 * _SEG + 1 : _N],
+        mt[:, _SEG : _M - 1],
+    )
+    y = (mt[:, _N - 1] & _UPPER) | (mt[:, 0] & _LOWER)
+    mag = np.where((y & np.uint32(1)).astype(bool), _MATRIX_A, np.uint32(0))
+    mt[:, _N - 1] = mt[:, _M - 1] ^ (y >> 1) ^ mag
+    return mt
+
+
+def _pair_doubles(out2: np.ndarray) -> np.ndarray:
+    """genrand_res53 for every adjacent word pair of ``[n, 2N]`` rows."""
+    a = (out2[:, :-1] >> np.uint32(5)).astype(np.float64)
+    b = (out2[:, 1:] >> np.uint32(6)).astype(np.float64)
+    return (a * 67108864.0 + b) * _INV53
+
+
+class VectorMT:
+    """``L`` CPython-compatible Mersenne Twisters as one matrix.
+
+    All draw methods take ``lanes`` — a unique-index ``int64`` array
+    selecting which generators advance — and return one value per
+    selected lane.  Lanes not selected do not consume words, exactly
+    like independent ``random.Random`` instances.
+    """
+
+    def __init__(self, randoms: Sequence[random.Random]):
+        states = [r.getstate() for r in randoms]
+        self.n_lanes = len(states)
+        L = max(self.n_lanes, 1)
+        self.mt = np.zeros((L, _N), np.uint32)
+        self.mt2 = np.zeros((L, _N), np.uint32)
+        self.idx = np.zeros(L, np.int64)
+        if states:
+            self.mt[: self.n_lanes] = np.array(
+                [s[1][:_N] for s in states], dtype=np.uint32
+            )
+            self.idx[: self.n_lanes] = [s[1][_N] for s in states]
+        self.mt2[:] = _twist_rows(self.mt.copy())
+        self.out2 = np.empty((L, _W2), np.uint32)
+        self.out2[:, :_N] = _temper(self.mt)
+        self.out2[:, _N:] = _temper(self.mt2)
+        self.dpair = _pair_doubles(self.out2)
+        # Flat views for single-gather draws.
+        self._of = self.out2.ravel()
+        self._df = self.dpair.ravel()
+        self._hi = int(self.idx.max())
+        # Row strides for the randbelow 4-word lookahead gather.
+        self._ar4 = np.arange(0, 4 * L, 4, dtype=np.int64)
+
+    @classmethod
+    def from_seeds(cls, seeds: Iterable[int]) -> "VectorMT":
+        return cls([random.Random(s) for s in seeds])
+
+    # ------------------------------------------------------------------
+    # Scalar interop
+    # ------------------------------------------------------------------
+    def to_random(self, lane: int) -> random.Random:
+        """Materialize lane ``lane`` as an equivalent ``random.Random``."""
+        ii = int(self.idx[lane])
+        if ii < _N:
+            block, cursor = self.mt[lane], ii
+        else:
+            block, cursor = self.mt2[lane], ii - _N
+        rnd = random.Random()
+        rnd.setstate((3, tuple(block.tolist()) + (cursor,), None))
+        return rnd
+
+    def load_random(self, lane: int, rnd: random.Random) -> None:
+        """Adopt ``rnd``'s state into lane ``lane`` (inverse of to_random)."""
+        state = rnd.getstate()[1]
+        self.mt[lane] = np.array(state[:_N], dtype=np.uint32)
+        self.idx[lane] = state[_N]
+        self._rebuild_rows(np.array([lane], dtype=np.int64))
+
+    def _rebuild_rows(self, lanes: np.ndarray) -> None:
+        """Recompute mt2/out2/dpair for lanes whose ``mt`` changed."""
+        m2 = _twist_rows(self.mt[lanes].copy())
+        self.mt2[lanes] = m2
+        t = np.empty((lanes.size, _W2), np.uint32)
+        t[:, :_N] = _temper(self.mt[lanes])
+        t[:, _N:] = _temper(m2)
+        self.out2[lanes] = t
+        self.dpair[lanes] = _pair_doubles(t)
+
+    # ------------------------------------------------------------------
+    # Capacity
+    # ------------------------------------------------------------------
+    def _resync(self, need: int) -> None:
+        """Shift every lane near the block end; recompute the high-water.
+
+        ``_hi`` is a conservative Python-int overestimate of
+        ``idx.max()`` (each draw bumps it by its worst-case word count),
+        so draw methods check capacity with one integer compare instead
+        of a per-call numpy reduce.  When the overestimate crosses the
+        threshold this does one batched pass over *all* lanes — shifting
+        a lane early is harmless because twisting is time-invariant.
+        """
+        # Shift every lane that legally can (cursor past one block), not
+        # just those at the threshold: shifting only the laggards would
+        # leave the max cursor right below the limit and re-trigger this
+        # on the very next draw.  Batching all eligible lanes amortizes
+        # the twist/temper work into a few large passes.
+        #
+        # A shift reuses what the previous generation already computed:
+        # the shifted current block's tempered words are the old
+        # ``out2[:, N:]`` and the first ``N - 1`` surviving pair-doubles
+        # are the old ``dpair[:, N:]``, so only the freshly twisted
+        # block gets tempered and only the pairs that touch it are
+        # recombined.
+        if int(self.idx.min()) >= _N:
+            # Every lane shifts: pure slice/buffer work, no gathers.
+            old = self.mt
+            self.mt = self.mt2
+            np.copyto(old, self.mt)
+            self.mt2 = _twist_rows(old)
+            self.out2[:, :_N] = self.out2[:, _N:]
+            self.out2[:, _N:] = _temper(self.mt2)
+            self.dpair[:, : _DW - _N] = self.dpair[:, _N:]
+            self.dpair[:, _DW - _N :] = _pair_doubles(self.out2[:, _DW - _N :])
+            self.idx -= _N
+        else:
+            sh = (self.idx >= _N).nonzero()[0]
+            if sh.size:
+                self.mt[sh] = self.mt2[sh]
+                m2 = _twist_rows(self.mt[sh].copy())
+                self.mt2[sh] = m2
+                t = np.empty((sh.size, _W2), np.uint32)
+                t[:, :_N] = self.out2[sh, _N:]
+                t[:, _N:] = _temper(m2)
+                self.out2[sh] = t
+                d = np.empty((sh.size, _DW), np.float64)
+                d[:, : _DW - _N] = self.dpair[sh, _N:]
+                d[:, _DW - _N :] = _pair_doubles(t[:, _DW - _N :])
+                self.dpair[sh] = d
+                self.idx[sh] -= _N
+        self._hi = int(self.idx.max())
+        if self._hi > _DW - need:  # pragma: no cover - degenerate need
+            raise AssertionError("lane cursor cannot satisfy capacity")
+
+    # ------------------------------------------------------------------
+    # Draws (one per selected lane; capacity must be ensured)
+    # ------------------------------------------------------------------
+    def random(self, lanes: np.ndarray) -> np.ndarray:
+        """``random.random()`` per lane: 53-bit doubles in [0, 1)."""
+        if self._hi > _DW - 2:
+            self._resync(64)
+        ii = self.idx[lanes]
+        v = self._df[lanes * _DW + ii]
+        self.idx[lanes] = ii + 2
+        self._hi += 2
+        return v
+
+    def random_multi(self, lanes: np.ndarray, m: int) -> np.ndarray:
+        """``m`` consecutive ``random()`` draws per lane: ``[n, m]``.
+
+        Only valid where the serial stream draws ``m`` back-to-back
+        doubles with no interleaved ``getrandbits`` — the pre-paired
+        buffer assumes word-pair alignment at the cursor.
+        """
+        if self._hi > _DW - 2 * m:
+            self._resync(max(64, 2 * m + 2))
+        ii = self.idx[lanes]
+        base = lanes * _DW + ii
+        v = self._df[base[:, None] + self._offsets(m)]
+        self.idx[lanes] = ii + 2 * m
+        self._hi += 2 * m
+        return v
+
+    _OFFSETS: dict = {}
+
+    @classmethod
+    def _offsets(cls, m: int) -> np.ndarray:
+        off = cls._OFFSETS.get(m)
+        if off is None:
+            off = np.arange(0, 2 * m, 2, dtype=np.int64)
+            cls._OFFSETS[m] = off
+        return off
+
+    def getrandbits(self, lanes: np.ndarray, k) -> np.ndarray:
+        """``getrandbits(k)`` per lane for ``1 <= k <= 32``."""
+        if self._hi > _DW:
+            self._resync(64)
+        ii = self.idx[lanes]
+        w = self._of[lanes * _W2 + ii]
+        self.idx[lanes] = ii + 1
+        self._hi += 1
+        k = np.asarray(k, dtype=np.uint32)
+        return (w >> (np.uint32(32) - k)).astype(np.int64)
+
+    #: First accepted position of a 4-word lookahead, indexed by the
+    #: acceptance bitmask (bit j = word j accepted); 4 = none accepted.
+    _CTZ4 = np.array([4, 0, 1, 0, 2, 0, 1, 0, 3, 0, 1, 0, 2, 0, 1, 0], np.int64)
+    _LOOK = np.arange(4, dtype=np.int64)
+
+    def randbelow(self, lanes: np.ndarray, n) -> np.ndarray:
+        """``_randbelow_with_getrandbits(n)`` per lane (``n >= 1``).
+
+        Rejection sampling consumes exactly the words the serial
+        generators would, but resolves it with a 4-word lookahead: one
+        gather fetches the next four words per lane, and the first
+        acceptable one decides how many were "consumed" (the cursor
+        advance).  Chains longer than four words loop on the shrinking
+        rejected subset.
+        """
+        if isinstance(n, (int, np.integer)):
+            # Scalar operand: plain-int shift and scalar comparisons,
+            # sparing the frexp/broadcast machinery on this hot path.
+            scalar = True
+            nv = np.uint32(n)
+            shift = np.uint32(32 - int(n).bit_length())
+        else:
+            scalar = False
+            n64 = np.asarray(n, dtype=np.int64)
+            if n64.ndim == 0:
+                n64 = np.broadcast_to(n64, lanes.shape)
+            # bit_length via frexp: doubles are exact for n < 2**53.
+            shift = np.uint32(32) - np.frexp(n64.astype(np.float64))[1].astype(
+                np.uint32
+            )
+            nv = n64.astype(np.uint32)
+        if self._hi > _DW - 4:
+            self._resync(64)
+        # The whole lookahead stays in uint32 (bounds fit 32 bits); only
+        # the accepted value per lane widens to int64 at the end.
+        ii = self.idx[lanes]
+        w4 = self._of[(lanes * _W2 + ii)[:, None] + self._LOOK]
+        r4 = w4 >> (shift if scalar else shift[:, None])
+        acc = r4 < (nv if scalar else nv[:, None])
+        num = acc[:, 0] + 2 * acc[:, 1] + 4 * acc[:, 2] + 8 * acc[:, 3]
+        first = self._CTZ4[num]
+        fi = np.minimum(first, 3)
+        r = r4.ravel()[self._ar4[: lanes.size] + fi].astype(np.int64)
+        self.idx[lanes] = ii + fi + 1
+        rej = (first == 4).nonzero()[0]
+        # Bump the high-water by the real worst-case consumption, not a
+        # flat 4: an inflated overestimate forces block regenerations
+        # (the costliest RNG maintenance) well before they are due.
+        self._hi += 4 if rej.size else int(fi.max(initial=-1)) + 1
+        while rej.size:
+            if self._hi > _DW - 4:
+                self._resync(64)
+            ls = lanes[rej]
+            ii = self.idx[ls]
+            w4 = self._of[(ls * _W2 + ii)[:, None] + self._LOOK]
+            r4 = w4 >> (shift if scalar else shift[rej][:, None])
+            acc = r4 < (nv if scalar else nv[rej][:, None])
+            num = acc[:, 0] + 2 * acc[:, 1] + 4 * acc[:, 2] + 8 * acc[:, 3]
+            first = self._CTZ4[num]
+            fi = np.minimum(first, 3)
+            r[rej] = r4.ravel()[self._ar4[: rej.size] + fi]
+            self.idx[ls] = ii + fi + 1
+            self._hi += 4
+            rej = rej[first == 4]
+        return r
+
+    def uniform(self, lanes: np.ndarray, a, b) -> np.ndarray:
+        """``uniform(a, b)`` per lane: ``a + (b - a) * random()``."""
+        return a + (b - a) * self.random(lanes)
+
+    # ------------------------------------------------------------------
+    def state_arrays(self) -> List[np.ndarray]:
+        """(mt, idx) views — for tests and snapshotting."""
+        return [self.mt, self.idx]

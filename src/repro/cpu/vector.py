@@ -1,0 +1,1644 @@
+"""The columnar batch engine: many sampling windows as numpy lanes.
+
+One :class:`VectorBatchEngine` advances ``L`` independent sampling
+windows ("lanes") in lockstep, one fetch block per lane per round, with
+every microarchitectural structure held as a struct-of-arrays:
+
+* cache/ERAT/TLB way state as ``[L, sets, assoc]`` key matrices
+  (:class:`VecCache`), replacement by masked row rotation;
+* prefetcher streams, the run detector and the store-gather buffer as
+  ``[L, width]`` insertion-ordered key rows (:class:`VecRows`);
+* branch predictor tables as ``[L, entries]`` matrices;
+* counter banks as one ``[L, N_EVENTS]`` matrix;
+* all randomness from :class:`repro.cpu.vecrng.VectorMT` — CPython's
+  Mersenne Twister, lane-parallel and word-for-word compatible.
+
+Bit-exactness contract
+----------------------
+A lane is one window executed by the fused kernel of
+:class:`repro.cpu.stream.SliceRunner` for a core built from that lane's
+:class:`~repro.util.rng.RngFactory` with hardware state loaded from a
+shared :class:`HardwareSnapshot`.  For every lane, the engine draws the
+RNG streams (``cpu.stream``, ``cpu.backing``, ``cpu.pipeline``) in
+exactly the serial order and performs every float addition into the
+cycle/dispatch accumulators in exactly the serial order, so the
+resulting :class:`~repro.hpm.counters.CounterSnapshot` is bit-identical
+to the serial oracle (:func:`oracle_window`) — with one guarded
+exception: the block-length draw passes through ``np.log``, whose last
+ulp may differ from ``math.log``; lanes whose draw lands within
+``1e-9`` of an integer boundary are recomputed scalar with
+``math.log``, eliminating the divergence.
+
+Like the fused kernel, the engine only runs against the stock
+structure classes; :func:`vector_supported` mirrors
+``SliceRunner._can_fuse`` (type-is checks plus instance-patch
+detection) and adds the batch-specific constraints (region sizes below
+``2**32`` so every rejection draw fits one 32-bit word).  Ineligible
+cores simply keep the serial path.
+
+Realization note
+----------------
+Serial sampling executes windows *sequentially on one core*: window
+``w+1`` starts from the hardware state and RNG cursor window ``w`` left
+behind.  The batch engine instead executes every window from the same
+warm snapshot with stateless per-window RNG forks.  Lane-for-lane the
+engine is bit-identical to its serial oracle, but a vector *campaign*
+is a different (statistically equivalent) realization than a serial
+one — the same trade :func:`repro.core.correlation.run_group_campaign`
+already makes for parallelism, and it is gated the same way: every
+``repro conform`` band plus the distribution-equivalence tests in
+``tests/cpu/test_vector_engine.py``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.config import MachineConfig, SamplingConfig
+from repro.cpu.branch import BranchUnit
+from repro.cpu.cache import SetAssociativeCache
+from repro.cpu.core_model import CoreModel, StaticSchedule
+from repro.cpu.hierarchy import MemorySystem
+from repro.cpu.phases import PhaseDescriptor, PhaseProfile
+from repro.cpu.pipeline import PipelineAccountant
+from repro.cpu.prefetch import StreamPrefetcher
+from repro.cpu.regions import AddressSpace
+from repro.cpu.sources import DataSource, InstSource
+from repro.cpu.stream import (
+    _INV_SCAN_CHUNK,
+    _PATCHED_ACCT_METHODS,
+    _PATCHED_BRANCH_METHODS,
+    _PATCHED_MEMORY_METHODS,
+    _PATCHED_TRANSLATION_METHODS,
+    INSTR_BYTES,
+    SEQ_LOAD_STEP,
+    SEQ_STORE_STEP,
+    STCX_FAIL_P,
+    SliceRunner,
+)
+from repro.cpu.translation import TranslationUnit
+from repro.hpm.counters import CounterBank, CounterSnapshot
+from repro.hpm.events import EVENT_INDEX, EVENTS, N_EVENTS, Event
+from repro.util.rng import RngFactory
+
+from repro.cpu.vecrng import VectorMT
+
+# Counter slot indices (same values the fused kernel binds).
+_IERAT_MISS = EVENT_INDEX[Event.PM_IERAT_MISS]
+_ITLB_MISS = EVENT_INDEX[Event.PM_ITLB_MISS]
+_DERAT_MISS = EVENT_INDEX[Event.PM_DERAT_MISS]
+_DTLB_MISS = EVENT_INDEX[Event.PM_DTLB_MISS]
+_LD_REF = EVENT_INDEX[Event.PM_LD_REF_L1]
+_LD_MISS = EVENT_INDEX[Event.PM_LD_MISS_L1]
+_ST_REF = EVENT_INDEX[Event.PM_ST_REF_L1]
+_ST_MISS = EVENT_INDEX[Event.PM_ST_MISS_L1]
+_L1_PREF = EVENT_INDEX[Event.PM_L1_PREF]
+_L2_PREF = EVENT_INDEX[Event.PM_L2_PREF]
+_STREAM_ALLOC = EVENT_INDEX[Event.PM_STREAM_ALLOC]
+_INST_FROM_L1 = EVENT_INDEX[Event.PM_INST_FROM_L1]
+_LARX = EVENT_INDEX[Event.PM_LARX]
+_STCX = EVENT_INDEX[Event.PM_STCX]
+_STCX_FAIL = EVENT_INDEX[Event.PM_STCX_FAIL]
+_SYNC_CNT = EVENT_INDEX[Event.PM_SYNC_CNT]
+_BR_CMPL = EVENT_INDEX[Event.PM_BR_CMPL]
+_BR_MPRED_CR = EVENT_INDEX[Event.PM_BR_MPRED_CR]
+_BR_INDIRECT = EVENT_INDEX[Event.PM_BR_INDIRECT]
+_BR_MPRED_TA = EVENT_INDEX[Event.PM_BR_MPRED_TA]
+
+_I64 = np.int64
+_I32 = np.int32
+#: Tolerance band for the one transcendental (``np.log`` vs
+#: ``math.log``) — lanes this close to an integer block length are
+#: recomputed scalar.  Measured flip rate at the band: zero in 2M
+#: draws; the band recompute makes it structurally zero.
+_LOG_GUARD = 1e-9
+
+#: Largest operand the vectorized rejection sampler accepts: CPython's
+#: ``_randbelow`` uses ``getrandbits(n.bit_length())`` and the lane MT
+#: emits at most 32 bits per word.
+_MAX_RANDBELOW = 2 ** 32 - 1
+
+
+# ---------------------------------------------------------------------------
+# Lane-parallel structures
+# ---------------------------------------------------------------------------
+
+
+class VecCache:
+    """``L`` set-associative caches as flat key + stamp arrays.
+
+    Replacement order is tracked by *stamps* instead of list position:
+    each structure keeps a monotonic counter bumped once per call, and
+    every insert (and, for LRU, every hit) stamps its slot.  Empty
+    slots carry stamp ``-1``, so ``argmin(stamp)`` picks empties first
+    and otherwise the oldest-inserted (FIFO) / least-recently-used
+    (LRU) way — exactly the victim the serial
+    :class:`repro.cpu.cache.SetAssociativeCache` list kernel pops.
+    Only membership, eviction choice and the hit/miss tallies are
+    observable, so the stamp emulation is behavior-identical while
+    replacing per-call row rotations with a handful of flat gathers
+    and scatters.
+    """
+
+    __slots__ = (
+        "n_lanes",
+        "n_sets",
+        "associativity",
+        "lru",
+        "keysf",
+        "stampf",
+        "hits",
+        "acc",
+        "base_hits",
+        "base_misses",
+        "_ctr",
+        "_smask",
+        "_k2",
+        "_s2",
+    )
+
+    def __init__(self, n_lanes: int, n_sets: int, associativity: int, lru: bool):
+        self.n_lanes = n_lanes
+        self.n_sets = n_sets
+        self.associativity = associativity
+        self.lru = lru
+        # Keys are line/page numbers of <= 4 GiB regions and stamps are
+        # call counters: both fit 32 bits, and at thousands of lanes the
+        # halved footprint keeps these hot gathers out of DRAM.
+        self.keysf = np.full(n_lanes * n_sets * associativity, -1, _I32)
+        self.stampf = np.full(n_lanes * n_sets * associativity, -1, _I32)
+        self.hits = np.zeros(n_lanes, _I64)
+        self.acc = np.zeros(n_lanes, _I64)
+        self.base_hits = 0
+        self.base_misses = 0
+        self._ctr = 1
+        self._smask = n_sets - 1 if n_sets & (n_sets - 1) == 0 else None
+        # Row views for the wide-associativity (argmax/argmin) path.
+        self._k2 = self.keysf.reshape(n_lanes * n_sets, associativity)
+        self._s2 = self.stampf.reshape(n_lanes * n_sets, associativity)
+
+    def load_ways(self, sets: Sequence[Sequence[int]], hits: int, misses: int) -> None:
+        """Broadcast one serial cache's way lists into every lane."""
+        A = self.associativity
+        k3 = self.keysf.reshape(self.n_lanes, self.n_sets, A)
+        s3 = self.stampf.reshape(self.n_lanes, self.n_sets, A)
+        for s, ways in enumerate(sets):
+            n = len(ways)
+            if n:
+                k3[:, s, :n] = np.asarray(ways, _I64)
+                s3[:, s, :n] = np.arange(n, dtype=_I64)
+        self._ctr = A + 1
+        self.base_hits = hits
+        self.base_misses = misses
+
+    def _core(
+        self, lanes: np.ndarray, key: np.ndarray, fill: bool, stats: bool
+    ) -> np.ndarray:
+        A = self.associativity
+        ctr = self._ctr
+        self._ctr = ctr + 1
+        if self._smask is not None:
+            s = key & self._smask
+        else:
+            s = key % self.n_sets
+        kf = self.keysf
+        sf = self.stampf
+        key = key.astype(_I32)
+        if A == 2:
+            base = (lanes * self.n_sets + s) * 2
+            h1 = kf[base + 1] == key
+            hit = (kf[base] == key) | h1
+            if self.lru:
+                hi = hit.nonzero()[0]
+                if hi.size:
+                    sf[base[hi] + h1[hi]] = ctr
+            if fill:
+                mi = (~hit).nonzero()[0]
+                if mi.size:
+                    bm = base[mi]
+                    best = bm + (sf[bm + 1] < sf[bm])
+                    kf[best] = key[mi]
+                    sf[best] = ctr
+        elif A <= 4:
+            base = (lanes * self.n_sets + s) * A
+            hit = kf[base] == key
+            way = np.zeros(lanes.size, _I64)
+            for j in range(1, A):
+                hj = kf[base + j] == key
+                hit = hit | hj
+                way = np.where(hj, j, way)
+            slot = base + way
+            hi = hit.nonzero()[0]
+            mi = (~hit).nonzero()[0]
+            if self.lru and hi.size:
+                sf[slot[hi]] = ctr
+            if fill and mi.size:
+                bm = base[mi]
+                best = bm
+                bs = sf[bm]
+                for j in range(1, A):
+                    sj = sf[bm + j]
+                    better = sj < bs
+                    best = np.where(better, bm + j, best)
+                    bs = np.minimum(sj, bs)
+                kf[best] = key[mi]
+                sf[best] = ctr
+        else:
+            rowid = lanes * self.n_sets + s
+            rows = self._k2[rowid]
+            way = (rows == key[:, None]).argmax(1)
+            slot = rowid * A + way
+            hit = kf[slot] == key
+            hi = hit.nonzero()[0]
+            mi = (~hit).nonzero()[0]
+            if self.lru and hi.size:
+                sf[slot[hi]] = ctr
+            if fill and mi.size:
+                rm = rowid[mi]
+                vway = self._s2[rm].argmin(1)
+                v = rm * A + vway
+                kf[v] = key[mi]
+                sf[v] = ctr
+        if stats:
+            self.acc[lanes] += 1
+            self.hits[lanes] += hit
+        return hit
+
+    def access(self, lanes: np.ndarray, key: np.ndarray) -> np.ndarray:
+        """Fused probe-and-allocate with statistics (lookup + fill)."""
+        return self._core(lanes, key, fill=True, stats=True)
+
+    def probe(self, lanes: np.ndarray, key: np.ndarray) -> np.ndarray:
+        """Probe with statistics, never filling (the store path)."""
+        return self._core(lanes, key, fill=False, stats=True)
+
+    def touch(self, lanes: np.ndarray, key: np.ndarray) -> np.ndarray:
+        """Promote-or-fill without statistics (prefetch-covered loads)."""
+        return self._core(lanes, key, fill=True, stats=False)
+
+    def lane_stats(self, lane: int) -> Tuple[int, int]:
+        """Absolute (hits, misses) for one lane, snapshot base included."""
+        h = int(self.hits[lane])
+        return (
+            self.base_hits + h,
+            self.base_misses + int(self.acc[lane]) - h,
+        )
+
+
+class VecRows:
+    """``L`` insertion-ordered integer-key dicts as stamped slot rows.
+
+    Emulates the plain-dict structures of the serial model (prefetch
+    streams, the run detector, the store-gather buffer).  Insertion
+    order lives in the stamps: the occupied slot with the lowest stamp
+    is the eviction victim, appends take the lowest-stamped slot
+    (empties carry ``-1``, so they are always chosen first; callers
+    guarantee capacity by evicting before appending at full width),
+    and — as with dict assignment — writing the value of a *present*
+    key leaves its stamp unchanged.  ``find`` returns flat slot
+    addresses usable directly with ``keysf``/``valsf``.
+    """
+
+    __slots__ = ("n_lanes", "width", "keysf", "stampf", "valsf", "cnt", "_ctr", "_k2", "_s2")
+
+    def __init__(self, n_lanes: int, width: int, with_vals: bool = False):
+        self.n_lanes = n_lanes
+        self.width = width
+        self.keysf = np.full(n_lanes * width, -1, _I64)
+        self.stampf = np.full(n_lanes * width, -1, _I64)
+        self.valsf = np.zeros(n_lanes * width, _I64) if with_vals else None
+        self.cnt = np.zeros(n_lanes, _I64)
+        self._ctr = 1
+        self._k2 = self.keysf.reshape(n_lanes, width)
+        self._s2 = self.stampf.reshape(n_lanes, width)
+
+    def load_items(self, keys: Sequence[int], vals: Optional[Sequence[int]] = None) -> None:
+        """Broadcast one serial dict's items into every lane."""
+        n = len(keys)
+        if n:
+            self._k2[:, :n] = np.asarray(keys, _I64)
+            self._s2[:, :n] = np.arange(n, dtype=_I64)
+            if vals is not None and self.valsf is not None:
+                self.valsf.reshape(self.n_lanes, self.width)[:, :n] = np.asarray(
+                    vals, _I64
+                )
+        self.cnt[:] = n
+        self._ctr = self.width + 1
+
+    def find(self, lanes: np.ndarray, key: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """(present, flat slot address) per lane; slot valid where present."""
+        rows = self._k2[lanes]
+        way = (rows == key[:, None]).argmax(1)
+        slot = lanes * self.width + way
+        return self.keysf[slot] == key, slot
+
+    def remove_slots(self, lanes: np.ndarray, slot: np.ndarray) -> None:
+        self.keysf[slot] = -1
+        self.stampf[slot] = -1
+        self.cnt[lanes] -= 1
+
+    def restamp(self, slot: np.ndarray) -> None:
+        """dict del+reinsert of a present key: move to newest position."""
+        ctr = self._ctr
+        self._ctr = ctr + 1
+        self.stampf[slot] = ctr
+
+    def append(
+        self, lanes: np.ndarray, key: np.ndarray, val: Optional[np.ndarray] = None
+    ) -> None:
+        ctr = self._ctr
+        self._ctr = ctr + 1
+        way = self._s2[lanes].argmin(1)
+        slot = lanes * self.width + way
+        self.keysf[slot] = key
+        self.stampf[slot] = ctr
+        if val is not None:
+            self.valsf[slot] = val
+        self.cnt[lanes] += 1
+
+    def evict_oldest(self, lanes: np.ndarray) -> None:
+        """Drop each lane's oldest key (lanes must be at full width)."""
+        way = self._s2[lanes].argmin(1)
+        self.remove_slots(lanes, lanes * self.width + way)
+
+    def lane_items(self, lane: int) -> List[Tuple[int, int]]:
+        """One lane's (key, value) pairs in insertion order."""
+        row = self._k2[lane]
+        occ = (row >= 0).nonzero()[0]
+        order = occ[np.argsort(self._s2[lane][occ], kind="stable")]
+        keys = row[order].tolist()
+        if self.valsf is None:
+            vals = [0] * len(keys)
+        else:
+            vals = self.valsf.reshape(self.n_lanes, self.width)[lane][order].tolist()
+        return list(zip(keys, vals))
+
+
+# ---------------------------------------------------------------------------
+# Hardware state transfer
+# ---------------------------------------------------------------------------
+
+
+def _cache_state(cache: SetAssociativeCache) -> Dict[str, object]:
+    return {
+        "sets": [list(ways) for ways in cache.sets],
+        "hits": cache.hits,
+        "misses": cache.misses,
+    }
+
+
+def _apply_cache_state(cache: SetAssociativeCache, state: Dict[str, object]) -> None:
+    cache.sets = [list(ways) for ways in state["sets"]]
+    cache.hits = state["hits"]
+    cache.misses = state["misses"]
+
+
+class HardwareSnapshot:
+    """Deep-copied persistent hardware state of one core.
+
+    Everything :meth:`CoreModel.execute_window` carries *across*
+    windows: cache/ERAT/TLB contents and statistics, predictor tables,
+    prefetcher streams/run detector, and the store-gather buffer.  The
+    snapshot can be applied to a fresh serial core (the oracle path) or
+    broadcast into every lane of a :class:`VectorBatchEngine`.
+    """
+
+    def __init__(self, state: Dict[str, object]):
+        self._state = state
+
+    @classmethod
+    def capture(cls, core: CoreModel) -> "HardwareSnapshot":
+        t = core.translation
+        return cls(
+            {
+                "l1i": _cache_state(core.memory.l1i),
+                "l1d": _cache_state(core.memory.l1d),
+                "ierat": _cache_state(t.ierat.cache),
+                "derat": _cache_state(t.derat.cache),
+                "tlb": _cache_state(t.tlb.cache),
+                "tlb_splits": (
+                    t.tlb.data_hits,
+                    t.tlb.data_misses,
+                    t.tlb.inst_hits,
+                    t.tlb.inst_misses,
+                ),
+                "dir": list(core.branches.direction._table),
+                "tgt": list(core.branches.target._table),
+                "streams": list(core.memory.prefetcher._streams),
+                "runs": list(core.memory.prefetcher._runs.items()),
+                "gather": list(core.memory._store_gather),
+            }
+        )
+
+    def apply(self, core: CoreModel) -> None:
+        """Load this snapshot into a (freshly built) serial core."""
+        s = self._state
+        _apply_cache_state(core.memory.l1i, s["l1i"])
+        _apply_cache_state(core.memory.l1d, s["l1d"])
+        t = core.translation
+        _apply_cache_state(t.ierat.cache, s["ierat"])
+        _apply_cache_state(t.derat.cache, s["derat"])
+        _apply_cache_state(t.tlb.cache, s["tlb"])
+        (t.tlb.data_hits, t.tlb.data_misses, t.tlb.inst_hits, t.tlb.inst_misses) = s[
+            "tlb_splits"
+        ]
+        core.branches.direction._table = list(s["dir"])
+        core.branches.target._table = list(s["tgt"])
+        core.memory.prefetcher._streams = {line: None for line in s["streams"]}
+        core.memory.prefetcher._runs = {line: run for line, run in s["runs"]}
+        core.memory._store_gather = {line: None for line in s["gather"]}
+
+    @property
+    def state(self) -> Dict[str, object]:
+        return self._state
+
+
+# ---------------------------------------------------------------------------
+# Eligibility
+# ---------------------------------------------------------------------------
+
+
+def vector_supported(core: CoreModel, space: AddressSpace) -> Tuple[bool, str]:
+    """Whether ``core``'s windows may legally run on the batch engine.
+
+    Mirrors ``SliceRunner._can_fuse`` — the engine reaches past the
+    public interfaces exactly like the fused kernel, so any subclassed
+    or instance-patched collaborator disqualifies the core — and adds
+    the batch-only constraints (stock window loop, stock slice runner,
+    region operands small enough for 32-bit rejection draws).
+    """
+    memory = core.memory
+    translation = core.translation
+    if type(core).execute_window is not CoreModel.execute_window:
+        return False, "execute_window overridden"
+    if core.slice_runner_cls is not SliceRunner:
+        return False, "custom slice runner"
+    if core.accountant_cls is not PipelineAccountant:
+        return False, "custom accountant"
+    if type(memory) is not MemorySystem:
+        return False, "subclassed memory system"
+    if type(translation) is not TranslationUnit:
+        return False, "subclassed translation unit"
+    if type(core.branches) is not BranchUnit:
+        return False, "subclassed branch unit"
+    if type(core._bank) is not CounterBank:
+        return False, "subclassed counter bank"
+    for cache in (
+        memory.l1i,
+        memory.l1d,
+        translation.ierat.cache,
+        translation.derat.cache,
+        translation.tlb.cache,
+    ):
+        if type(cache) is not SetAssociativeCache:
+            return False, "subclassed cache"
+    if type(memory.prefetcher) is not StreamPrefetcher:
+        return False, "subclassed prefetcher"
+    if _PATCHED_MEMORY_METHODS & memory.__dict__.keys():
+        return False, "instance-patched memory system"
+    if _PATCHED_TRANSLATION_METHODS & translation.__dict__.keys():
+        return False, "instance-patched translation unit"
+    if _PATCHED_BRANCH_METHODS & core.branches.__dict__.keys():
+        return False, "instance-patched branch unit"
+    for name in space.names():
+        region = space[name]
+        if region.size_bytes > _MAX_RANDBELOW or region.n_pages > _MAX_RANDBELOW:
+            return False, f"region {name} too large for 32-bit draws"
+    for entries in (
+        core.machine.branch.direction_entries,
+        core.machine.branch.target_entries,
+    ):
+        if entries <= 0 or entries & (entries - 1):
+            return False, "predictor table size not a power of two"
+    return True, ""
+
+
+# ---------------------------------------------------------------------------
+# The batch engine
+# ---------------------------------------------------------------------------
+
+
+class VectorBatchEngine:
+    """Executes one sampling window per lane, all lanes in lockstep.
+
+    Args:
+        machine: the (shared) machine configuration.
+        space: the (shared) address space.
+        sampling: the (shared) sampling configuration.
+        lanes: one ``(descriptor, rng_factory)`` pair per window.  The
+            factory plays the role the core's factory plays serially:
+            streams ``cpu.stream``/``cpu.backing``/``cpu.pipeline`` are
+            derived from it in the same order.
+        snapshot: warm hardware state broadcast into every lane; cold
+            structures when ``None``.
+    """
+
+    def __init__(
+        self,
+        machine: MachineConfig,
+        space: AddressSpace,
+        sampling: SamplingConfig,
+        lanes: Sequence[Tuple[PhaseDescriptor, RngFactory]],
+        snapshot: Optional[HardwareSnapshot] = None,
+    ):
+        self.machine = machine
+        self.space = space
+        self.sampling = sampling
+        self.n_lanes = len(lanes)
+        L = self.n_lanes
+        if L == 0:
+            self._snapshots: List[Optional[CounterSnapshot]] = []
+            return
+
+        # --- RNG streams (same derivation order as CoreModel) -------
+        stream_rngs = []
+        backing_rngs = []
+        self._pipe_rngs = []
+        for _, factory in lanes:
+            stream_rngs.append(factory.stream("cpu.stream"))
+            backing_rngs.append(factory.stream("cpu.backing"))
+            self._pipe_rngs.append(factory.stream("cpu.pipeline"))
+        self._vs = VectorMT(stream_rngs)
+        self._vb = VectorMT(backing_rngs)
+
+        # --- shared scalar parameters -------------------------------
+        lat = machine.latencies
+        self._base_cpi = lat.base_cpi
+        self._lat_ierat = lat.ierat_miss
+        self._lat_derat = lat.derat_miss
+        self._lat_tlb = lat.tlb_miss
+        self._lat_derat_redisp = lat.derat_redispatch
+        self._lat_covered = lat.covered_prefetch
+        self._lat_alloc = lat.stream_alloc
+        self._lat_store_miss = lat.store_miss
+        self._lat_stcx = lat.stcx_fail
+        self._lat_sync = lat.sync
+        self._lat_sync_srq = lat.sync_srq_cycles
+        self._lat_br = lat.branch_mispredict
+        self._lat_ta = lat.target_mispredict
+        self._lat_flush = lat.flush_width
+        self._lat_l2_redisp = lat.l2_miss_redispatch
+        self._iline = machine.l1i.line_bytes
+        self._dline = machine.l1d.line_bytes
+        self._ierat_granule = machine.translation.erat_page_bytes
+        self._derat_granule = machine.translation.erat_page_bytes
+        self._dir_entries = machine.branch.direction_entries
+        self._tgt_entries = machine.branch.target_entries
+        self._pf_after = machine.prefetcher.allocate_after
+        self._pf_nstreams = machine.prefetcher.n_streams
+        self._pf_depth = machine.prefetcher.depth
+        self.budget = float(sampling.window_cycles)
+
+        self._build_region_tables()
+
+        # --- lane-parallel structures -------------------------------
+        tc = machine.translation
+        self._l1i = VecCache(
+            L, machine.l1i.n_sets, machine.l1i.associativity, machine.l1i.policy == "lru"
+        )
+        self._l1d = VecCache(
+            L, machine.l1d.n_sets, machine.l1d.associativity, machine.l1d.policy == "lru"
+        )
+        self._ierat = VecCache(
+            L, tc.ierat_entries // tc.erat_associativity, tc.erat_associativity, True
+        )
+        self._derat = VecCache(
+            L, tc.derat_entries // tc.erat_associativity, tc.erat_associativity, True
+        )
+        self._tlb = VecCache(
+            L, tc.tlb_entries // tc.tlb_associativity, tc.tlb_associativity, True
+        )
+        self._streams = VecRows(L, self._pf_nstreams)
+        # The serial run detector evicts down to 24 after each insert,
+        # so it transiently holds 25 entries; the gather buffer 9.
+        self._runs = VecRows(L, 25, with_vals=True)
+        self._gather = VecRows(L, 9)
+        self.dir_table = np.full((L, self._dir_entries), 2, np.int8)
+        self.tgt_table = np.full((L, self._tgt_entries), -1, _I64)
+        self._dirf = self.dir_table.ravel()
+        self._tgtf = self.tgt_table.ravel()
+        self._dir_mask = self._dir_entries - 1
+        self._tgt_mask = self._tgt_entries - 1
+        self.tlb_dh = np.zeros(L, _I64)
+        self.tlb_dm = np.zeros(L, _I64)
+        self.tlb_ih = np.zeros(L, _I64)
+        self.tlb_im = np.zeros(L, _I64)
+        self._tlb_split_base = (0, 0, 0, 0)
+        if snapshot is not None:
+            self._load_snapshot(snapshot)
+
+        # --- per-lane scalar state ----------------------------------
+        self.counts = np.zeros((L, N_EVENTS), _I64)
+        self.cyc = np.zeros(L, np.float64)
+        self.target = np.zeros(L, np.float64)
+        self.completed = np.zeros(L, _I64)
+        self.extra = np.zeros(L, np.float64)
+        self.srq = np.zeros(L, np.float64)
+        self.pos = np.zeros(L, _I64)
+        self.fetched = np.full(L, -1, _I64)
+        self.cur_u = np.zeros(L, _I64)
+        self.kcur = np.ones(L, _I64)
+        self.done = np.zeros(L, bool)
+        R = len(self._region_names)
+        self.granule = np.full((L, R), -1, _I64)
+        self.seqp = np.full((L, R), -1, _I64)
+        self.pidx = np.zeros(L, _I64)
+        self._nR = R
+        self._granf = self.granule.ravel()
+        self._seqpf = self.seqp.ravel()
+
+        # Per-lane copies of the current slice's profile parameters,
+        # written scalar at slice setup so the round kernel gathers
+        # ``lane_*[act]`` directly instead of double-indexing through
+        # ``pidx`` every round.
+        self.lane_me = np.zeros(L, np.float64)
+        self.lane_invme = np.zeros(L, np.float64)
+        self.lane_mpi = np.zeros(L, np.float64)
+        self.lane_larx = np.zeros(L, np.float64)
+        self.lane_sync = np.zeros(L, np.float64)
+        self.lane_loadf = np.zeros(L, np.float64)
+        self.lane_seqlf = np.zeros(L, np.float64)
+        self.lane_seqsf = np.zeros(L, np.float64)
+        self.lane_callf = np.zeros(L, np.float64)
+        self.lane_indf = np.zeros(L, np.float64)
+        self.lane_hardf = np.zeros(L, np.float64)
+        self.lane_dwellp = np.zeros(L, np.float64)
+        self.lane_dwov = np.zeros(L, _I64)
+        self.lane_cridx = np.zeros(L, _I64)
+        self.lane_cpage = np.ones(L, _I64)
+        self.lane_cflag = np.zeros(L, _I64)
+
+        # --- profile/unit registries (grow as lanes register) -------
+        self._profiles: List[PhaseProfile] = []
+        self._profile_index: Dict[int, int] = {}
+        self._pool_index: Dict[int, int] = {}
+        self._unit_index: Dict[int, int] = {}
+        self._unit_rows: List[Tuple] = []
+        self._cond_sid: List[int] = []
+        self._cond_bias: List[float] = []
+        self._ind_rows: List[Tuple[int, Tuple[int, ...], Tuple[float, ...]]] = []
+        self._p_rows: List[Tuple] = []
+        self._tables_dirty = True
+
+        # Active-set working arrays (grown on demand).
+        self._maxA = 8
+        self.act_uid = np.zeros((L, self._maxA), _I64)
+        self.act_cum = np.full((L, self._maxA), np.inf, np.float64)
+        self.act_last = np.zeros(L, np.float64)
+
+        self._lane_slices: List[List[Tuple[int, float]]] = []
+        for descriptor, _ in lanes:
+            entries = []
+            for profile, fraction in descriptor.slices:
+                if fraction <= 0.0:
+                    continue
+                entries.append((self._register_profile(profile), fraction))
+            self._lane_slices.append(entries)
+        self._slice_ptr = [0] * L
+        self._snapshots = [None] * L
+        self._freeze_tables()
+
+    # ------------------------------------------------------------------
+    # Table construction
+    # ------------------------------------------------------------------
+    def _build_region_tables(self) -> None:
+        lat = self.machine.latencies
+        data_pen = {
+            DataSource.L2: lat.data_from_l2,
+            DataSource.L25_SHR: lat.data_from_l25,
+            DataSource.L25_MOD: lat.data_from_l25,
+            DataSource.L275_SHR: lat.data_from_l275,
+            DataSource.L275_MOD: lat.data_from_l275,
+            DataSource.L3: lat.data_from_l3,
+            DataSource.L35: lat.data_from_l35,
+            DataSource.MEM: lat.data_from_mem,
+        }
+        inst_pen = {
+            InstSource.L1: 0.0,
+            InstSource.L2: lat.inst_from_l2,
+            InstSource.L3: lat.inst_from_l3,
+            InstSource.MEM: lat.inst_from_mem,
+        }
+        names = self.space.names()
+        self._region_names = names
+        self._region_idx = {name: i for i, name in enumerate(names)}
+        R = len(names)
+        self._r_base = np.zeros(R, _I64)
+        self._r_size = np.zeros(R, _I64)
+        self._r_end = np.zeros(R, _I64)
+        self._r_page = np.zeros(R, _I64)
+        self._r_flag = np.zeros(R, _I64)
+        self._r_npages = np.zeros(R, _I64)
+        self._r_dwell = np.zeros(R, _I64)
+        self._r_scan = np.zeros(R, np.float64)
+        maxS = max(max((len(self.space[n].backing) for n in names), default=1), 1)
+        maxI = max(max((len(self.space[n].inst_backing) for n in names), default=1), 1)
+        self._rd_cum = np.full((R, maxS), np.inf, np.float64)
+        self._rd_slot = np.zeros((R, maxS), _I64)
+        self._rd_pen = np.zeros((R, maxS), np.float64)
+        self._rd_isl2 = np.zeros((R, maxS), bool)
+        self._rd_n = np.ones(R, _I64)
+        self._ri_cum = np.full((R, maxI), np.inf, np.float64)
+        self._ri_slot = np.zeros((R, maxI), _I64)
+        self._ri_pen = np.zeros((R, maxI), np.float64)
+        self._ri_n = np.ones(R, _I64)
+        for i, name in enumerate(names):
+            region = self.space[name]
+            self._r_base[i] = region.base
+            self._r_size[i] = region.size_bytes
+            self._r_end[i] = region.end
+            self._r_page[i] = region.page_bytes
+            self._r_flag[i] = 1 if region.page_bytes > 4096 else 0
+            self._r_npages[i] = region.n_pages
+            self._r_dwell[i] = region.dwell_span
+            self._r_scan[i] = region.scan_affinity
+            acc = 0.0
+            for j, (src, p) in enumerate(region.backing):
+                acc += p
+                self._rd_cum[i, j] = acc
+                self._rd_slot[i, j] = EVENT_INDEX[src.event]
+                self._rd_pen[i, j] = data_pen[src]
+                self._rd_isl2[i, j] = src is DataSource.L2
+            if region.backing:
+                self._rd_n[i] = len(region.backing)
+            acc = 0.0
+            for j, (src, p) in enumerate(region.inst_backing):
+                acc += p
+                self._ri_cum[i, j] = acc
+                self._ri_slot[i, j] = EVENT_INDEX[src.event]
+                self._ri_pen[i, j] = inst_pen[src]
+            if region.inst_backing:
+                self._ri_n[i] = len(region.inst_backing)
+
+    def _register_pool(self, pool) -> None:
+        if id(pool) in self._pool_index:
+            return
+        self._pool_index[id(pool)] = len(self._pool_index)
+        for unit in pool.units:
+            if id(unit) in self._unit_index:
+                continue
+            self._unit_index[id(unit)] = len(self._unit_rows)
+            cnd_off = len(self._cond_sid)
+            for sid, bias in unit.cond_sites:
+                self._cond_sid.append(sid)
+                self._cond_bias.append(bias)
+            ind_off = len(self._ind_rows)
+            for site in unit.ind_sites:
+                self._ind_rows.append((site.sid, site.targets, site.cum_weights))
+            self._unit_rows.append(
+                (
+                    unit.base,
+                    unit.end,
+                    cnd_off,
+                    len(unit.cond_sites),
+                    ind_off,
+                    len(unit.ind_sites),
+                )
+            )
+        self._tables_dirty = True
+
+    def _register_profile(self, profile: PhaseProfile) -> int:
+        pid = self._profile_index.get(id(profile))
+        if pid is not None:
+            return pid
+        self._register_pool(profile.code_pool)
+        pid = len(self._profiles)
+        self._profiles.append(profile)
+        self._profile_index[id(profile)] = pid
+        mean_extra = profile.block_mean - 1.0
+        inv_me = 1.0 / mean_extra if mean_extra > 0.0 else 0.0
+        self._p_rows.append(
+            (
+                mean_extra,
+                inv_me,
+                profile.mem_per_instr,
+                profile.larx_per_instr,
+                profile.sync_per_instr,
+                profile.load_fraction,
+                profile.seq_load_fraction,
+                profile.seq_store_fraction,
+                profile.call_fraction,
+                profile.indirect_fraction,
+                profile.hard_branch_fraction,
+                1.0 - 1.0 / max(1.0, profile.page_dwell),
+                profile.dwell_span_override,
+                self._region_idx[profile.code_region],
+                profile.load_mix,
+                profile.store_mix,
+            )
+        )
+        self._tables_dirty = True
+        return pid
+
+    def _freeze_tables(self) -> None:
+        """Materialize the registries into dense numpy lookup tables."""
+        if not self._tables_dirty:
+            return
+        self._tables_dirty = False
+        # Units.
+        rows = self._unit_rows
+        self._ubase = np.array([r[0] for r in rows], _I64)
+        self._uend = np.array([r[1] for r in rows], _I64)
+        self._ucnd_off = np.array([r[2] for r in rows], _I64)
+        self._ucnd_n = np.array([r[3] for r in rows], _I64)
+        self._uind_off = np.array([r[4] for r in rows], _I64)
+        self._uind_n = np.array([r[5] for r in rows], _I64)
+        self._csid = np.array(self._cond_sid or [0], _I64)
+        self._cbias = np.array(self._cond_bias or [0.0], np.float64)
+        n_ind = len(self._ind_rows)
+        maxT = max((len(t) for _, t, _ in self._ind_rows), default=1)
+        self._isid = np.zeros(max(n_ind, 1), _I64)
+        self._it_n = np.ones(max(n_ind, 1), _I64)
+        self._it_cum = np.full((max(n_ind, 1), maxT), np.inf, np.float64)
+        self._it_tgt = np.zeros((max(n_ind, 1), maxT), _I64)
+        for i, (sid, targets, cum) in enumerate(self._ind_rows):
+            self._isid[i] = sid
+            self._it_n[i] = len(targets)
+            self._it_tgt[i, : len(targets)] = targets
+            self._it_cum[i, : len(cum)] = cum
+        # Profiles.
+        P = len(self._p_rows)
+        cols = list(zip(*self._p_rows)) if P else [[]] * 16
+        self._p_me = np.array(cols[0], np.float64)
+        self._p_invme = np.array(cols[1], np.float64)
+        self._p_mpi = np.array(cols[2], np.float64)
+        self._p_larx = np.array(cols[3], np.float64)
+        self._p_sync = np.array(cols[4], np.float64)
+        self._p_loadf = np.array(cols[5], np.float64)
+        self._p_seqlf = np.array(cols[6], np.float64)
+        self._p_seqsf = np.array(cols[7], np.float64)
+        self._p_callf = np.array(cols[8], np.float64)
+        self._p_indf = np.array(cols[9], np.float64)
+        self._p_hardf = np.array(cols[10], np.float64)
+        self._p_dwellp = np.array(cols[11], np.float64)
+        self._p_dwov = np.array(cols[12], _I64)
+        self._p_cridx = np.array(cols[13], _I64)
+        self._p_cpage = self._r_page[self._p_cridx] if P else np.zeros(0, _I64)
+        self._p_cflag = self._r_flag[self._p_cridx] if P else np.zeros(0, _I64)
+        # Load/store mixes: [P, 2, maxM]; axis-1 index 1 = load.
+        maxM = 1
+        for row in self._p_rows:
+            maxM = max(maxM, len(row[14]), len(row[15]))
+        self._mix_cum = np.full((max(P, 1), 2, maxM), np.inf, np.float64)
+        self._mix_reg = np.zeros((max(P, 1), 2, maxM), _I64)
+        self._mix_last = np.ones((max(P, 1), 2), np.float64)
+        for p, row in enumerate(self._p_rows):
+            for side, mix in ((1, row[14]), (0, row[15])):
+                acc = 0.0
+                cums = []
+                for j, (name, w) in enumerate(mix):
+                    acc += w
+                    cums.append(acc)
+                    self._mix_reg[p, side, j] = self._region_idx[name]
+                # Serial region pick is an inline bisect with
+                # ``hi = n - 1``: only the first n-1 cumulative values
+                # are compared, so the pad starts at n-1.
+                for j in range(len(mix) - 1):
+                    self._mix_cum[p, side, j] = cums[j]
+                self._mix_last[p, side] = cums[-1] if cums else 1.0
+        # Flat views for the round kernel: row ``pid * 2 + side``.
+        self._maxM = maxM
+        self._mix_cum2 = self._mix_cum.reshape(-1, maxM)
+        self._mix_reg_f = self._mix_reg.ravel()
+        self._mix_last_f = self._mix_last.ravel()
+        # Branch targets are synthetic code addresses; when every target
+        # fits int32 the target table (the engine's largest array) halves.
+        want = _I64 if int(self._it_tgt.max(initial=0)) >= 2**31 else np.int32
+        if self.tgt_table.dtype != want:
+            self.tgt_table = self.tgt_table.astype(want)
+            self._tgtf = self.tgt_table.ravel()
+
+    def _load_snapshot(self, snapshot: HardwareSnapshot) -> None:
+        s = snapshot.state
+        self._l1i.load_ways(s["l1i"]["sets"], s["l1i"]["hits"], s["l1i"]["misses"])
+        self._l1d.load_ways(s["l1d"]["sets"], s["l1d"]["hits"], s["l1d"]["misses"])
+        self._ierat.load_ways(
+            s["ierat"]["sets"], s["ierat"]["hits"], s["ierat"]["misses"]
+        )
+        self._derat.load_ways(
+            s["derat"]["sets"], s["derat"]["hits"], s["derat"]["misses"]
+        )
+        self._tlb.load_ways(s["tlb"]["sets"], s["tlb"]["hits"], s["tlb"]["misses"])
+        self._tlb_split_base = tuple(s["tlb_splits"])
+        self.dir_table[:, :] = np.asarray(s["dir"], np.int8)
+        self.tgt_table[:, :] = np.asarray(s["tgt"], _I64)
+        self._streams.load_items(s["streams"])
+        self._runs.load_items([k for k, _ in s["runs"]], [v for _, v in s["runs"]])
+        self._gather.load_items(s["gather"])
+
+    # ------------------------------------------------------------------
+    # Lane lifecycle (scalar)
+    # ------------------------------------------------------------------
+    def _grow_active(self, need: int) -> None:
+        while self._maxA < need:
+            self._maxA *= 2
+        L = self.n_lanes
+        uid = np.zeros((L, self._maxA), _I64)
+        cum = np.full((L, self._maxA), np.inf, np.float64)
+        uid[:, : self.act_uid.shape[1]] = self.act_uid
+        cum[:, : self.act_cum.shape[1]] = self.act_cum
+        self.act_uid = uid
+        self.act_cum = cum
+
+    def _setup_slice(self, lane: int, pid: int) -> None:
+        """One SliceRunner.__init__'s worth of draws and state, lane-scalar."""
+        profile = self._profiles[pid]
+        rnd = self._vs.to_random(lane)
+        active = profile.code_pool.sample_active(rnd, profile.active_units)
+        if not active:
+            raise ValueError("phase has no active code units")
+        cum: List[float] = []
+        acc = 0.0
+        for unit in active:
+            acc += unit.weight
+            cum.append(acc)
+        x = rnd.random() * cum[-1]
+        lo, hi = 0, len(active) - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if cum[mid] <= x:
+                lo = mid + 1
+            else:
+                hi = mid
+        chosen = active[lo]
+        self._vs.load_random(lane, rnd)
+
+        n = len(active)
+        if n > self._maxA:
+            self._grow_active(n)
+        self.act_uid[lane, :n] = [self._unit_index[id(u)] for u in active]
+        self.act_uid[lane, n:] = 0
+        self.act_cum[lane, :] = np.inf
+        if n > 1:
+            self.act_cum[lane, : n - 1] = cum[: n - 1]
+        self.act_last[lane] = cum[-1]
+        self.cur_u[lane] = self._unit_index[id(chosen)]
+        self.pos[lane] = chosen.base
+        self.fetched[lane] = -1
+        self.granule[lane, :] = -1
+        self.seqp[lane, :] = -1
+        self.pidx[lane] = pid
+        row = self._p_rows[pid]
+        self.lane_me[lane] = row[0]
+        self.lane_invme[lane] = row[1]
+        self.lane_mpi[lane] = row[2]
+        self.lane_larx[lane] = row[3]
+        self.lane_sync[lane] = row[4]
+        self.lane_loadf[lane] = row[5]
+        self.lane_seqlf[lane] = row[6]
+        self.lane_seqsf[lane] = row[7]
+        self.lane_callf[lane] = row[8]
+        self.lane_indf[lane] = row[9]
+        self.lane_hardf[lane] = row[10]
+        self.lane_dwellp[lane] = row[11]
+        self.lane_dwov[lane] = row[12]
+        cr = row[13]
+        self.lane_cridx[lane] = cr
+        self.lane_cpage[lane] = self._r_page[cr]
+        self.lane_cflag[lane] = self._r_flag[cr]
+
+    def _advance_lane(self, lane: int) -> None:
+        """Move a lane past its current slice boundary (or finalize)."""
+        while True:
+            entries = self._lane_slices[lane]
+            i = self._slice_ptr[lane]
+            if i >= len(entries):
+                self._finalize_lane(lane)
+                self.done[lane] = True
+                return
+            pid, fraction = entries[i]
+            self._slice_ptr[lane] = i + 1
+            self.target[lane] += fraction * self.budget
+            self._setup_slice(lane, pid)
+            if self.cyc[lane] < self.target[lane]:
+                return
+            # Slice budget already consumed: the runner's construction
+            # draws still happened (as serially), but it runs 0 blocks.
+
+    def _finalize_lane(self, lane: int) -> None:
+        """PipelineAccountant.finalize + snapshot, lane-scalar."""
+        lat = self.machine.latencies
+        prng = self._pipe_rngs[lane]
+        data = self.counts[lane].tolist()
+        cycles = float(self.cyc[lane])
+        completed = int(self.completed[lane])
+        data[EVENT_INDEX[Event.PM_CYC]] += int(round(cycles))
+        data[EVENT_INDEX[Event.PM_INST_CMPL]] += completed
+        packing = 1.0 + prng.uniform(-0.04, 0.04)
+        cyc_cmpl = min(cycles, completed * lat.base_cpi * packing)
+        data[EVENT_INDEX[Event.PM_CYC_INST_CMPL]] += int(round(cyc_cmpl))
+        noise = 1.0 + prng.gauss(0.0, lat.dispatch_noise)
+        dispatched = completed * lat.base_overdispatch * max(0.5, noise)
+        dispatched += float(self.extra[lane])
+        data[EVENT_INDEX[Event.PM_INST_DISP]] += int(round(dispatched))
+        data[EVENT_INDEX[Event.PM_SYNC_SRQ_CYC]] += int(round(float(self.srq[lane])))
+        self._snapshots[lane] = CounterSnapshot(
+            counts={event: data[i] for i, event in enumerate(EVENTS)}
+        )
+
+    # ------------------------------------------------------------------
+    # The lockstep round kernel
+    # ------------------------------------------------------------------
+    def run(self) -> List[CounterSnapshot]:
+        """Execute every lane's window; returns one snapshot per lane."""
+        if self.n_lanes == 0:
+            return []
+        self._freeze_tables()
+        for lane in range(self.n_lanes):
+            self._advance_lane(lane)
+        while True:
+            act = (~self.done & (self.cyc < self.target)).nonzero()[0]
+            if act.size == 0:
+                break
+            self._block_round(act)
+            for lane in (~self.done & (self.cyc >= self.target)).nonzero()[0]:
+                self._advance_lane(int(lane))
+        return list(self._snapshots)
+
+    def _block_round(self, act: np.ndarray) -> None:
+        vs = self._vs
+        cyc = self.cyc
+        counts = self.counts
+
+        # ---- block length ------------------------------------------
+        k = np.ones(act.size, _I64)
+        hs = (self.lane_me[act] > 0.0).nonzero()[0]
+        if hs.size:
+            sub = act[hs]
+            u = vs.random(sub)
+            invme = self.lane_invme[sub]
+            q = -np.log(1.0 - u) / invme
+            kk = q.astype(_I64)  # floor: q >= 0
+            frac = q - kk
+            risky = ((frac < _LOG_GUARD) | (frac > 1.0 - _LOG_GUARD)).nonzero()[0]
+            for j in risky:
+                kk[j] = int(-math.log(1.0 - float(u[j])) / float(invme[j]))
+            k[hs] = 1 + np.minimum(kk, 64)
+        self.kcur[act] = k
+
+        # ---- instruction fetch -------------------------------------
+        end = self.pos[act] + k * INSTR_BYTES
+        line = self.pos[act] // self._iline
+        last = (end - 1) // self._iline
+        line += line == self.fetched[act]
+        while True:
+            fi = (line <= last).nonzero()[0]
+            if not fi.size:
+                break
+            sub = act[fi]
+            ln = line[fi]
+            addr = ln * self._iline
+            ihit = self._ierat.access(sub, addr // self._ierat_granule)
+            miss = (~ihit).nonzero()[0]
+            if miss.size:
+                mlz = sub[miss]
+                counts[mlz, _IERAT_MISS] += 1
+                key = (
+                    addr[miss] // self.lane_cpage[mlz] * 2 + self.lane_cflag[mlz]
+                )
+                thit = self._tlb.access(mlz, key)
+                self.tlb_ih[mlz] += thit
+                tm = mlz[~thit]
+                self.tlb_im[tm] += 1
+                counts[tm, _ITLB_MISS] += 1
+                cyc[mlz] += self._lat_ierat
+                cyc[tm] += self._lat_tlb
+            lhit = self._l1i.access(sub, ln)
+            counts[sub[lhit], _INST_FROM_L1] += 1
+            lmiss = (~lhit).nonzero()[0]
+            if lmiss.size:
+                mlz = sub[lmiss]
+                u = self._vb.random(mlz)
+                crow = self.lane_cridx[mlz]
+                idx = np.minimum(
+                    (self._ri_cum[crow] <= u[:, None]).sum(1), self._ri_n[crow] - 1
+                )
+                counts[mlz, self._ri_slot[crow, idx]] += 1
+                cyc[mlz] += self._ri_pen[crow, idx]
+            self.fetched[sub] = ln
+            line[fi] = ln + 1
+        self.pos[act] = end
+
+        # ---- completion at the stall-free rate ---------------------
+        self.completed[act] += k
+        cyc[act] += k * self._base_cpi
+
+        # ---- memory operations -------------------------------------
+        e = k * self.lane_mpi[act]
+        n_mem = e.astype(_I64)
+        n_mem = n_mem + (vs.random(act) < (e - n_mem))
+        live = (n_mem > 0).nonzero()[0]
+        rem = n_mem[live]
+        while live.size:
+            self._mem_op(act[live])
+            rem = rem - 1
+            keep = rem.nonzero()[0]
+            live = live[keep]
+            rem = rem[keep]
+
+        # ---- LARX/STCX pairs ---------------------------------------
+        e = k * self.lane_larx[act]
+        n = e.astype(_I64)
+        n = n + (vs.random(act) < (e - n))
+        nz = n.nonzero()[0]
+        if nz.size:
+            zl = act[nz]
+            counts[zl, _LARX] += n[nz]
+            counts[zl, _STCX] += n[nz]
+            live = zl
+            rem = n[nz]
+            while live.size:
+                u = vs.random(live)
+                fl = live[u < STCX_FAIL_P]
+                counts[fl, _STCX_FAIL] += 1
+                cyc[fl] += self._lat_stcx
+                rem = rem - 1
+                keep = rem.nonzero()[0]
+                live = live[keep]
+                rem = rem[keep]
+
+        # ---- SYNCs -------------------------------------------------
+        e = k * self.lane_sync[act]
+        n = e.astype(_I64)
+        n = n + (vs.random(act) < (e - n))
+        nz = n.nonzero()[0]
+        if nz.size:
+            zl = act[nz]
+            counts[zl, _SYNC_CNT] += n[nz]
+            # The serial kernel adds the latencies one sync at a time;
+            # float addition order is observable, so keep the loop.
+            live = zl
+            rem = n[nz]
+            while live.size:
+                cyc[live] += self._lat_sync
+                self.srq[live] += self._lat_sync_srq
+                rem = rem - 1
+                keep = rem.nonzero()[0]
+                live = live[keep]
+                rem = rem[keep]
+
+        # ---- end-of-block branch -----------------------------------
+        self._branch_stage(act)
+
+    # ------------------------------------------------------------------
+    def _mem_op(self, ml: np.ndarray) -> None:
+        """One memory operation on every lane in ``ml``."""
+        vs = self._vs
+        cyc = self.cyc
+        counts = self.counts
+
+        # The serial kernel opens every op with three back-to-back
+        # doubles: load-vs-store, the region-mix pick, the scan test.
+        u3 = vs.random_multi(ml, 3)
+        is_load = u3[:, 0] < self.lane_loadf[ml]
+        mrow = self.pidx[ml] * 2 + is_load
+        x = u3[:, 1] * self._mix_last_f[mrow]
+        idx = (self._mix_cum2[mrow] <= x[:, None]).sum(1)
+        ridx = self._mix_reg_f[mrow * self._maxM + idx]
+        seqf = np.where(is_load, self.lane_seqlf[ml], self.lane_seqsf[ml])
+
+        scan = u3[:, 2] < seqf * self._r_scan[ridx]
+        addr = np.empty(ml.size, _I64)
+        si = scan.nonzero()[0]
+        di = (~scan).nonzero()[0]
+
+        # Lanes are independent generators, so draws that land on
+        # disjoint lane sets can share one batched call as long as each
+        # lane keeps its own stream order.  Every op draws at most one
+        # uniform here (scan chunk test xor dwell test) and at most one
+        # randbelow (page pick xor granule pick xor fresh pick): stage
+        # both paths, make one call of each kind, then scatter.
+        nh = 0
+        if si.size:
+            slanes = ml[si]
+            srr = ridx[si]
+            sflat = slanes * self._nR + srr
+            ptr = self._seqpf[sflat]
+            s_fresh = ptr < 0
+            hv = (~s_fresh).nonzero()[0]
+            nh = hv.size
+        if di.size:
+            dlanes = ml[di]
+            drr = ridx[di]
+            span = self._r_dwell[drr]  # fancy-index copy: writable
+            ov = self.lane_dwov[dlanes]
+            o = ((ov != 0) & (span > 512) & (ov < span)).nonzero()[0]
+            span[o] = ov[o]
+        if nh or di.size:
+            uparts = []
+            if nh:
+                uparts.append(slanes[hv])
+            if di.size:
+                uparts.append(dlanes)
+            u = vs.random(
+                uparts[0] if len(uparts) == 1 else np.concatenate(uparts)
+            )
+            if nh:
+                s_fresh[hv[u[:nh] < _INV_SCAN_CHUNK]] = True
+
+        rb_lanes = []
+        rb_ns = []
+        if si.size:
+            fri = s_fresh.nonzero()[0]
+            if fri.size:
+                rb_lanes.append(slanes[fri])
+                rb_ns.append(self._r_npages[srr[fri]])
+        if di.size:
+            near = u[nh:] < self.lane_dwellp[dlanes]
+            gran = self._granf[dlanes * self._nR + drr]
+            gsel = (near & (gran >= 0)).nonzero()[0]
+            if gsel.size:
+                n = np.minimum(span[gsel], self._r_end[drr[gsel]] - gran[gsel])
+                rb_lanes.append(dlanes[gsel])
+                rb_ns.append(n)
+            fresh_d = np.ones(di.size, bool)
+            fresh_d[gsel] = False
+            ni = fresh_d.nonzero()[0]
+            if ni.size:
+                rb_lanes.append(dlanes[ni])
+                rb_ns.append(self._r_size[drr[ni]])
+        if rb_lanes:
+            r_all = vs.randbelow(
+                rb_lanes[0] if len(rb_lanes) == 1 else np.concatenate(rb_lanes),
+                rb_ns[0] if len(rb_ns) == 1 else np.concatenate(rb_ns),
+            )
+        off = 0
+        if si.size:
+            if fri.size:
+                r = r_all[: fri.size]
+                off = fri.size
+                fr = srr[fri]
+                ptr[fri] = self._r_base[fr] + r * self._r_page[fr]
+            addr[si] = ptr
+            step = np.where(is_load[si], SEQ_LOAD_STEP, SEQ_STORE_STEP)
+            ptr = ptr + step
+            wrap = (ptr >= self._r_end[srr]).nonzero()[0]
+            ptr[wrap] = self._r_base[srr[wrap]]
+            self._seqpf[sflat] = ptr
+        if di.size:
+            a = np.empty(di.size, _I64)
+            if gsel.size:
+                a[gsel] = gran[gsel] + r_all[off : off + gsel.size]
+                off += gsel.size
+            if ni.size:
+                nr = drr[ni]
+                av = self._r_base[nr] + r_all[off:]
+                a[ni] = av
+                g = av // span[ni] * span[ni]
+                self._granf[dlanes[ni] * self._nR + nr] = np.maximum(
+                    g, self._r_base[nr]
+                )
+            addr[di] = a
+
+        # D-side translation.
+        dhit = self._derat.access(ml, addr // self._derat_granule)
+        dmi = (~dhit).nonzero()[0]
+        if dmi.size:
+            dl = ml[dmi]
+            rr = ridx[dmi]
+            counts[dl, _DERAT_MISS] += 1
+            key = addr[dmi] // self._r_page[rr] * 2 + self._r_flag[rr]
+            thit = self._tlb.access(dl, key)
+            self.tlb_dh[dl] += thit
+            tm = dl[~thit]
+            self.tlb_dm[tm] += 1
+            counts[tm, _DTLB_MISS] += 1
+            cyc[dl] += self._lat_derat
+            self.extra[dl] += self._lat_derat_redisp
+            cyc[tm] += self._lat_tlb
+
+        dblock = addr // self._dline
+        li = is_load.nonzero()[0]
+        if li.size:
+            self._load_op(ml[li], ridx[li], dblock[li])
+        sti = (~is_load).nonzero()[0]
+        if sti.size:
+            self._store_op(ml[sti], dblock[sti])
+
+    def _load_op(self, lanes: np.ndarray, rr: np.ndarray, db: np.ndarray) -> None:
+        cyc = self.cyc
+        counts = self.counts
+        counts[lanes, _LD_REF] += 1
+        covered, slot = self._streams.find(lanes, db)
+        ci = covered.nonzero()[0]
+        if ci.size:
+            cl = lanes[ci]
+            cdb = db[ci]
+            self._streams.remove_slots(cl, slot[ci])
+            present, _ = self._streams.find(cl, cdb + 1)
+            ai = (~present).nonzero()[0]
+            if ai.size:
+                self._streams.append(cl[ai], cdb[ai] + 1)
+            self._l1d.touch(cl, cdb)
+            counts[cl, _L1_PREF] += 1
+            counts[cl, _L2_PREF] += 1
+            cyc[cl] += self._lat_covered
+        ui = (~covered).nonzero()[0]
+        if ui.size:
+            ul = lanes[ui]
+            hit = self._l1d.access(ul, db[ui])
+            mi = (~hit).nonzero()[0]
+            if mi.size:
+                um = ui[mi]
+                mlz = lanes[um]
+                mrr = rr[um]
+                counts[mlz, _LD_MISS] += 1
+                allocated = self._prefetch_on_miss(mlz, db[um])
+                al = mlz[allocated]
+                counts[al, _STREAM_ALLOC] += 1
+                counts[al, _L2_PREF] += self._pf_depth
+                u = self._vb.random(mlz)
+                idx = np.minimum(
+                    (self._rd_cum[mrr] <= u[:, None]).sum(1), self._rd_n[mrr] - 1
+                )
+                counts[mlz, self._rd_slot[mrr, idx]] += 1
+                cyc[mlz] += self._rd_pen[mrr, idx]
+                self.extra[mlz[self._rd_isl2[mrr, idx]]] += self._lat_l2_redisp
+                cyc[al] += self._lat_alloc
+
+    def _prefetch_on_miss(self, lanes: np.ndarray, db: np.ndarray) -> np.ndarray:
+        """StreamPrefetcher.on_miss per lane; returns the allocated mask."""
+        runs = self._runs
+        present, slot = runs.find(lanes, db - 1)
+        val = np.zeros(lanes.size, _I64)
+        pi = present.nonzero()[0]
+        if pi.size:
+            val[pi] = runs.valsf[slot[pi]]
+            runs.remove_slots(lanes[pi], slot[pi])
+        run = val + 1
+        allocated = np.zeros(lanes.size, bool)
+        try_alloc = run > self._pf_after
+        ti = try_alloc.nonzero()[0]
+        if ti.size:
+            al = lanes[ti]
+            nxt = db[ti] + 1
+            present, _ = self._streams.find(al, nxt)
+            ai = (~present).nonzero()[0]
+            if ai.size:
+                fl = al[ai]
+                fu = (self._streams.cnt[fl] >= self._pf_nstreams).nonzero()[0]
+                if fu.size:
+                    self._streams.evict_oldest(fl[fu])
+                self._streams.append(fl, nxt[ai])
+            allocated[ti] = ~present
+        ri = (~try_alloc).nonzero()[0]
+        if ri.size:
+            rl = lanes[ri]
+            key = db[ri]
+            present, slot = runs.find(rl, key)
+            pv = present.nonzero()[0]
+            if pv.size:
+                runs.valsf[slot[pv]] = run[ri[pv]]
+            ai = (~present).nonzero()[0]
+            if ai.size:
+                alz = rl[ai]
+                runs.append(alz, key[ai], run[ri[ai]])
+                ov = (runs.cnt[alz] > 24).nonzero()[0]
+                if ov.size:
+                    runs.evict_oldest(alz[ov])
+        return allocated
+
+    def _store_op(self, lanes: np.ndarray, db: np.ndarray) -> None:
+        cyc = self.cyc
+        counts = self.counts
+        counts[lanes, _ST_REF] += 1
+        present, slot = self._gather.find(lanes, db)
+        pi = present.nonzero()[0]
+        if pi.size:
+            # dict del+reinsert of a present line: position moves to
+            # newest, membership and count unchanged.
+            self._gather.restamp(slot[pi])
+        ai = (~present).nonzero()[0]
+        if ai.size:
+            al = lanes[ai]
+            adb = db[ai]
+            self._gather.append(al, adb)
+            ov = (self._gather.cnt[al] > 8).nonzero()[0]
+            if ov.size:
+                self._gather.evict_oldest(al[ov])
+            hit = self._l1d.probe(al, adb)
+            miss = al[~hit]
+            counts[miss, _ST_MISS] += 1
+            cyc[miss] += self._lat_store_miss
+
+    # ------------------------------------------------------------------
+    def _dir_update(
+        self, lanes: np.ndarray, sid: np.ndarray, taken: np.ndarray
+    ) -> None:
+        """2-bit counter update + mispredict accounting for ``lanes``."""
+        fidx = lanes * self._dir_entries + (sid & self._dir_mask)
+        state = self._dirf[fidx]
+        new = np.where(
+            taken,
+            np.minimum(np.int8(3), state + np.int8(1)),
+            np.maximum(np.int8(0), state - np.int8(1)),
+        )
+        self._dirf[fidx] = new
+        mis = lanes[(state >= 2) != taken]
+        self.counts[mis, _BR_MPRED_CR] += 1
+        self.cyc[mis] += self._lat_br
+        self.extra[mis] += self._lat_flush
+
+    def _branch_stage(self, act: np.ndarray) -> None:
+        vs = self._vs
+        counts = self.counts
+        counts[act, _BR_CMPL] += 1
+        switch = np.zeros(act.size, bool)
+        cu = self.cur_u[act]
+
+        # Hard / indirect / conditional lanes are disjoint, and lanes
+        # are independent generators: draws that sit at the same point
+        # of each lane's own stream are batched into one call each —
+        # category tests, site selects, taken/target picks, jump
+        # displacements and the switch test collapse from up to
+        # thirteen RNG calls per round to at most eight.
+        hardf = self.lane_hardf[act]
+        hard = np.zeros(act.size, bool)
+        hsel = (hardf != 0.0).nonzero()[0]
+        if hsel.size:
+            u = vs.random(act[hsel])
+            hard[hsel] = u < hardf[hsel]
+        hi = hard.nonzero()[0]
+        hl = act[hi]
+        nh = hi.size
+        ei = (~hard & (self._uind_n[cu] > 0)).nonzero()[0]
+
+        # Hard taken test + indirect fraction test.
+        ind = np.zeros(act.size, bool)
+        if nh or ei.size:
+            u = vs.random(np.concatenate((hl, act[ei])) if ei.size else hl)
+            taken_h = u[:nh] < 0.5
+            if ei.size:
+                sub = act[ei]
+                ind[ei] = u[nh:] < self.lane_indf[sub]
+        if nh:
+            hcu = cu[hi]
+            sid = self._csid[self._ucnd_off[hcu]] ^ 0x5A5A5A5A
+            self._dir_update(hl, sid, taken_h)
+        ii = ind.nonzero()[0]
+        ci = (~hard & ~ind).nonzero()[0]
+        il = act[ii]
+        clz = act[ci]
+
+        # Site selects for indirect + conditional lanes.
+        if ii.size or ci.size:
+            icu = cu[ii]
+            ccu = cu[ci]
+            r_site = vs.randbelow(
+                np.concatenate((il, clz)) if ii.size and ci.size else
+                (il if ii.size else clz),
+                np.concatenate((self._uind_n[icu], self._ucnd_n[ccu]))
+                if ii.size and ci.size else
+                (self._uind_n[icu] if ii.size else self._ucnd_n[ccu]),
+            )
+
+        # Indirect target pick (multi-target sites) + conditional taken.
+        nm = 0
+        if ii.size:
+            sg = self._uind_off[icu] + r_site[: ii.size]
+            nt = self._it_n[sg]
+            target = self._it_tgt[sg, 0].copy()
+            mi = (nt > 1).nonzero()[0]
+            nm = mi.size
+        if nm or ci.size:
+            uparts = []
+            if nm:
+                uparts.append(il[mi])
+            if ci.size:
+                uparts.append(clz)
+            u = vs.random(
+                uparts[0] if len(uparts) == 1 else np.concatenate(uparts)
+            )
+            if nm:
+                ti = np.minimum(
+                    (self._it_cum[sg[mi]] <= u[:nm, None]).sum(1), nt[mi] - 1
+                )
+                target[mi] = self._it_tgt[sg[mi], ti]
+            if ci.size:
+                si = self._ucnd_off[ccu] + r_site[ii.size :]
+                taken_c = u[nm:] < self._cbias[si]
+                self._dir_update(clz, self._csid[si], taken_c)
+        if ii.size:
+            counts[il, _BR_INDIRECT] += 1
+            fe = il * self._tgt_entries + (self._isid[sg] & self._tgt_mask)
+            mis = il[self._tgtf[fe] != target]
+            counts[mis, _BR_MPRED_TA] += 1
+            self.cyc[mis] += self._lat_ta
+            self.extra[mis] += self._lat_flush
+            self._tgtf[fe] = target
+
+        # Back-vs-forward test for taken conditionals.
+        cti = taken_c.nonzero()[0] if ci.size else hi[:0]
+        tl = clz[cti] if ci.size else hl[:0]
+        if cti.size:
+            back = vs.random(tl) < 0.85
+
+        # Jump displacements: hard-taken, backward and forward picks.
+        rb_lanes = []
+        rb_ns = []
+        hti = taken_h.nonzero()[0] if nh else hi[:0]
+        if hti.size:
+            rb_lanes.append(hl[hti])
+            rb_ns.append(np.full(hti.size, 19, _I64))
+        if cti.size:
+            bi = back.nonzero()[0]
+            fwd = (~back).nonzero()[0]
+            if bi.size:
+                rb_lanes.append(tl[bi])
+                rb_ns.append(np.full(bi.size, 3, _I64))
+            if fwd.size:
+                rb_lanes.append(tl[fwd])
+                rb_ns.append(np.full(fwd.size, 37, _I64))
+        if rb_lanes:
+            rb = vs.randbelow(
+                rb_lanes[0] if len(rb_lanes) == 1 else np.concatenate(rb_lanes),
+                rb_ns[0] if len(rb_ns) == 1 else np.concatenate(rb_ns),
+            )
+            off = hti.size
+            if hti.size:
+                tlh = hl[hti]
+                self.pos[tlh] += INSTR_BYTES * (2 + rb[:off])
+                self.fetched[tlh] = -1
+            if cti.size:
+                if bi.size:
+                    bl = tl[bi]
+                    r = rb[off : off + bi.size]
+                    off += bi.size
+                    npos = self.pos[bl] - self.kcur[bl] * INSTR_BYTES * (1 + r)
+                    self.pos[bl] = np.maximum(self._ubase[self.cur_u[bl]], npos)
+                if fwd.size:
+                    fl = tl[fwd]
+                    self.pos[fl] += INSTR_BYTES * (4 + rb[off:])
+                self.fetched[tl] = -1
+
+        # Every branch lane closes with the switch test.
+        u = vs.random(act)
+        if nh:
+            switch[hi] = (u[hi] < self.lane_callf[hl]) | (
+                self.pos[hl] >= self._uend[hcu]
+            )
+        if ii.size:
+            switch[ii] = u[ii] < 0.6
+        if ci.size:
+            switch[ci] = (u[ci] < self.lane_callf[clz]) | (
+                self.pos[clz] >= self._uend[ccu]
+            )
+
+        sw_i = switch.nonzero()[0]
+        if sw_i.size:
+            sw = act[sw_i]
+            x = vs.random(sw) * self.act_last[sw]
+            idx = (self.act_cum[sw] <= x[:, None]).sum(1)
+            nu = self.act_uid[sw, idx]
+            self.cur_u[sw] = nu
+            self.pos[sw] = self._ubase[nu]
+            self.fetched[sw] = -1
+
+    # ------------------------------------------------------------------
+    # Introspection (tests, debugging)
+    # ------------------------------------------------------------------
+    def lane_hardware_state(self, lane: int) -> Dict[str, Tuple]:
+        """Absolute cache/TLB statistics for one finished lane."""
+        b = self._tlb_split_base
+        return {
+            "l1i": self._l1i.lane_stats(lane),
+            "l1d": self._l1d.lane_stats(lane),
+            "ierat": self._ierat.lane_stats(lane),
+            "derat": self._derat.lane_stats(lane),
+            "tlb": (
+                b[0] + int(self.tlb_dh[lane]),
+                b[1] + int(self.tlb_dm[lane]),
+                b[2] + int(self.tlb_ih[lane]),
+                b[3] + int(self.tlb_im[lane]),
+            ),
+        }
+
+
+# ---------------------------------------------------------------------------
+# The serial oracle
+# ---------------------------------------------------------------------------
+
+
+def oracle_window(
+    machine: MachineConfig,
+    space: AddressSpace,
+    descriptor: PhaseDescriptor,
+    sampling: SamplingConfig,
+    rng_factory: RngFactory,
+    snapshot: Optional[HardwareSnapshot] = None,
+) -> CounterSnapshot:
+    """What one lane *must* produce: the serial core, same inputs.
+
+    Builds a stock :class:`CoreModel` from the lane's factory, loads
+    the shared snapshot, and executes the descriptor as window 0.  The
+    batch engine's per-lane output is asserted bit-identical to this.
+    """
+    core = CoreModel(
+        machine, space, StaticSchedule(descriptor), sampling, rng_factory
+    )
+    if snapshot is not None:
+        snapshot.apply(core)
+    return core.execute_window(0)

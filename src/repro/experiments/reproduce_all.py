@@ -163,6 +163,12 @@ class ReproduceAllResult:
     #: survived; ``degraded`` is True if it fell back to serial.
     pool_failures: int = 0
     degraded: bool = False
+    #: Window-execution engine the sweep ran under (fused/reference/
+    #: vector).  Part of the result identity, not the timing noise:
+    #: the vector engine is a different (statistically equivalent)
+    #: realization, so its reports are only byte-comparable to other
+    #: vector-engine sweeps.
+    engine: str = "fused"
 
     @property
     def rows_total(self) -> int:
@@ -202,6 +208,8 @@ class ReproduceAllResult:
             f"paper-vs-measured rows: {self.rows_total}   "
             f"off-band: {len(self.rows_off)}"
         )
+        if self.engine != "fused":
+            head += f"   engine: {self.engine}"
         if include_timing:
             head += f"   wall clock: {self.total_seconds:.0f}s"
         lines = ["=" * 72, "FULL REPRODUCTION SWEEP", "=" * 72, head]
@@ -251,6 +259,7 @@ class ReproduceAllResult:
             "schema": SWEEP_STATS_SCHEMA,
             "wall_clock_s": round(self.total_seconds, 3),
             "jobs": self.jobs,
+            "engine": self.engine,
             "experiments": len(self.records),
             "rows_total": self.rows_total,
             "rows_off": len(self.rows_off),
@@ -286,10 +295,14 @@ def load_stats_dict(doc: Dict[str, Any]) -> Dict[str, Any]:
     """
     schema = doc.get("schema")
     if schema == SWEEP_STATS_SCHEMA:
-        return dict(doc)
+        normalized = dict(doc)
+        # Schema-2 documents from before engine selection existed.
+        normalized.setdefault("engine", "fused")
+        return normalized
     if schema is None:
         migrated = dict(doc)
         migrated["schema"] = SWEEP_STATS_SCHEMA
+        migrated.setdefault("engine", "fused")
         migrated.setdefault("resumed", [])
         migrated.setdefault("pool_failures", 0)
         migrated.setdefault("degraded", False)
@@ -450,6 +463,8 @@ def run(
         record = executed.get(module_name) or restored.get(module_name)
         if record is not None:
             records[module_name] = record
+    from repro.cpu.engine import default_engine
+
     return ReproduceAllResult(
         config=config,
         records=records,
@@ -458,6 +473,7 @@ def run(
         resumed=tuple(sorted(restored)),
         pool_failures=pool_failures,
         degraded=degraded,
+        engine=default_engine(),
     )
 
 

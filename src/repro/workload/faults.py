@@ -142,15 +142,17 @@ def backoff_delay_s(policy: RetryPolicy, attempt: int, rng: random.Random) -> fl
     Exponential in the attempt number, capped, with uniform
     ``1 +/- jitter`` multiplicative jitter so synchronized clients
     desynchronize (the classic thundering-herd fix).
+
+    ``backoff_cap_s`` bounds the *final* delay: the jitter draw happens
+    first and the product is clamped, so no drawn delay can ever exceed
+    the cap (previously the clamp ran before jitter, letting delays
+    overshoot the documented cap by up to the jitter fraction).
     """
     exponent = max(0, attempt - 2)
-    delay = min(
-        policy.backoff_cap_s,
-        policy.backoff_base_s * policy.backoff_factor**exponent,
-    )
+    delay = policy.backoff_base_s * policy.backoff_factor**exponent
     if policy.jitter > 0.0:
         delay *= rng.uniform(1.0 - policy.jitter, 1.0 + policy.jitter)
-    return delay
+    return min(policy.backoff_cap_s, delay)
 
 
 @dataclass(frozen=True)

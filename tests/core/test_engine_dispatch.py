@@ -1,0 +1,178 @@
+"""Engine selection and the vector batch realization of the sweep.
+
+The window-execution engine (:mod:`repro.cpu.engine`) travels through
+``$REPRO_ENGINE``: ``reference`` swaps the pinned core into the
+characterization, ``vector`` reroutes ``sample_windows`` (and the
+Figure 10 campaign) onto the columnar batch engine.  The batch sweep
+is a *different realization* — per-window RNG forks from a shared warm
+snapshot instead of one continuous core — so the equivalence contract
+is distributional: the KS and Mann-Whitney tests here are the guard
+the ISSUE's bit-exactness promise delegates to for the float path.
+"""
+
+import pytest
+
+from repro.core.characterization import Characterization
+from repro.cpu.core_model import CoreModel
+from repro.cpu.engine import (
+    ENGINES,
+    default_engine,
+    resolve_engine,
+    set_default_engine,
+)
+from repro.cpu.reference import ReferenceCoreModel
+from repro.experiments.common import quick_config
+from repro.util.stats import ks_2samp, mann_whitney_u
+
+N_WINDOWS = 40
+
+
+@pytest.fixture(autouse=True)
+def _clean_engine(monkeypatch):
+    monkeypatch.delenv("REPRO_ENGINE", raising=False)
+
+
+class TestEngineRegistry:
+    def test_default_is_fused(self):
+        assert default_engine() == "fused"
+
+    def test_resolve_normalizes_and_validates(self):
+        assert resolve_engine(None) == "fused"
+        assert resolve_engine(" Vector ") == "vector"
+        with pytest.raises(ValueError):
+            resolve_engine("turbo")
+
+    def test_env_round_trip(self):
+        for engine in ENGINES:
+            set_default_engine(engine)
+            assert default_engine() == engine
+        set_default_engine(None)
+        assert default_engine() == "fused"
+
+
+class TestCoreResolution:
+    def test_reference_engine_builds_reference_core(self):
+        set_default_engine("reference")
+        study = Characterization(quick_config())
+        assert type(study.core) is ReferenceCoreModel
+
+    def test_fused_engine_builds_stock_core(self):
+        study = Characterization(quick_config())
+        assert type(study.core) is CoreModel
+
+    def test_explicit_rebinding_wins_over_engine(self):
+        class Pinned(Characterization):
+            core_model_cls = ReferenceCoreModel
+
+        study = Pinned(quick_config())
+        assert type(study.core) is ReferenceCoreModel
+        set_default_engine("reference")
+        assert Pinned(quick_config())._resolved_core_model_cls() is (
+            ReferenceCoreModel
+        )
+
+    def test_vector_falls_back_serially_for_ineligible_core(self):
+        # A reference-pinned study is ineligible for the batch engine;
+        # the vector dispatch must degrade to the serial loop, not die.
+        class Pinned(Characterization):
+            core_model_cls = ReferenceCoreModel
+
+        set_default_engine("vector")
+        samples = Pinned(quick_config()).sample_windows(4)
+        assert len(samples) == 4
+
+
+@pytest.fixture(scope="module")
+def serial_and_vector_sweeps():
+    """CPI series of the same sweep under both realizations."""
+    cfg = quick_config()
+    serial = Characterization(cfg).sample_windows(N_WINDOWS)
+    try:
+        set_default_engine("vector")
+        vector = Characterization(cfg).sample_windows(N_WINDOWS)
+    finally:
+        set_default_engine(None)
+    return serial, vector
+
+
+class TestVectorSweep:
+    def test_sample_metadata_matches_serial(self, serial_and_vector_sweeps):
+        serial, vector = serial_and_vector_sweeps
+        assert len(vector) == len(serial) == N_WINDOWS
+        for s, v in zip(serial, vector):
+            assert v.window_index == s.window_index
+            assert v.time_s == s.time_s
+            assert v.group_name is None
+            assert v.snapshot.instructions > 0
+
+    def test_cpi_distribution_equivalent(self, serial_and_vector_sweeps):
+        serial, vector = serial_and_vector_sweeps
+        cpi_s = [s.snapshot.cpi for s in serial]
+        cpi_v = [v.snapshot.cpi for v in vector]
+        ks = ks_2samp(cpi_s, cpi_v)
+        assert ks.p_value > 0.01, f"CPI distributions diverged: {ks}"
+        mw = mann_whitney_u(cpi_s, cpi_v)
+        assert 0.01 < mw.p_greater < 0.99, f"CPI stochastically shifted: {mw}"
+
+    def test_miss_rate_distribution_equivalent(self, serial_and_vector_sweeps):
+        serial, vector = serial_and_vector_sweeps
+        miss_s = [s.snapshot.l1d_miss_rate for s in serial]
+        miss_v = [v.snapshot.l1d_miss_rate for v in vector]
+        ks = ks_2samp(miss_s, miss_v)
+        assert ks.p_value > 0.01, f"L1D miss-rate distributions diverged: {ks}"
+
+    def test_vector_sweep_is_deterministic(self, serial_and_vector_sweeps):
+        _, vector = serial_and_vector_sweeps
+        cfg = quick_config()
+        try:
+            set_default_engine("vector")
+            again = Characterization(cfg).sample_windows(N_WINDOWS)
+        finally:
+            set_default_engine(None)
+        for a, b in zip(vector, again):
+            assert dict(a.snapshot.counts) == dict(b.snapshot.counts)
+
+
+@pytest.mark.slow
+def test_batched_correlation_campaign_matches_serial_shape():
+    """The vector Figure 10 campaign: same groups, same special pairs,
+    correlations in range, snapshots restricted to their group."""
+    from repro.core.correlation import (
+        run_group_campaign,
+        run_group_campaign_batched,
+    )
+
+    cfg = quick_config()
+    serial = run_group_campaign(cfg, windows_per_group=8)
+    batched = run_group_campaign_batched(cfg, windows_per_group=8)
+    assert batched is not None
+    assert set(batched.correlations) == set(serial.correlations)
+    for event, corr in batched.correlations.items():
+        assert -1.0 <= corr.r <= 1.0
+        assert corr.group == serial.correlations[event].group
+        assert corr.n_samples == 8
+    assert batched.r_target_miss_vs_icache_miss is not None
+    assert batched.r_speculation_vs_l1_miss is not None
+    assert batched.r_branches_vs_target_miss is not None
+    assert batched.r_cond_miss_vs_branches is not None
+
+
+@pytest.mark.slow
+def test_vector_engine_routes_group_campaign():
+    """Under the vector engine run_group_campaign takes the batch path
+    and produces the identical report (same realization, same forks)."""
+    from repro.core.correlation import (
+        run_group_campaign,
+        run_group_campaign_batched,
+    )
+
+    cfg = quick_config()
+    direct = run_group_campaign_batched(cfg, windows_per_group=6)
+    try:
+        set_default_engine("vector")
+        routed = run_group_campaign(cfg, windows_per_group=6)
+    finally:
+        set_default_engine(None)
+    assert {e: c.r for e, c in routed.correlations.items()} == {
+        e: c.r for e, c in direct.correlations.items()
+    }

@@ -1,0 +1,199 @@
+"""The batch engine must be lane-for-lane bit-identical to the serial core.
+
+Every lane of a :class:`~repro.cpu.vector.VectorBatchEngine` promises
+the exact :class:`~repro.hpm.counters.CounterSnapshot` that a stock
+serial :class:`~repro.cpu.core_model.CoreModel` produces for the same
+descriptor, RNG fork and starting hardware state
+(:func:`~repro.cpu.vector.oracle_window`).  These tests drive that
+promise directly — cold and warm snapshots, heterogeneous descriptors,
+per-lane hardware statistics — plus the eligibility guard that keeps
+subclassed/patched cores off the vector path.
+"""
+
+import random
+
+import pytest
+
+from repro.config import JvmConfig, MachineConfig, SamplingConfig
+from repro.cpu.core_model import CoreModel, StaticSchedule
+from repro.cpu.phases import (
+    PhaseDescriptor,
+    gc_mark_profile,
+    gc_sweep_profile,
+    idle_profile,
+    interpreter_profile,
+    kernel_profile,
+)
+from repro.cpu.regions import AddressSpace
+from repro.cpu.vector import (
+    HardwareSnapshot,
+    VectorBatchEngine,
+    oracle_window,
+    vector_supported,
+)
+from repro.util.rng import RngFactory
+
+SEED = 20260808
+
+
+@pytest.fixture(scope="module")
+def world():
+    machine = MachineConfig()
+    space = AddressSpace.build(machine, JvmConfig())
+    return machine, space
+
+
+def _descriptors(space, n):
+    """``n`` heterogeneous descriptors over all five builtin profiles."""
+    rng = random.Random(7)
+    profiles = [
+        kernel_profile(rng, space),
+        gc_mark_profile(rng, space),
+        gc_sweep_profile(rng, space),
+        idle_profile(rng, space),
+        interpreter_profile(rng, space),
+    ]
+    out = []
+    for i in range(n):
+        a = profiles[i % 5]
+        b = profiles[(i + 2) % 5]
+        c = profiles[(i + 3) % 5]
+        f = 0.2 + 0.1 * (i % 3)
+        out.append(
+            PhaseDescriptor(slices=((a, f), (b, 0.6 - f), (c, 0.4)))
+        )
+    return out
+
+
+def _lanes(space, n):
+    root = RngFactory(SEED)
+    return [
+        (desc, root.fork(f"cpu.vec.w{i}"))
+        for i, desc in enumerate(_descriptors(space, n))
+    ]
+
+
+def _warm_snapshot(machine, space):
+    """Hardware state after two serial windows — a realistic warm start."""
+    descriptor = _descriptors(space, 1)[0]
+    core = CoreModel(
+        machine,
+        space,
+        StaticSchedule(descriptor),
+        SamplingConfig(window_cycles=20000),
+        RngFactory(99),
+    )
+    core.warm_up(range(2))
+    return HardwareSnapshot.capture(core)
+
+
+class TestEligibility:
+    def test_stock_core_supported(self, world):
+        machine, space = world
+        core = CoreModel(
+            machine,
+            space,
+            StaticSchedule(_descriptors(space, 1)[0]),
+            SamplingConfig(window_cycles=1000),
+            RngFactory(1),
+        )
+        ok, reason = vector_supported(core, space)
+        assert ok, reason
+
+    def test_subclassed_branch_unit_rejected(self, world):
+        from repro.cpu.branch import BranchUnit
+
+        class Passthrough(BranchUnit):
+            pass
+
+        class Subclassed(CoreModel):
+            branch_unit_cls = Passthrough
+
+        machine, space = world
+        core = Subclassed(
+            machine,
+            space,
+            StaticSchedule(_descriptors(space, 1)[0]),
+            SamplingConfig(window_cycles=1000),
+            RngFactory(1),
+        )
+        ok, reason = vector_supported(core, space)
+        assert not ok and "branch" in reason
+
+    def test_instance_patch_rejected(self, world):
+        machine, space = world
+        core = CoreModel(
+            machine,
+            space,
+            StaticSchedule(_descriptors(space, 1)[0]),
+            SamplingConfig(window_cycles=1000),
+            RngFactory(1),
+        )
+        original = core.memory.load
+        core.memory.load = lambda addr, region: original(addr, region)
+        ok, reason = vector_supported(core, space)
+        assert not ok and "memory" in reason
+
+
+class TestLaneEquivalence:
+    N_LANES = 6
+
+    def _run_both(self, machine, space, snapshot, window_cycles=30000):
+        sampling = SamplingConfig(window_cycles=window_cycles)
+        lanes = _lanes(space, self.N_LANES)
+        engine = VectorBatchEngine(machine, space, sampling, lanes, snapshot)
+        got = engine.run()
+        want = [
+            oracle_window(machine, space, desc, sampling, fork, snapshot)
+            for desc, fork in _lanes(space, self.N_LANES)
+        ]
+        return engine, got, want
+
+    def test_cold_lanes_bit_identical(self, world):
+        machine, space = world
+        _, got, want = self._run_both(machine, space, None)
+        for lane, (g, w) in enumerate(zip(got, want)):
+            assert dict(g.counts) == dict(w.counts), f"lane {lane} diverged"
+
+    def test_warm_lanes_bit_identical(self, world):
+        machine, space = world
+        snapshot = _warm_snapshot(machine, space)
+        _, got, want = self._run_both(machine, space, snapshot)
+        for lane, (g, w) in enumerate(zip(got, want)):
+            assert dict(g.counts) == dict(w.counts), f"lane {lane} diverged"
+
+    def test_lane_hardware_statistics_match(self, world):
+        machine, space = world
+        snapshot = _warm_snapshot(machine, space)
+        engine, _, _ = self._run_both(machine, space, snapshot)
+        sampling = SamplingConfig(window_cycles=30000)
+        for lane, (desc, fork) in enumerate(_lanes(space, self.N_LANES)):
+            core = CoreModel(
+                machine, space, StaticSchedule(desc), sampling, fork
+            )
+            snapshot.apply(core)
+            core.execute_window(0)
+            t = core.translation
+            want = {
+                "l1i": (core.memory.l1i.hits, core.memory.l1i.misses),
+                "l1d": (core.memory.l1d.hits, core.memory.l1d.misses),
+                "ierat": (t.ierat.cache.hits, t.ierat.cache.misses),
+                "derat": (t.derat.cache.hits, t.derat.cache.misses),
+                "tlb": (
+                    t.tlb.data_hits,
+                    t.tlb.data_misses,
+                    t.tlb.inst_hits,
+                    t.tlb.inst_misses,
+                ),
+            }
+            assert engine.lane_hardware_state(lane) == want, f"lane {lane}"
+
+    def test_single_lane_and_empty_batch(self, world):
+        machine, space = world
+        sampling = SamplingConfig(window_cycles=10000)
+        assert VectorBatchEngine(machine, space, sampling, []).run() == []
+        lanes = _lanes(space, 1)
+        got = VectorBatchEngine(machine, space, sampling, lanes).run()
+        desc, fork = _lanes(space, 1)[0]
+        want = oracle_window(machine, space, desc, sampling, fork)
+        assert dict(got[0].counts) == dict(want.counts)

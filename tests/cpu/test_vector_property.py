@@ -1,0 +1,201 @@
+"""Property-based lane equivalence: random cores, random seeds.
+
+The batch engine's core promise — every lane bit-identical to the
+serial oracle (:func:`repro.cpu.vector.oracle_window`) given the same
+descriptor, RNG fork and starting hardware state — must hold not just
+for the default machine but across the *geometry space* the config
+admits: cache shapes and policies, predictor table sizes, prefetcher
+depths, ERAT/TLB layouts, window budgets, lane counts and seeds.
+
+Two tiers:
+
+* tier-1: three pinned configurations spanning the interesting axes
+  (FIFO vs LRU L1, direct-mapped vs wide associativity, small vs large
+  predictor tables), deterministic and fast;
+* ``slow``: a Hypothesis sweep drawing whole configurations at random.
+"""
+
+import random
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.config import (
+    BranchPredictorConfig,
+    CacheGeometry,
+    JvmConfig,
+    MachineConfig,
+    PrefetcherConfig,
+    SamplingConfig,
+    TranslationConfig,
+)
+from repro.cpu.core_model import CoreModel, StaticSchedule
+from repro.cpu.phases import (
+    PhaseDescriptor,
+    gc_mark_profile,
+    gc_sweep_profile,
+    idle_profile,
+    interpreter_profile,
+    kernel_profile,
+)
+from repro.cpu.regions import AddressSpace
+from repro.cpu.vector import (
+    HardwareSnapshot,
+    VectorBatchEngine,
+    oracle_window,
+    vector_supported,
+)
+from repro.util.rng import RngFactory
+
+KB = 1024
+
+
+def _build_machine(
+    l1_line: int,
+    l1_assoc: int,
+    l1_policy: str,
+    dir_entries: int,
+    tgt_entries: int,
+    erat_assoc: int,
+    tlb_entries: int,
+    pf_depth: int,
+    pf_after: int,
+) -> MachineConfig:
+    l1 = CacheGeometry(32 * KB, l1_line, l1_assoc, l1_policy)
+    return MachineConfig(
+        l1i=l1,
+        l1d=l1,
+        translation=TranslationConfig(
+            erat_associativity=erat_assoc, tlb_entries=tlb_entries
+        ),
+        branch=BranchPredictorConfig(
+            direction_entries=dir_entries, target_entries=tgt_entries
+        ),
+        prefetcher=PrefetcherConfig(depth=pf_depth, allocate_after=pf_after),
+    )
+
+
+def _assert_lanes_match(machine, seed, window_cycles, n_lanes, warm):
+    space = AddressSpace.build(machine, JvmConfig())
+    prof_rng = random.Random(seed)
+    profiles = [
+        kernel_profile(prof_rng, space),
+        gc_mark_profile(prof_rng, space),
+        gc_sweep_profile(prof_rng, space),
+        idle_profile(prof_rng, space),
+        interpreter_profile(prof_rng, space),
+    ]
+    descriptors = []
+    for i in range(n_lanes):
+        f = 0.15 + 0.1 * (i % 4)
+        descriptors.append(
+            PhaseDescriptor(
+                slices=(
+                    (profiles[i % 5], f),
+                    (profiles[(i + 2) % 5], 0.55 - f),
+                    (profiles[(i + 4) % 5], 0.45),
+                )
+            )
+        )
+    sampling = SamplingConfig(window_cycles=window_cycles)
+
+    def lanes():
+        root = RngFactory(seed)
+        return [
+            (desc, root.fork(f"lane{i}"))
+            for i, desc in enumerate(descriptors)
+        ]
+
+    probe = CoreModel(
+        machine, space, StaticSchedule(descriptors[0]), sampling, RngFactory(1)
+    )
+    ok, reason = vector_supported(probe, space)
+    assert ok, reason
+    snapshot = None
+    if warm:
+        probe.warm_up(range(1))
+        snapshot = HardwareSnapshot.capture(probe)
+    got = VectorBatchEngine(machine, space, sampling, lanes(), snapshot).run()
+    for lane, (desc, fork) in enumerate(lanes()):
+        want = oracle_window(machine, space, desc, sampling, fork, snapshot)
+        assert dict(got[lane].counts) == dict(want.counts), (
+            f"lane {lane} diverged (seed={seed}, wc={window_cycles})"
+        )
+
+
+#: Three pinned configurations spanning the interesting axes.
+TIER1_CASES = [
+    # POWER4-like default: 2-way FIFO L1, big tables.
+    ("default", MachineConfig(), 11, 2500, 3, True),
+    # Direct-mapped LRU L1, small predictor tables (heavy aliasing).
+    (
+        "direct-mapped",
+        _build_machine(64, 1, "lru", 1024, 512, 8, 256, 2, 1),
+        22007,
+        2000,
+        2,
+        False,
+    ),
+    # Wide associativity, deep prefetcher, small TLB.
+    (
+        "wide-assoc",
+        _build_machine(128, 8, "lru", 4096, 2048, 16, 512, 6, 3),
+        7,
+        2000,
+        3,
+        True,
+    ),
+]
+
+
+@pytest.mark.parametrize(
+    "machine,seed,wc,n_lanes,warm",
+    [case[1:] for case in TIER1_CASES],
+    ids=[case[0] for case in TIER1_CASES],
+)
+def test_pinned_configs_lane_equivalent(machine, seed, wc, n_lanes, warm):
+    _assert_lanes_match(machine, seed, wc, n_lanes, warm)
+
+
+@st.composite
+def machines(draw):
+    l1_line = draw(st.sampled_from([64, 128]))
+    l1_assoc = draw(st.sampled_from([1, 2, 4]))
+    l1_policy = draw(st.sampled_from(["fifo", "lru"]))
+    dir_entries = draw(st.sampled_from([1024, 4096, 16384]))
+    tgt_entries = draw(st.sampled_from([512, 2048, 8192]))
+    erat_assoc = draw(st.sampled_from([8, 16]))
+    tlb_entries = draw(st.sampled_from([256, 1024]))
+    pf_depth = draw(st.integers(min_value=2, max_value=6))
+    pf_after = draw(st.integers(min_value=1, max_value=3))
+    return _build_machine(
+        l1_line,
+        l1_assoc,
+        l1_policy,
+        dir_entries,
+        tgt_entries,
+        erat_assoc,
+        tlb_entries,
+        pf_depth,
+        pf_after,
+    )
+
+
+@pytest.mark.slow
+@settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    machine=machines(),
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+    wc=st.integers(min_value=1200, max_value=3500),
+    n_lanes=st.integers(min_value=1, max_value=4),
+    warm=st.booleans(),
+)
+def test_random_configs_lane_equivalent(machine, seed, wc, n_lanes, warm):
+    _assert_lanes_match(machine, seed, wc, n_lanes, warm)

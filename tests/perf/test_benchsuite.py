@@ -61,6 +61,9 @@ class TestRunSuite:
             "cache_kernel",
             "counter_kernel",
             "window_execution",
+            "batch_windows_vector",
+            "batch_windows_fused",
+            "batch_windows_reference",
         }
         for entry in results.values():
             assert len(entry["reps_s"]) == MIN_REPETITIONS
@@ -68,6 +71,13 @@ class TestRunSuite:
         # Size parameters travel with the measurement.
         assert results["window_execution"]["windows"] == 4
         assert results["cache_kernel"]["accesses"] == 50_000
+        # The batch trio measures identical work under all three engines.
+        assert (
+            results["batch_windows_vector"]["windows"]
+            == results["batch_windows_fused"]["windows"]
+            == results["batch_windows_reference"]["windows"]
+            == 160
+        )
 
     def test_repetition_floor_enforced(self):
         with pytest.raises(ValueError, match=">= 5"):

@@ -56,6 +56,9 @@ class TestBench:
             "cache_kernel",
             "counter_kernel",
             "window_execution",
+            "batch_windows_vector",
+            "batch_windows_fused",
+            "batch_windows_reference",
         }
 
     def test_rep_floor_propagates(self, tmp_path):
@@ -93,6 +96,9 @@ class TestPerfGate:
             "cache_kernel",
             "counter_kernel",
             "window_execution",
+            "batch_windows_vector",
+            "batch_windows_fused",
+            "batch_windows_reference",
         }
 
     def test_regressed_history_exits_one(self, tmp_path, capsys):

@@ -3,8 +3,10 @@
 import random
 
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.config import FaultEvent, RetryPolicy, WorkloadConfig
+from repro.experiments.supervisor import SupervisorPolicy
 from repro.util.units import MB
 from repro.workload.driver import Driver
 from repro.workload.faults import (
@@ -231,6 +233,47 @@ class TestBackoff:
         delays = [backoff_delay_s(policy, 3, rng) for _ in range(500)]
         assert all(1.0 <= d <= 3.0 for d in delays)  # 2 s x [0.5, 1.5]
         assert max(delays) > 2.5 and min(delays) < 1.5
+
+    def test_jittered_delay_at_cap_never_exceeds_cap(self):
+        # Regression: the clamp used to run before the jitter multiply,
+        # so a capped delay could overshoot the cap by the jitter
+        # fraction (up to 12 s here).
+        policy = self.policy(jitter=0.5)
+        rng = random.Random(11)
+        delays = [backoff_delay_s(policy, 10, rng) for _ in range(2000)]
+        assert max(delays) <= policy.backoff_cap_s
+        # Upward jitter at the cap saturates rather than disappearing.
+        assert sum(d == policy.backoff_cap_s for d in delays) > 500
+
+    @given(
+        base=st.floats(0.01, 10.0),
+        factor=st.floats(1.0, 4.0),
+        cap=st.floats(0.01, 30.0),
+        jitter=st.floats(0.0, 0.99),
+        attempt=st.integers(1, 40),
+        seed=st.integers(0, 2**32 - 1),
+    )
+    @settings(max_examples=300, deadline=None)
+    def test_property_no_drawn_delay_exceeds_cap(
+        self, base, factor, cap, jitter, attempt, seed
+    ):
+        """No draw, under any policy shape, may exceed ``backoff_cap_s``.
+
+        Exercised for both consumers of the helper: the Driver's
+        ``RetryPolicy`` and the sweep supervisor's ``SupervisorPolicy``
+        (duck-typed field contract, see tests/experiments/test_supervisor.py).
+        """
+        rng = random.Random(seed)
+        driver_policy = self.policy(
+            backoff_base_s=base, backoff_factor=factor, backoff_cap_s=cap, jitter=jitter
+        )
+        supervisor_policy = SupervisorPolicy(
+            backoff_base_s=base, backoff_factor=factor, backoff_cap_s=cap, jitter=jitter
+        )
+        for policy in (driver_policy, supervisor_policy):
+            for _ in range(20):
+                delay = backoff_delay_s(policy, attempt, rng)
+                assert 0.0 <= delay <= policy.backoff_cap_s
 
 
 class TestDriverRetry:
