@@ -227,7 +227,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
     )
     from repro.perf.history import append_record, describe_record, read_history
 
-    results = run_suite(quick=args.quick, reps=args.reps)
+    kernels = args.kernels.split(",") if args.kernels else None
+    results = run_suite(quick=args.quick, reps=args.reps, kernels=kernels)
     _emit(render_suite_lines(results, args.reps))
     spread = suite_spread(results)
     if args.no_record:
@@ -330,6 +331,7 @@ def cmd_reproduce_all(args: argparse.Namespace) -> int:
             jobs=args.jobs,
             journal=args.resume,
             policy=policy,
+            packed=args.packed,
         )
     except ValueError as exc:
         print(exc)
@@ -602,11 +604,21 @@ def build_parser() -> argparse.ArgumentParser:
         "comma-separate (e.g. --only fig02_throughput,fig03_gc)",
     )
     everything.add_argument(
+        "--packed",
+        action="store_true",
+        help="route window campaigns through the sweep batch planner: "
+        "demands are deduplicated, sharded over the pool, packed into "
+        "shared cross-config vector batches and scattered back "
+        "(forces the vector engine; the report is byte-identical to "
+        "a serial --engine vector sweep)",
+    )
+    everything.add_argument(
         "--stats-json",
         metavar="FILE",
         default=None,
         help="also write wall-clock / per-experiment / cache-counter "
-        "stats as JSON (schema 2: includes attempts/retries/timed_out)",
+        "stats as JSON (schema 3: includes attempts/retries/timed_out "
+        "and packed-sweep batch/lane accounting)",
     )
     everything.add_argument(
         "--resume",
@@ -720,6 +732,13 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         default=None,
         help="also write this run's envelope as a standalone BENCH json",
+    )
+    bench.add_argument(
+        "--kernels",
+        metavar="NAMES",
+        default=None,
+        help="comma-separated kernel subset to run (default: the whole "
+        "suite); unknown names list the available kernels",
     )
     bench.set_defaults(handler=cmd_bench)
     perf_diff = sub.add_parser(

@@ -1,0 +1,92 @@
+"""Campaign-recipe window store: the scatter target of the sweep planner.
+
+The batch planner (:mod:`repro.experiments.batchplan`) executes window
+campaigns for many experiments in pool workers, packed into shared
+:class:`~repro.cpu.vector.VectorBatchEngine` batches.  The resulting
+per-window :class:`~repro.hpm.counters.CounterSnapshot` lists travel
+back to the parent keyed by *(config key, recipe)* — a recipe being the
+compact description of one campaign, e.g. ``hw:0:60`` (sample windows
+0..59) or ``seg:0:80:3`` (a Figures-5-8 segment: 80 mutator windows
+plus the windows of 3 GC pauses).  A recipe plus the config determines
+the campaign completely: window indices, descriptors, RNG forks and the
+warm snapshot are all derived from the config seed.
+
+When a store is installed, :meth:`Characterization.sample_window_list`
+consults it before building an engine.  A hit replays the worker's
+snapshots; the consumer still materializes descriptors in campaign
+order, so the study's bridge stream advances exactly as it would have
+on a miss — store hits and misses leave byte-identical study state.
+
+The store is process-wide but *explicitly* installed (the packed sweep
+wraps itself in :func:`installed`); the default state is no store, in
+which case every campaign computes inline and nothing changes.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.config import ExperimentConfig
+from repro.hpm.counters import CounterSnapshot
+
+#: A store key: (run-cache config key, campaign recipe).
+StoreKey = Tuple[str, str]
+
+
+def store_key(config: ExperimentConfig, recipe: str) -> StoreKey:
+    """The store key for one campaign of one config.
+
+    Reuses the run-cache content key (canonical config JSON + the
+    ``workload`` fork label) so a demand enumerated by the planner and
+    a campaign requested by an experiment agree on identity exactly.
+    """
+    from repro.runcache import config_key
+
+    return (config_key(config, "workload"), recipe)
+
+
+class WindowStore:
+    """In-memory map of computed window campaigns."""
+
+    def __init__(self) -> None:
+        self._payloads: Dict[StoreKey, List[CounterSnapshot]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._payloads)
+
+    def __contains__(self, key: StoreKey) -> bool:
+        return key in self._payloads
+
+    def put(self, key: StoreKey, snapshots: List[CounterSnapshot]) -> None:
+        self._payloads[key] = list(snapshots)
+
+    def get(self, key: StoreKey) -> Optional[List[CounterSnapshot]]:
+        payload = self._payloads.get(key)
+        if payload is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return list(payload)
+
+
+_ACTIVE: Optional[WindowStore] = None
+
+
+def active_store() -> Optional[WindowStore]:
+    """The installed store, or None (campaigns compute inline)."""
+    return _ACTIVE
+
+
+@contextmanager
+def installed(store: Optional[WindowStore]) -> Iterator[Optional[WindowStore]]:
+    """Install ``store`` for the duration of the block."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = store
+    try:
+        yield store
+    finally:
+        _ACTIVE = previous

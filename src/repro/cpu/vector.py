@@ -52,6 +52,9 @@ already makes for parallelism, and it is gated the same way: every
 
 from __future__ import annotations
 
+import dataclasses
+import hashlib
+import json
 import math
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -172,27 +175,60 @@ class VecCache:
         self.stampf = np.full(n_lanes * n_sets * associativity, -1, _I32)
         self.hits = np.zeros(n_lanes, _I64)
         self.acc = np.zeros(n_lanes, _I64)
-        self.base_hits = 0
-        self.base_misses = 0
+        # Snapshot hit/miss baselines are per lane: a packed engine
+        # loads a different warm snapshot into each group's lane range.
+        self.base_hits = np.zeros(n_lanes, _I64)
+        self.base_misses = np.zeros(n_lanes, _I64)
         self._ctr = 1
         self._smask = n_sets - 1 if n_sets & (n_sets - 1) == 0 else None
         # Row views for the wide-associativity (argmax/argmin) path.
         self._k2 = self.keysf.reshape(n_lanes * n_sets, associativity)
         self._s2 = self.stampf.reshape(n_lanes * n_sets, associativity)
 
-    def load_ways(self, sets: Sequence[Sequence[int]], hits: int, misses: int) -> None:
-        """Broadcast one serial cache's way lists into every lane."""
+    def load_ways(
+        self,
+        sets: Sequence[Sequence[int]],
+        hits: int,
+        misses: int,
+        lane0: int = 0,
+        lane1: Optional[int] = None,
+    ) -> None:
+        """Broadcast one serial cache's way lists into a lane range."""
         A = self.associativity
-        k3 = self.keysf.reshape(self.n_lanes, self.n_sets, A)
-        s3 = self.stampf.reshape(self.n_lanes, self.n_sets, A)
+        keys = np.full((self.n_sets, A), -1, _I64)
+        stamps = np.full((self.n_sets, A), -1, _I64)
         for s, ways in enumerate(sets):
             n = len(ways)
             if n:
-                k3[:, s, :n] = np.asarray(ways, _I64)
-                s3[:, s, :n] = np.arange(n, dtype=_I64)
-        self._ctr = A + 1
-        self.base_hits = hits
-        self.base_misses = misses
+                keys[s, :n] = np.asarray(ways, _I64)
+                stamps[s, :n] = np.arange(n, dtype=_I64)
+        self.load_dense(keys, stamps, hits, misses, lane0, lane1)
+
+    def load_dense(
+        self,
+        keys: np.ndarray,
+        stamps: np.ndarray,
+        hits: int,
+        misses: int,
+        lane0: int = 0,
+        lane1: Optional[int] = None,
+    ) -> None:
+        """Broadcast a padded ``[sets, assoc]`` way image into a lane range.
+
+        The dense form (see :meth:`HardwareSnapshot.dense_ways`) turns
+        the per-set python loop of :meth:`load_ways` into one vector
+        assignment per apply, which is what keeps repeated snapshot
+        loading off the packed-sweep hot path.
+        """
+        lane1 = self.n_lanes if lane1 is None else lane1
+        A = self.associativity
+        k3 = self.keysf.reshape(self.n_lanes, self.n_sets, A)
+        s3 = self.stampf.reshape(self.n_lanes, self.n_sets, A)
+        k3[lane0:lane1] = keys
+        s3[lane0:lane1] = stamps
+        self._ctr = max(self._ctr, A + 1)
+        self.base_hits[lane0:lane1] = hits
+        self.base_misses[lane0:lane1] = misses
 
     def _core(
         self, lanes: np.ndarray, key: np.ndarray, fill: bool, stats: bool
@@ -283,8 +319,8 @@ class VecCache:
         """Absolute (hits, misses) for one lane, snapshot base included."""
         h = int(self.hits[lane])
         return (
-            self.base_hits + h,
-            self.base_misses + int(self.acc[lane]) - h,
+            int(self.base_hits[lane]) + h,
+            int(self.base_misses[lane]) + int(self.acc[lane]) - h,
         )
 
 
@@ -315,18 +351,25 @@ class VecRows:
         self._k2 = self.keysf.reshape(n_lanes, width)
         self._s2 = self.stampf.reshape(n_lanes, width)
 
-    def load_items(self, keys: Sequence[int], vals: Optional[Sequence[int]] = None) -> None:
-        """Broadcast one serial dict's items into every lane."""
+    def load_items(
+        self,
+        keys: Sequence[int],
+        vals: Optional[Sequence[int]] = None,
+        lane0: int = 0,
+        lane1: Optional[int] = None,
+    ) -> None:
+        """Broadcast one serial dict's items into a lane range."""
+        lane1 = self.n_lanes if lane1 is None else lane1
         n = len(keys)
         if n:
-            self._k2[:, :n] = np.asarray(keys, _I64)
-            self._s2[:, :n] = np.arange(n, dtype=_I64)
+            self._k2[lane0:lane1, :n] = np.asarray(keys, _I64)
+            self._s2[lane0:lane1, :n] = np.arange(n, dtype=_I64)
             if vals is not None and self.valsf is not None:
-                self.valsf.reshape(self.n_lanes, self.width)[:, :n] = np.asarray(
-                    vals, _I64
+                self.valsf.reshape(self.n_lanes, self.width)[lane0:lane1, :n] = (
+                    np.asarray(vals, _I64)
                 )
-        self.cnt[:] = n
-        self._ctr = self.width + 1
+        self.cnt[lane0:lane1] = n
+        self._ctr = max(self._ctr, self.width + 1)
 
     def find(self, lanes: np.ndarray, key: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
         """(present, flat slot address) per lane; slot valid where present."""
@@ -408,6 +451,40 @@ class HardwareSnapshot:
 
     def __init__(self, state: Dict[str, object]):
         self._state = state
+        self._dense: Dict[object, object] = {}
+
+    def dense_ways(
+        self, name: str, n_sets: int, associativity: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Padded ``[sets, assoc]`` key/stamp image of one cache's state.
+
+        Memoized: a snapshot applied to many engines (or many lane
+        ranges of a packed engine) walks its python way lists once, not
+        once per apply — snapshot loading is on the per-group hot path
+        of the sweep planner.
+        """
+        memo_key = (name, n_sets, associativity)
+        dense = self._dense.get(memo_key)
+        if dense is None:
+            keys = np.full((n_sets, associativity), -1, _I64)
+            stamps = np.full((n_sets, associativity), -1, _I64)
+            for s, ways in enumerate(self._state[name]["sets"]):
+                n = len(ways)
+                if n:
+                    keys[s, :n] = np.asarray(ways, _I64)
+                    stamps[s, :n] = np.arange(n, dtype=_I64)
+            dense = (keys, stamps)
+            self._dense[memo_key] = dense
+        return dense
+
+    def dense_table(self, name: str, dtype) -> np.ndarray:
+        """One flat table (``dir``/``tgt``) as a memoized numpy array."""
+        memo_key = (name, np.dtype(dtype).str)
+        dense = self._dense.get(memo_key)
+        if dense is None:
+            dense = np.asarray(self._state[name], dtype)
+            self._dense[memo_key] = dense
+        return dense
 
     @classmethod
     def capture(cls, core: CoreModel) -> "HardwareSnapshot":
@@ -521,6 +598,48 @@ def vector_supported(core: CoreModel, space: AddressSpace) -> Tuple[bool, str]:
 # ---------------------------------------------------------------------------
 
 
+class PackGroup:
+    """One configuration's contribution to a packed engine.
+
+    Lanes within a group share an address space and a warm snapshot;
+    groups within one engine share the machine geometry and the window
+    cycle budget (the :func:`pack_key` contract).
+    """
+
+    __slots__ = ("space", "lanes", "snapshot")
+
+    def __init__(
+        self,
+        space: AddressSpace,
+        lanes: Sequence[Tuple[PhaseDescriptor, RngFactory]],
+        snapshot: Optional[HardwareSnapshot] = None,
+    ):
+        self.space = space
+        self.lanes = list(lanes)
+        self.snapshot = snapshot
+
+
+def pack_key(machine: MachineConfig, sampling: SamplingConfig) -> str:
+    """Packing-compatibility key: lanes may share one engine iff equal.
+
+    Everything the engine derives from the machine configuration
+    (latencies, cache/ERAT/TLB geometry, predictor table shapes, the
+    prefetcher) plus the per-window cycle budget is lane-*shared*
+    state; address spaces, snapshots and RNG streams are per-group or
+    per-lane.  Windows from two configs with equal keys may therefore
+    be packed into one :class:`VectorBatchEngine`.
+    """
+    ident = json.dumps(
+        {
+            "machine": dataclasses.asdict(machine),
+            "window_cycles": sampling.window_cycles,
+        },
+        sort_keys=True,
+        default=str,
+    )
+    return hashlib.sha256(ident.encode("utf-8")).hexdigest()[:16]
+
+
 class VectorBatchEngine:
     """Executes one sampling window per lane, all lanes in lockstep.
 
@@ -534,6 +653,14 @@ class VectorBatchEngine:
             derived from it in the same order.
         snapshot: warm hardware state broadcast into every lane; cold
             structures when ``None``.
+
+    A single-space engine is one :class:`PackGroup`; the
+    :meth:`packed` constructor packs lanes from *many* configurations
+    (same :func:`pack_key`) into one engine, each group bringing its
+    own address space and warm snapshot.  Per-lane results are
+    bit-identical either way — lanes draw only from their own RNG
+    streams, region/profile tables are disjoint per group, and
+    replacement stamps are order-isomorphic within each lane's rows.
     """
 
     def __init__(
@@ -544,9 +671,31 @@ class VectorBatchEngine:
         lanes: Sequence[Tuple[PhaseDescriptor, RngFactory]],
         snapshot: Optional[HardwareSnapshot] = None,
     ):
+        self._init_groups(machine, sampling, [PackGroup(space, lanes, snapshot)])
+
+    @classmethod
+    def packed(
+        cls,
+        machine: MachineConfig,
+        sampling: SamplingConfig,
+        groups: Sequence[PackGroup],
+    ) -> "VectorBatchEngine":
+        """Build one engine from many configs' lane groups."""
+        self = cls.__new__(cls)
+        self._init_groups(machine, sampling, list(groups))
+        return self
+
+    def _init_groups(
+        self,
+        machine: MachineConfig,
+        sampling: SamplingConfig,
+        groups: List[PackGroup],
+    ) -> None:
         self.machine = machine
-        self.space = space
         self.sampling = sampling
+        self.groups = groups
+        self.space = groups[0].space if groups else None
+        lanes = [lane for group in groups for lane in group.lanes]
         self.n_lanes = len(lanes)
         L = self.n_lanes
         if L == 0:
@@ -592,7 +741,7 @@ class VectorBatchEngine:
         self._pf_depth = machine.prefetcher.depth
         self.budget = float(sampling.window_cycles)
 
-        self._build_region_tables()
+        self._build_region_tables([group.space for group in groups])
 
         # --- lane-parallel structures -------------------------------
         tc = machine.translation
@@ -626,9 +775,15 @@ class VectorBatchEngine:
         self.tlb_dm = np.zeros(L, _I64)
         self.tlb_ih = np.zeros(L, _I64)
         self.tlb_im = np.zeros(L, _I64)
-        self._tlb_split_base = (0, 0, 0, 0)
-        if snapshot is not None:
-            self._load_snapshot(snapshot)
+        self._tlb_split_base = np.zeros((L, 4), _I64)
+        lane0 = 0
+        self._group_bounds: List[Tuple[int, int]] = []
+        for group in groups:
+            lane1 = lane0 + len(group.lanes)
+            self._group_bounds.append((lane0, lane1))
+            if group.snapshot is not None:
+                self._load_snapshot(group.snapshot, lane0, lane1)
+            lane0 = lane1
 
         # --- per-lane scalar state ----------------------------------
         self.counts = np.zeros((L, N_EVENTS), _I64)
@@ -690,13 +845,17 @@ class VectorBatchEngine:
         self.act_last = np.zeros(L, np.float64)
 
         self._lane_slices: List[List[Tuple[int, float]]] = []
-        for descriptor, _ in lanes:
-            entries = []
-            for profile, fraction in descriptor.slices:
-                if fraction <= 0.0:
-                    continue
-                entries.append((self._register_profile(profile), fraction))
-            self._lane_slices.append(entries)
+        for gi, group in enumerate(groups):
+            region_idx = self._group_region_idx[gi]
+            for descriptor, _ in group.lanes:
+                entries = []
+                for profile, fraction in descriptor.slices:
+                    if fraction <= 0.0:
+                        continue
+                    entries.append(
+                        (self._register_profile(profile, region_idx), fraction)
+                    )
+                self._lane_slices.append(entries)
         self._slice_ptr = [0] * L
         self._snapshots = [None] * L
         self._freeze_tables()
@@ -704,7 +863,7 @@ class VectorBatchEngine:
     # ------------------------------------------------------------------
     # Table construction
     # ------------------------------------------------------------------
-    def _build_region_tables(self) -> None:
+    def _build_region_tables(self, spaces: Sequence[AddressSpace]) -> None:
         lat = self.machine.latencies
         data_pen = {
             DataSource.L2: lat.data_from_l2,
@@ -722,9 +881,22 @@ class VectorBatchEngine:
             InstSource.L3: lat.inst_from_l3,
             InstSource.MEM: lat.inst_from_mem,
         }
-        names = self.space.names()
+        # One concatenated table across all groups' spaces; each group
+        # resolves region names through its own offset map, so lanes
+        # from different configs index disjoint rows.
+        names: List[str] = []
+        regions = []
+        self._group_region_idx: List[Dict[str, int]] = []
+        for space in spaces:
+            base = len(names)
+            space_names = space.names()
+            self._group_region_idx.append(
+                {name: base + i for i, name in enumerate(space_names)}
+            )
+            names.extend(space_names)
+            regions.extend(space[name] for name in space_names)
         self._region_names = names
-        self._region_idx = {name: i for i, name in enumerate(names)}
+        self._region_idx = self._group_region_idx[0]
         R = len(names)
         self._r_base = np.zeros(R, _I64)
         self._r_size = np.zeros(R, _I64)
@@ -734,8 +906,8 @@ class VectorBatchEngine:
         self._r_npages = np.zeros(R, _I64)
         self._r_dwell = np.zeros(R, _I64)
         self._r_scan = np.zeros(R, np.float64)
-        maxS = max(max((len(self.space[n].backing) for n in names), default=1), 1)
-        maxI = max(max((len(self.space[n].inst_backing) for n in names), default=1), 1)
+        maxS = max(max((len(r.backing) for r in regions), default=1), 1)
+        maxI = max(max((len(r.inst_backing) for r in regions), default=1), 1)
         self._rd_cum = np.full((R, maxS), np.inf, np.float64)
         self._rd_slot = np.zeros((R, maxS), _I64)
         self._rd_pen = np.zeros((R, maxS), np.float64)
@@ -745,8 +917,7 @@ class VectorBatchEngine:
         self._ri_slot = np.zeros((R, maxI), _I64)
         self._ri_pen = np.zeros((R, maxI), np.float64)
         self._ri_n = np.ones(R, _I64)
-        for i, name in enumerate(names):
-            region = self.space[name]
+        for i, region in enumerate(regions):
             self._r_base[i] = region.base
             self._r_size[i] = region.size_bytes
             self._r_end[i] = region.end
@@ -800,7 +971,16 @@ class VectorBatchEngine:
             )
         self._tables_dirty = True
 
-    def _register_profile(self, profile: PhaseProfile) -> int:
+    def _register_profile(
+        self,
+        profile: PhaseProfile,
+        region_idx: Optional[Dict[str, int]] = None,
+    ) -> int:
+        """Register a profile, resolving its region names via the
+        owning group's map (``region_idx``); defaults to group 0 for
+        single-space callers."""
+        if region_idx is None:
+            region_idx = self._region_idx
         pid = self._profile_index.get(id(profile))
         if pid is not None:
             return pid
@@ -825,9 +1005,9 @@ class VectorBatchEngine:
                 profile.hard_branch_fraction,
                 1.0 - 1.0 / max(1.0, profile.page_dwell),
                 profile.dwell_span_override,
-                self._region_idx[profile.code_region],
-                profile.load_mix,
-                profile.store_mix,
+                region_idx[profile.code_region],
+                tuple((region_idx[name], w) for name, w in profile.load_mix),
+                tuple((region_idx[name], w) for name, w in profile.store_mix),
             )
         )
         self._tables_dirty = True
@@ -889,10 +1069,10 @@ class VectorBatchEngine:
             for side, mix in ((1, row[14]), (0, row[15])):
                 acc = 0.0
                 cums = []
-                for j, (name, w) in enumerate(mix):
+                for j, (ridx, w) in enumerate(mix):
                     acc += w
                     cums.append(acc)
-                    self._mix_reg[p, side, j] = self._region_idx[name]
+                    self._mix_reg[p, side, j] = ridx
                 # Serial region pick is an inline bisect with
                 # ``hi = n - 1``: only the first n-1 cumulative values
                 # are compared, so the pad starts at n-1.
@@ -906,28 +1086,48 @@ class VectorBatchEngine:
         self._mix_last_f = self._mix_last.ravel()
         # Branch targets are synthetic code addresses; when every target
         # fits int32 the target table (the engine's largest array) halves.
-        want = _I64 if int(self._it_tgt.max(initial=0)) >= 2**31 else np.int32
+        # The decision must also cover targets already loaded from the
+        # groups' warm snapshots, not just the registered site tables.
+        loaded_max = int(self.tgt_table.max()) if self.tgt_table.size else 0
+        want = (
+            _I64
+            if max(int(self._it_tgt.max(initial=0)), loaded_max) >= 2**31
+            else np.int32
+        )
         if self.tgt_table.dtype != want:
             self.tgt_table = self.tgt_table.astype(want)
             self._tgtf = self.tgt_table.ravel()
 
-    def _load_snapshot(self, snapshot: HardwareSnapshot) -> None:
+    def _load_snapshot(
+        self,
+        snapshot: HardwareSnapshot,
+        lane0: int = 0,
+        lane1: Optional[int] = None,
+    ) -> None:
+        lane1 = self.n_lanes if lane1 is None else lane1
         s = snapshot.state
-        self._l1i.load_ways(s["l1i"]["sets"], s["l1i"]["hits"], s["l1i"]["misses"])
-        self._l1d.load_ways(s["l1d"]["sets"], s["l1d"]["hits"], s["l1d"]["misses"])
-        self._ierat.load_ways(
-            s["ierat"]["sets"], s["ierat"]["hits"], s["ierat"]["misses"]
+        for name, vc in (
+            ("l1i", self._l1i),
+            ("l1d", self._l1d),
+            ("ierat", self._ierat),
+            ("derat", self._derat),
+            ("tlb", self._tlb),
+        ):
+            keys, stamps = snapshot.dense_ways(name, vc.n_sets, vc.associativity)
+            vc.load_dense(
+                keys, stamps, s[name]["hits"], s[name]["misses"], lane0, lane1
+            )
+        self._tlb_split_base[lane0:lane1] = s["tlb_splits"]
+        self.dir_table[lane0:lane1, :] = snapshot.dense_table("dir", np.int8)
+        self.tgt_table[lane0:lane1, :] = snapshot.dense_table("tgt", _I64)
+        self._streams.load_items(s["streams"], lane0=lane0, lane1=lane1)
+        self._runs.load_items(
+            [k for k, _ in s["runs"]],
+            [v for _, v in s["runs"]],
+            lane0=lane0,
+            lane1=lane1,
         )
-        self._derat.load_ways(
-            s["derat"]["sets"], s["derat"]["hits"], s["derat"]["misses"]
-        )
-        self._tlb.load_ways(s["tlb"]["sets"], s["tlb"]["hits"], s["tlb"]["misses"])
-        self._tlb_split_base = tuple(s["tlb_splits"])
-        self.dir_table[:, :] = np.asarray(s["dir"], np.int8)
-        self.tgt_table[:, :] = np.asarray(s["tgt"], _I64)
-        self._streams.load_items(s["streams"])
-        self._runs.load_items([k for k, _ in s["runs"]], [v for _, v in s["runs"]])
-        self._gather.load_items(s["gather"])
+        self._gather.load_items(s["gather"], lane0=lane0, lane1=lane1)
 
     # ------------------------------------------------------------------
     # Lane lifecycle (scalar)
@@ -1035,9 +1235,10 @@ class VectorBatchEngine:
         dispatched += float(self.extra[lane])
         data[EVENT_INDEX[Event.PM_INST_DISP]] += int(round(dispatched))
         data[EVENT_INDEX[Event.PM_SYNC_SRQ_CYC]] += int(round(float(self.srq[lane])))
-        self._snapshots[lane] = CounterSnapshot(
-            counts={event: data[i] for i, event in enumerate(EVENTS)}
-        )
+        # C-level zip: the per-lane counter scatter runs once per lane
+        # per window, which at sweep scale is tens of thousands of
+        # N_EVENTS-wide dict builds.
+        self._snapshots[lane] = CounterSnapshot(counts=dict(zip(EVENTS, data)))
 
     # ------------------------------------------------------------------
     # The lockstep round kernel
@@ -1602,7 +1803,7 @@ class VectorBatchEngine:
     # ------------------------------------------------------------------
     def lane_hardware_state(self, lane: int) -> Dict[str, Tuple]:
         """Absolute cache/TLB statistics for one finished lane."""
-        b = self._tlb_split_base
+        b = [int(x) for x in self._tlb_split_base[lane]]
         return {
             "l1i": self._l1i.lane_stats(lane),
             "l1d": self._l1d.lane_stats(lane),

@@ -1,0 +1,252 @@
+"""Sweep-scale batch planner: plan → shard → scatter.
+
+PR 7's :class:`~repro.cpu.vector.VectorBatchEngine` batches windows
+*within* one config, which on a single core lands at parity with the
+fused kernel — each experiment still pays per-campaign fixed costs
+(engine build, table freeze) for a few dozen lanes.  The shape that
+wins is batching *across* the sweep: most ``reproduce_all`` catalog
+entries request their windows through declarative
+:class:`~repro.experiments.common.WindowDemand` exports, so the whole
+sweep's window work is enumerable upfront.  This module:
+
+1. **plans** — walks the catalog's ``window_demands()`` exports,
+   dedups campaigns by ``(run-cache config key, recipe)`` (figures
+   5–8 all request the same baseline segment: it is computed once);
+2. **shards** — groups demands by config (one workload simulation per
+   config per worker) and LPT-balances the groups across the PR 6
+   supervised process pool by estimated lane count;
+3. **packs** — inside each worker, campaigns whose machine geometry is
+   compatible (:func:`repro.cpu.vector.pack_key`) are packed into
+   shared :meth:`~repro.cpu.vector.VectorBatchEngine.packed` engines:
+   one table freeze and one numpy sweep advance lanes from *many*
+   experiments at once.  Per-lane RNG forks and per-group
+   ``HardwareSnapshot``s keep every lane bit-identical to the engine
+   it replaces (asserted in tests/cpu/test_vector_packed.py);
+4. **scatters** — per-lane snapshots come back keyed for the
+   :mod:`~repro.core.windowstore`, workload ``RunResult``s seed the
+   parent :class:`~repro.runcache.RunCache`, and the experiments then
+   run serially in the parent as pure store/cache hits — the report
+   is byte-identical to the serial ``--engine vector`` sweep.
+
+Ineligible campaigns (``vector_supported`` says no) are skipped here
+and degrade to the experiment's serial path in the parent, exactly as
+an inline vector run would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.config import ExperimentConfig
+from repro.core.characterization import Characterization
+from repro.experiments import chaos
+from repro.experiments.common import WindowDemand
+from repro.experiments.hpm_segment import segment_windows
+from repro.hpm.counters import CounterSnapshot
+from repro.workload.sut import RunResult
+
+#: Estimated windows per GC pause for shard balancing (a pause spans a
+#: few windows; exactness only affects load balance, not results).
+_GC_EVENT_WINDOWS = 6
+
+
+def recipe_windows(study: Characterization, recipe: str) -> List[int]:
+    """The window indices one recipe names, in campaign order."""
+    parts = recipe.split(":")
+    if parts[0] == "hw" and len(parts) == 3:
+        start, n = int(parts[1]), int(parts[2])
+        return list(range(start, start + n))
+    if parts[0] == "seg" and len(parts) == 4:
+        start, n_mutator, n_gc = (int(p) for p in parts[1:])
+        return segment_windows(study.core.schedule, n_mutator, n_gc, start)
+    raise ValueError(f"unknown campaign recipe: {recipe!r}")
+
+
+def demand_weight(recipe: str) -> int:
+    """Estimated lane count of one recipe (for shard balancing)."""
+    parts = recipe.split(":")
+    if parts[0] == "hw":
+        return int(parts[2])
+    if parts[0] == "seg":
+        return int(parts[2]) + _GC_EVENT_WINDOWS * int(parts[3])
+    raise ValueError(f"unknown campaign recipe: {recipe!r}")
+
+
+def module_exports_demands(module_name: str) -> bool:
+    """Whether a catalog module declares its window campaigns."""
+    import importlib
+
+    module = importlib.import_module(f"repro.experiments.{module_name}")
+    return getattr(module, "window_demands", None) is not None
+
+
+def collect_demands(
+    config: ExperimentConfig,
+    entries: Sequence[Tuple[str, str, dict]],
+) -> List[WindowDemand]:
+    """Every distinct window campaign the catalog entries will request.
+
+    ``entries`` are ``(title, module, run_kwargs)`` catalog rows; a
+    module without a ``window_demands`` export contributes nothing
+    (it runs as a plain pool task).  Demands are deduplicated by
+    ``(config key, recipe)`` in first-seen order.
+    """
+    import importlib
+
+    from repro.core.windowstore import store_key
+
+    demands: List[WindowDemand] = []
+    seen = set()
+    for _title, module_name, kwargs in entries:
+        module = importlib.import_module(f"repro.experiments.{module_name}")
+        exporter = getattr(module, "window_demands", None)
+        if exporter is None:
+            continue
+        for demand in exporter(config, **kwargs):
+            key = store_key(demand.config, demand.recipe)
+            if key not in seen:
+                seen.add(key)
+                demands.append(demand)
+    return demands
+
+
+def plan_shards(
+    demands: Sequence[WindowDemand], jobs: int
+) -> List[List[WindowDemand]]:
+    """Partition demands into at most ``jobs`` balanced shards.
+
+    Demands of the same config stay together (one workload simulation
+    and one warmed schedule per config per worker); config groups are
+    LPT-assigned to the least-loaded shard by estimated lane count.
+    """
+    from repro.runcache import config_key
+
+    by_config: Dict[str, List[WindowDemand]] = {}
+    order: List[str] = []
+    for demand in demands:
+        key = config_key(demand.config, "workload")
+        if key not in by_config:
+            by_config[key] = []
+            order.append(key)
+        by_config[key].append(demand)
+
+    def group_weight(key: str) -> int:
+        return sum(demand_weight(d.recipe) for d in by_config[key])
+
+    n_shards = max(1, min(int(jobs), len(order)))
+    shards: List[List[WindowDemand]] = [[] for _ in range(n_shards)]
+    loads = [0] * n_shards
+    # Largest group first; ties broken by first-seen order (stable).
+    for key in sorted(order, key=group_weight, reverse=True):
+        target = loads.index(min(loads))
+        shards[target].extend(by_config[key])
+        loads[target] += group_weight(key)
+    return [shard for shard in shards if shard]
+
+
+@dataclass
+class ShardOutcome:
+    """What one pool worker sends back to the parent."""
+
+    #: ``(store key, snapshots)`` per computed campaign, for the
+    #: parent's :class:`~repro.core.windowstore.WindowStore`.
+    payloads: List[Tuple[Tuple[str, str], List[CounterSnapshot]]]
+    #: ``(config, result)`` per distinct config, for the parent's
+    #: :meth:`~repro.runcache.RunCache.put` seeding.
+    sims: List[Tuple[ExperimentConfig, RunResult]]
+    #: Per-packed-engine accounting (pack key, member campaigns,
+    #: lane counts) for the ``--stats-json`` pack-efficiency report.
+    batches: List[Dict[str, Any]] = field(default_factory=list)
+    #: Lanes the plan called for vs lanes that ran packed; the
+    #: difference is ineligible campaigns that degraded to serial.
+    planned_lanes: int = 0
+    packed_lanes: int = 0
+
+
+def execute_shard(task: Tuple[int, List[WindowDemand]]) -> ShardOutcome:
+    """Run one shard of the sweep plan (process-pool target).
+
+    Plans every demand (descriptors, lane forks, warm snapshot), packs
+    compatible campaigns into shared engines, runs them, and scatters
+    the per-lane snapshots back per campaign.
+    """
+    from repro.core.windowstore import store_key
+    from repro.cpu.vector import VectorBatchEngine
+
+    shard_index, demands = task
+    chaos.fault_point("kill", f"pack{shard_index}")
+    chaos.fault_point("hang", f"pack{shard_index}")
+
+    outcome = ShardOutcome(payloads=[], sims=[])
+    seen_configs = set()
+    # (store key, pack key, group, config) per eligible campaign.
+    prepared: List[Tuple[Tuple[str, str], str, Any, ExperimentConfig]] = []
+    for demand in demands:
+        study = Characterization(demand.config)
+        windows = recipe_windows(study, demand.recipe)
+        outcome.planned_lanes += len(windows)
+        key = store_key(demand.config, demand.recipe)
+        if key[0] not in seen_configs:
+            seen_configs.add(key[0])
+            outcome.sims.append((demand.config, study.result))
+        plan = study.plan_window_list(windows)
+        if plan is None:
+            continue
+        prepared.append((key, plan[0], plan[1], demand.config))
+
+    packs: Dict[str, List[Tuple[Tuple[str, str], Any, ExperimentConfig]]] = {}
+    pack_order: List[str] = []
+    for key, pack, group, config in prepared:
+        if pack not in packs:
+            packs[pack] = []
+            pack_order.append(pack)
+        packs[pack].append((key, group, config))
+
+    for pack in pack_order:
+        members = packs[pack]
+        groups = [group for _key, group, _config in members]
+        anchor = members[0][2]
+        engine = VectorBatchEngine.packed(
+            anchor.machine, anchor.sampling, groups
+        )
+        snapshots = engine.run()
+        offset = 0
+        lane_counts = []
+        for key, group, _config in members:
+            n = len(group.lanes)
+            outcome.payloads.append((key, snapshots[offset:offset + n]))
+            offset += n
+            lane_counts.append(n)
+        outcome.packed_lanes += offset
+        outcome.batches.append(
+            {
+                "pack_key": pack,
+                "campaigns": len(members),
+                "lanes": offset,
+                "lane_counts": lane_counts,
+            }
+        )
+    return outcome
+
+
+@dataclass
+class SweepPlan:
+    """The parent-side view of a packed sweep's window work."""
+
+    demands: List[WindowDemand]
+    shards: List[List[WindowDemand]]
+
+    @property
+    def planned_lanes(self) -> int:
+        return sum(demand_weight(d.recipe) for d in self.demands)
+
+
+def plan_sweep(
+    config: ExperimentConfig,
+    entries: Sequence[Tuple[str, str, dict]],
+    jobs: int,
+) -> SweepPlan:
+    """Enumerate and shard the window work of the given catalog rows."""
+    demands = collect_demands(config, entries)
+    return SweepPlan(demands=demands, shards=plan_shards(demands, jobs))

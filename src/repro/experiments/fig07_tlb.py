@@ -141,3 +141,14 @@ def run(
         dtlb_gc_ratio=ratio(Event.PM_DTLB_MISS, dtlb),
         itlb_gc_ratio=ratio(Event.PM_ITLB_MISS, itlb),
     )
+
+
+def window_demands(
+    config=None, n_mutator: int = 80, n_gc_events: int = 3
+):
+    """The window campaigns :func:`run` issues (for the sweep planner)."""
+    from repro.experiments.common import WindowDemand
+    from repro.experiments.hpm_segment import seg_recipe
+
+    config = config if config is not None else bench_config()
+    return [WindowDemand(config, seg_recipe(n_mutator, n_gc_events))]

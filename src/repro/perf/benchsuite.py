@@ -192,6 +192,56 @@ def _batch_builder(kind: str, n_windows: int, window_cycles: int):
     return setup, body
 
 
+def _sweep_builder(
+    packed: bool,
+    modules: List[str],
+    duration_s: float,
+    window_cycles: int,
+):
+    """A miniature ``reproduce_all`` sweep, packed vs plain fused.
+
+    The sweep-scale benchmark behind the batch planner: the same
+    catalog subset (figures whose window campaigns dedup into shared
+    cross-config batches) through ``run(..., packed=True)`` vs the
+    plain serial fused sweep.  Every repetition starts from a fresh
+    in-memory run cache, so the sims and campaigns are recomputed —
+    the honest end-to-end cost, not a cache replay.  On a single-core
+    host the packed path's win is campaign deduplication minus the
+    vector engine's dispatch overhead (see docs/performance.md); the
+    trajectory point exists so multi-core hosts record the sharding
+    win and one-core hosts record the honest overhead.
+    """
+    import dataclasses
+
+    from repro.config import SamplingConfig
+    from repro.workload.presets import jas2004
+
+    def config():
+        cfg = jas2004(duration_s=duration_s, seed=2007)
+        return dataclasses.replace(
+            cfg,
+            jvm=dataclasses.replace(
+                cfg.jvm, n_jited_methods=200, warm_methods=10
+            ),
+            sampling=SamplingConfig(
+                window_cycles=window_cycles, warmup_windows=2
+            ),
+        )
+
+    def setup():
+        from repro.runcache import RunCache, set_default_cache
+
+        set_default_cache(RunCache())
+        return config()
+
+    def body(cfg):
+        from repro.experiments.reproduce_all import run as run_all
+
+        run_all(cfg, only=list(modules), packed=packed)
+
+    return setup, body
+
+
 def _counter_builder(increments: int):
     from repro.hpm.counters import CounterBank
     from repro.hpm.events import EVENT_INDEX, Event
@@ -240,6 +290,20 @@ def run_suite(
         "windows": batch_windows,
         "window_cycles": batch_cycles,
     }
+    # The sweep-scale pair: quick keeps two figures at a 60s virtual
+    # run; the full tier adds Figure 9 (two contrast configs, so the
+    # packed path also exercises cross-config packing) at 300s.
+    sweep_modules = (
+        ["fig05_cpi", "fig07_tlb"]
+        if quick
+        else ["fig05_cpi", "fig07_tlb", "fig09_sources"]
+    )
+    sweep_duration, sweep_cycles = (60.0, 10000) if quick else (300.0, 20000)
+    sweep_params = {
+        "modules": list(sweep_modules),
+        "duration_s": sweep_duration,
+        "window_cycles": sweep_cycles,
+    }
     catalog = {
         "window_execution": (
             _core_builder(windows, window_cycles),
@@ -264,6 +328,16 @@ def run_suite(
         "batch_windows_reference": (
             _batch_builder("reference", batch_windows, batch_cycles),
             dict(batch_params),
+        ),
+        # The sweep-scale pair: the batch planner's end-to-end path vs
+        # the plain serial fused sweep of the same catalog subset.
+        "reproduce_all_packed": (
+            _sweep_builder(True, sweep_modules, sweep_duration, sweep_cycles),
+            dict(sweep_params),
+        ),
+        "reproduce_all_fused": (
+            _sweep_builder(False, sweep_modules, sweep_duration, sweep_cycles),
+            dict(sweep_params),
         ),
     }
     chosen = kernels if kernels is not None else sorted(catalog)

@@ -26,7 +26,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from repro.perf.history import describe_record, latest_pair
+from repro.perf.history import describe_record, is_dirty_record, latest_pair
 from repro.util.stats import mann_whitney_u
 
 #: Verdict levels, in increasing severity.
@@ -75,6 +75,9 @@ class GateReport:
     baseline_id: str = ""
     latest_id: str = ""
     skipped_reason: str = ""
+    #: Hygiene warnings (e.g. dirty-working-tree records skipped or
+    #: under judgment); never affect :attr:`passed`.
+    notes: List[str] = field(default_factory=list)
 
     @property
     def passed(self) -> bool:
@@ -88,10 +91,14 @@ class GateReport:
         lines = ["", "=" * 72, "Perf-regression gate", "=" * 72]
         if self.skipped_reason:
             lines.append(f"  SKIPPED: {self.skipped_reason}")
+            for note in self.notes:
+                lines.append(f"  note: {note}")
             lines.append("  verdict: PASS (nothing to compare)")
             return lines
         lines.append(f"  baseline: {self.baseline_id}")
         lines.append(f"  latest:   {self.latest_id}")
+        for note in self.notes:
+            lines.append(f"  note: {note}")
         lines.append("-" * 72)
         lines.extend(v.render() for v in self.verdicts)
         lines.append("-" * 72)
@@ -104,6 +111,7 @@ class GateReport:
             "baseline": self.baseline_id,
             "latest": self.latest_id,
             "skipped_reason": self.skipped_reason,
+            "notes": list(self.notes),
             "verdicts": [
                 {
                     "kernel": v.kernel,
@@ -230,7 +238,11 @@ def evaluate_gate(
     Baseline selection: the most recent earlier record from the same
     host; if none exists, the most recent earlier record from any host
     (warn-only comparison); with fewer than two records the gate
-    passes with an explicit "nothing to compare" report.
+    passes with an explicit "nothing to compare" report.  An envelope
+    measured in a dirty working tree (``git describe`` ending in
+    ``-dirty``) is never promoted to baseline — the measured code was
+    not any commit — and a dirty *latest* record is flagged in the
+    report notes.
     """
     if len(records) < 2:
         return GateReport(
@@ -239,16 +251,47 @@ def evaluate_gate(
                 "to record a baseline first"
             )
         )
-    pair = latest_pair(records, same_host=True)
+    notes: List[str] = []
+    if is_dirty_record(records[-1]):
+        notes.append(
+            "latest record was measured in a dirty working tree "
+            "(git describe ends in -dirty); it will not serve as a "
+            "future baseline"
+        )
+    pair = latest_pair(records, same_host=True, skip_dirty=True)
     if pair is not None:
+        if latest_pair(records, same_host=True) != pair:
+            notes.append(
+                "skipped more recent same-host baseline(s) measured "
+                "in a dirty working tree"
+            )
         baseline, latest = pair
-        return compare_records(
+        report = compare_records(
             baseline, latest, fail_ratio, warn_ratio, alpha, cross_host=False
         )
-    baseline, latest = latest_pair(records, same_host=False)
-    return compare_records(
+        report.notes.extend(notes)
+        return report
+    if latest_pair(records, same_host=True) is not None:
+        notes.append(
+            "every same-host baseline was measured in a dirty working "
+            "tree; falling back to a cross-host comparison"
+        )
+    pair = latest_pair(records, same_host=False, skip_dirty=True)
+    if pair is None:
+        report = GateReport(
+            skipped_reason=(
+                "no clean baseline: every earlier record was measured "
+                "in a dirty working tree (git describe ends in -dirty)"
+            )
+        )
+        report.notes.extend(notes)
+        return report
+    baseline, latest = pair
+    report = compare_records(
         baseline, latest, fail_ratio, warn_ratio, alpha, cross_host=True
     )
+    report.notes.extend(notes)
+    return report
 
 
 # ----------------------------------------------------------------------

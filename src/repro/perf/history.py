@@ -74,22 +74,40 @@ def read_history(
     return records
 
 
+def is_dirty_record(record: Dict[str, object]) -> bool:
+    """True when the record was measured in a dirty working tree.
+
+    ``git describe --dirty`` appends ``-dirty`` when tracked files had
+    uncommitted changes — the measured code is not any commit, so such
+    an envelope is fine as a local data point but must never serve as
+    the baseline other measurements are judged against.
+    """
+    describe = str(record.get("git_describe") or "")
+    return describe.endswith("-dirty")
+
+
 def latest_pair(
-    records: List[Dict[str, object]], same_host: bool = True
+    records: List[Dict[str, object]],
+    same_host: bool = True,
+    skip_dirty: bool = False,
 ) -> Optional[tuple]:
     """``(baseline, latest)`` for a gate/diff comparison, or None.
 
     The latest record is the measurement under judgment; the baseline
     is the most recent *earlier* record — restricted to the same host
     fingerprint when ``same_host`` (the default), because wall-clock
-    from two machines is not one distribution.  Returns None when no
-    valid pair exists (fewer than two records, or no same-host
+    from two machines is not one distribution.  ``skip_dirty``
+    additionally refuses to promote a dirty-working-tree envelope
+    (:func:`is_dirty_record`) to baseline.  Returns None when no
+    valid pair exists (fewer than two records, or no acceptable
     predecessor).
     """
     if len(records) < 2:
         return None
     latest = records[-1]
     for candidate in reversed(records[:-1]):
+        if skip_dirty and is_dirty_record(candidate):
+            continue
         if not same_host or candidate.get("host") == latest.get("host"):
             return (candidate, latest)
     return None

@@ -1,0 +1,72 @@
+"""The campaign-result scatter layer under the sweep batch planner."""
+
+import dataclasses
+
+import pytest
+
+from repro.core import windowstore
+from repro.core.windowstore import WindowStore, active_store, store_key
+from repro.hpm.counters import CounterSnapshot
+from tests.conftest import make_quick_config
+
+
+def _snap(n: int) -> CounterSnapshot:
+    return CounterSnapshot(counts={"PM_CYC": n})
+
+
+class TestStoreKey:
+    def test_stable_for_equal_configs(self):
+        cfg = make_quick_config()
+        assert store_key(cfg, "hw:0:40") == store_key(
+            make_quick_config(), "hw:0:40"
+        )
+
+    def test_recipe_and_config_are_both_in_the_key(self):
+        cfg = make_quick_config()
+        other = dataclasses.replace(cfg, seed=cfg.seed + 1)
+        assert store_key(cfg, "hw:0:40") != store_key(cfg, "hw:0:41")
+        assert store_key(cfg, "hw:0:40") != store_key(other, "hw:0:40")
+
+
+class TestWindowStore:
+    def test_miss_then_hit_with_counters(self):
+        store = WindowStore()
+        key = ("cfg", "hw:0:2")
+        assert store.get(key) is None
+        assert (store.hits, store.misses) == (0, 1)
+        store.put(key, [_snap(1), _snap(2)])
+        got = store.get(key)
+        assert [s.counts for s in got] == [{"PM_CYC": 1}, {"PM_CYC": 2}]
+        assert (store.hits, store.misses) == (1, 1)
+        assert key in store and len(store) == 1
+
+    def test_put_and_get_copy_the_list(self):
+        store = WindowStore()
+        key = ("cfg", "hw:0:1")
+        payload = [_snap(1)]
+        store.put(key, payload)
+        payload.append(_snap(2))
+        first = store.get(key)
+        first.append(_snap(3))
+        assert len(store.get(key)) == 1
+
+
+class TestActiveStore:
+    def test_default_is_no_store(self):
+        assert active_store() is None
+
+    def test_installed_scopes_and_restores(self):
+        outer, inner = WindowStore(), WindowStore()
+        with windowstore.installed(outer):
+            assert active_store() is outer
+            with windowstore.installed(inner):
+                assert active_store() is inner
+            assert active_store() is outer
+        assert active_store() is None
+
+    def test_installed_restores_on_error(self):
+        store = WindowStore()
+        with pytest.raises(RuntimeError):
+            with windowstore.installed(store):
+                raise RuntimeError("boom")
+        assert active_store() is None

@@ -1,0 +1,243 @@
+"""Cross-config lane packing must not change any lane's result.
+
+A :meth:`~repro.cpu.vector.VectorBatchEngine.packed` engine runs lanes
+from *many* campaigns (same :func:`~repro.cpu.vector.pack_key`) in one
+numpy sweep; each :class:`~repro.cpu.vector.PackGroup` brings its own
+address space, warm snapshot and per-lane RNG forks.  The promise the
+sweep planner builds on:
+
+* every packed lane is bit-identical to the same lane run in its own
+  single-group engine (which tests/cpu/test_vector_engine.py anchors
+  to the serial ``oracle_window``);
+* the packing *order* of groups never changes any lane's result
+  (checked property-style over permutations);
+* configs with different machine geometry get different pack keys, so
+  they are never packed together in the first place.
+
+RNG discipline: ``RngFactory.fork`` streams are cached mutable
+``random.Random`` objects, so every engine construction gets **fresh**
+lane forks — reusing lane tuples across two engines would replay
+already-advanced streams and diverge for the wrong reason.
+"""
+
+import random
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.config import (
+    CacheGeometry,
+    JvmConfig,
+    MachineConfig,
+    SamplingConfig,
+)
+from repro.cpu.core_model import CoreModel, StaticSchedule
+from repro.cpu.phases import (
+    PhaseDescriptor,
+    gc_mark_profile,
+    gc_sweep_profile,
+    idle_profile,
+    interpreter_profile,
+    kernel_profile,
+)
+from repro.cpu.regions import AddressSpace
+from repro.cpu.vector import (
+    HardwareSnapshot,
+    PackGroup,
+    VectorBatchEngine,
+    oracle_window,
+    pack_key,
+)
+from repro.util.rng import RngFactory
+
+SEED = 20260808
+WINDOW_CYCLES = 2500
+
+#: Three address spaces over the same machine geometry — the packed
+#: engine's per-group axis (think: three catalog configs that differ
+#: in JVM parameters but share the hardware model).
+JVM_VARIANTS = (
+    JvmConfig(),
+    JvmConfig(heap_mb=512, live_set_mb=120.0),
+    JvmConfig(heap_large_pages=False),
+)
+
+
+@pytest.fixture(scope="module")
+def world():
+    machine = MachineConfig()
+    spaces = [AddressSpace.build(machine, jvm) for jvm in JVM_VARIANTS]
+    return machine, spaces
+
+
+def _descriptors(space, n, salt=7):
+    rng = random.Random(salt)
+    profiles = [
+        kernel_profile(rng, space),
+        gc_mark_profile(rng, space),
+        gc_sweep_profile(rng, space),
+        idle_profile(rng, space),
+        interpreter_profile(rng, space),
+    ]
+    out = []
+    for i in range(n):
+        f = 0.2 + 0.1 * (i % 3)
+        out.append(
+            PhaseDescriptor(
+                slices=(
+                    (profiles[i % 5], f),
+                    (profiles[(i + 2) % 5], 0.6 - f),
+                    (profiles[(i + 3) % 5], 0.4),
+                )
+            )
+        )
+    return out
+
+
+def _fresh_lanes(space, n, seed_salt):
+    """Fresh per-lane forks — MUST be rebuilt for every engine."""
+    root = RngFactory(SEED + seed_salt)
+    return [
+        (desc, root.fork(f"cpu.vec.w{i}"))
+        for i, desc in enumerate(_descriptors(space, n, salt=seed_salt))
+    ]
+
+
+def _warm_snapshot(machine, space, windows=2):
+    core = CoreModel(
+        machine,
+        space,
+        StaticSchedule(_descriptors(space, 1)[0]),
+        SamplingConfig(window_cycles=WINDOW_CYCLES),
+        RngFactory(99),
+    )
+    core.warm_up(range(windows))
+    return HardwareSnapshot.capture(core)
+
+
+#: (space index, lane count, warm?, seed salt) per group — mixed lane
+#: counts, mixed cold/warm starts, three distinct address spaces.
+GROUP_SHAPES = ((0, 3, True, 1), (1, 2, False, 2), (2, 4, True, 3))
+
+
+def _build_groups(machine, spaces, shapes=GROUP_SHAPES):
+    groups = []
+    for space_idx, n_lanes, warm, salt in shapes:
+        space = spaces[space_idx]
+        snapshot = _warm_snapshot(machine, space) if warm else None
+        groups.append(
+            PackGroup(space, _fresh_lanes(space, n_lanes, salt), snapshot)
+        )
+    return groups
+
+
+class TestPackKey:
+    def test_equal_configs_share_a_key(self):
+        sampling = SamplingConfig(window_cycles=20000)
+        assert pack_key(MachineConfig(), sampling) == pack_key(
+            MachineConfig(), sampling
+        )
+
+    def test_machine_geometry_changes_the_key(self):
+        sampling = SamplingConfig(window_cycles=20000)
+        small_l1d = MachineConfig(l1d=CacheGeometry(16 * 1024, 128, 2, "fifo"))
+        assert pack_key(MachineConfig(), sampling) != pack_key(
+            small_l1d, sampling
+        )
+
+    def test_window_budget_changes_the_key(self):
+        machine = MachineConfig()
+        assert pack_key(machine, SamplingConfig(window_cycles=20000)) != (
+            pack_key(machine, SamplingConfig(window_cycles=10000))
+        )
+
+
+class TestPackedEquivalence:
+    def test_packed_lanes_bit_identical_to_single_engines(self, world):
+        machine, spaces = world
+        sampling = SamplingConfig(window_cycles=WINDOW_CYCLES)
+        got = VectorBatchEngine.packed(
+            machine, sampling, _build_groups(machine, spaces)
+        ).run()
+        offset = 0
+        for group in _build_groups(machine, spaces):
+            want = VectorBatchEngine(
+                machine, group.space, sampling, group.lanes, group.snapshot
+            ).run()
+            for lane, w in enumerate(want):
+                g = got[offset + lane]
+                assert dict(g.counts) == dict(w.counts), (
+                    f"packed lane {offset + lane} diverged"
+                )
+            offset += len(group.lanes)
+        assert offset == len(got)
+
+    def test_packed_lane_matches_serial_oracle(self, world):
+        """Anchor straight to the serial core, skipping the single engine."""
+        machine, spaces = world
+        sampling = SamplingConfig(window_cycles=WINDOW_CYCLES)
+        got = VectorBatchEngine.packed(
+            machine, sampling, _build_groups(machine, spaces)
+        ).run()
+        offset = 0
+        for group in _build_groups(machine, spaces):
+            for lane, (desc, fork) in enumerate(group.lanes):
+                want = oracle_window(
+                    machine, group.space, desc, sampling, fork, group.snapshot
+                )
+                assert dict(got[offset + lane].counts) == dict(want.counts)
+            offset += len(group.lanes)
+
+    def test_single_group_pack_equals_plain_engine(self, world):
+        machine, spaces = world
+        sampling = SamplingConfig(window_cycles=WINDOW_CYCLES)
+        shapes = (GROUP_SHAPES[0],)
+        got = VectorBatchEngine.packed(
+            machine, sampling, _build_groups(machine, spaces, shapes)
+        ).run()
+        (group,) = _build_groups(machine, spaces, shapes)
+        want = VectorBatchEngine(
+            machine, group.space, sampling, group.lanes, group.snapshot
+        ).run()
+        assert [dict(s.counts) for s in got] == [dict(s.counts) for s in want]
+
+    def test_empty_groups_run_to_empty(self, world):
+        machine, _spaces = world
+        sampling = SamplingConfig(window_cycles=WINDOW_CYCLES)
+        assert VectorBatchEngine.packed(machine, sampling, []).run() == []
+
+
+@settings(
+    max_examples=6,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(order=st.permutations(range(len(GROUP_SHAPES))))
+def test_pack_order_never_changes_a_lane(order):
+    """Permuting group order permutes the output blocks, nothing else."""
+    machine = MachineConfig()
+    spaces = [AddressSpace.build(machine, jvm) for jvm in JVM_VARIANTS]
+    sampling = SamplingConfig(window_cycles=WINDOW_CYCLES)
+    shapes = [GROUP_SHAPES[i] for i in order]
+    got = VectorBatchEngine.packed(
+        machine, sampling, _build_groups(machine, spaces, shapes)
+    ).run()
+    offset = 0
+    for space_idx, n_lanes, warm, salt in shapes:
+        space = spaces[space_idx]
+        snapshot = _warm_snapshot(machine, space) if warm else None
+        want = VectorBatchEngine(
+            machine,
+            space,
+            sampling,
+            _fresh_lanes(space, n_lanes, salt),
+            snapshot,
+        ).run()
+        for lane, w in enumerate(want):
+            assert dict(got[offset + lane].counts) == dict(w.counts), (
+                f"group order {order}: lane {offset + lane} diverged"
+            )
+        offset += n_lanes

@@ -1,0 +1,189 @@
+"""The sweep-scale batch planner: plan, shard, pack, scatter."""
+
+import dataclasses
+
+import pytest
+
+from repro.config import BranchPredictorConfig, CacheGeometry
+from repro.core.characterization import Characterization
+from repro.core.windowstore import store_key
+from repro.experiments.batchplan import (
+    collect_demands,
+    demand_weight,
+    execute_shard,
+    plan_shards,
+    plan_sweep,
+    recipe_windows,
+)
+from repro.experiments.common import WindowDemand, hw_recipe
+from tests.conftest import make_quick_config
+
+
+def _small_l1d_config():
+    """Same workload, different machine geometry (its own pack key)."""
+    cfg = make_quick_config()
+    machine = dataclasses.replace(
+        cfg.machine, l1d=CacheGeometry(16 * 1024, 128, 2, "fifo")
+    )
+    return dataclasses.replace(cfg, machine=machine)
+
+
+def _ineligible_config():
+    """A non-power-of-two predictor table fails ``vector_supported``."""
+    cfg = make_quick_config()
+    machine = dataclasses.replace(
+        cfg.machine, branch=BranchPredictorConfig(direction_entries=1000)
+    )
+    return dataclasses.replace(cfg, machine=machine)
+
+
+class TestRecipes:
+    def test_hw_recipe_windows(self, quick_config):
+        study = Characterization(quick_config)
+        assert recipe_windows(study, "hw:0:5") == [0, 1, 2, 3, 4]
+        assert recipe_windows(study, "hw:10:3") == [10, 11, 12]
+
+    def test_seg_recipe_windows_match_segment_enumeration(self, quick_config):
+        from repro.experiments.hpm_segment import segment_windows
+
+        study = Characterization(quick_config)
+        want = segment_windows(study.core.schedule, 10, 2, 0)
+        assert recipe_windows(study, "seg:0:10:2") == want
+
+    def test_unknown_recipe_raises(self, quick_config):
+        study = Characterization(quick_config)
+        with pytest.raises(ValueError, match="recipe"):
+            recipe_windows(study, "bogus:1")
+
+
+class TestDemandWeight:
+    def test_hw_weight_is_lane_count(self):
+        assert demand_weight("hw:0:40") == 40
+        assert demand_weight("hw:20:5") == 5
+
+    def test_seg_weight_estimates_gc_span(self):
+        assert demand_weight("seg:0:80:3") == 80 + 6 * 3
+
+    def test_unknown_recipe_raises(self):
+        with pytest.raises(ValueError, match="recipe"):
+            demand_weight("bogus:1")
+
+
+class TestCollectDemands:
+    def test_shared_segment_campaign_deduplicated(self):
+        # Figures 5, 6 and 7 all sample the same baseline segment: the
+        # planner must schedule that campaign exactly once.
+        entries = [
+            ("Figure 5", "fig05_cpi", {}),
+            ("Figure 6", "fig06_branch", {}),
+            ("Figure 7", "fig07_tlb", {}),
+        ]
+        demands = collect_demands(make_quick_config(), entries)
+        assert len(demands) == 1
+        assert demands[0].recipe.startswith("seg:")
+
+    def test_plain_modules_contribute_nothing(self):
+        demands = collect_demands(
+            make_quick_config(), [("Figure 3", "fig03_gc", {})]
+        )
+        assert demands == []
+
+    def test_run_kwargs_flow_into_the_demands(self):
+        entries = [("Figure 5", "fig05_cpi", {"n_mutator": 12})]
+        (demand,) = collect_demands(make_quick_config(), entries)
+        assert demand.recipe == "seg:0:12:3"
+
+
+class TestPlanShards:
+    def _demands(self):
+        base = make_quick_config()
+        heavy = dataclasses.replace(base, seed=base.seed + 1)
+        light = dataclasses.replace(base, seed=base.seed + 2)
+        return [
+            WindowDemand(base, hw_recipe(60)),
+            WindowDemand(base, hw_recipe(40)),
+            WindowDemand(heavy, hw_recipe(110)),
+            WindowDemand(light, hw_recipe(50)),
+        ]
+
+    def test_configs_stay_together_and_balance(self):
+        shards = plan_shards(self._demands(), jobs=2)
+        assert len(shards) == 2
+        loads = sorted(
+            sum(demand_weight(d.recipe) for d in shard) for shard in shards
+        )
+        # LPT: heavy group (110) alone, base (100) + light (50) together.
+        assert loads == [110, 150]
+        for shard in shards:
+            keys = {store_key(d.config, d.recipe)[0] for d in shard}
+            if len(shard) > 1:
+                assert len(keys) <= 2
+
+    def test_jobs_capped_by_config_groups(self):
+        shards = plan_shards(self._demands(), jobs=8)
+        assert len(shards) == 3  # only three distinct configs
+
+    def test_single_job_single_shard(self):
+        shards = plan_shards(self._demands(), jobs=1)
+        assert len(shards) == 1 and len(shards[0]) == 4
+
+    def test_empty_plan(self):
+        assert plan_shards([], jobs=4) == []
+
+    def test_plan_sweep_enumerates_and_shards(self):
+        entries = [("Figure 5", "fig05_cpi", {"n_mutator": 10})]
+        plan = plan_sweep(make_quick_config(), entries, jobs=2)
+        assert len(plan.demands) == 1
+        assert plan.planned_lanes == demand_weight(plan.demands[0].recipe)
+        assert len(plan.shards) == 1
+
+
+class TestExecuteShard:
+    """Packed shard execution ≡ per-config vector engines, bit for bit."""
+
+    @pytest.fixture(scope="class")
+    def outcome_and_demands(self):
+        demands = [
+            WindowDemand(make_quick_config(), hw_recipe(3)),
+            WindowDemand(_small_l1d_config(), hw_recipe(2)),
+            WindowDemand(_ineligible_config(), hw_recipe(2)),
+        ]
+        return execute_shard((0, demands)), demands
+
+    def test_pack_accounting(self, outcome_and_demands):
+        outcome, _ = outcome_and_demands
+        assert outcome.planned_lanes == 7
+        assert outcome.packed_lanes == 5  # the ineligible config degrades
+        # Different machine geometries never share a packed engine.
+        assert len(outcome.batches) == 2
+        assert {b["lanes"] for b in outcome.batches} == {3, 2}
+
+    def test_sims_cover_every_config(self, outcome_and_demands):
+        outcome, demands = outcome_and_demands
+        assert len(outcome.sims) == 3
+        want = [store_key(d.config, d.recipe)[0] for d in demands]
+        got = [store_key(cfg, d.recipe)[0]
+               for (cfg, _res), d in zip(outcome.sims, demands)]
+        assert got == want
+
+    def test_ineligible_config_has_no_payload(self, outcome_and_demands):
+        outcome, demands = outcome_and_demands
+        keys = {key for key, _snaps in outcome.payloads}
+        assert store_key(demands[2].config, demands[2].recipe) not in keys
+        assert len(keys) == 2
+
+    def test_payloads_bit_identical_to_inline_vector_path(
+        self, outcome_and_demands
+    ):
+        outcome, demands = outcome_and_demands
+        payloads = dict(outcome.payloads)
+        for demand in demands[:2]:
+            study = Characterization(demand.config)
+            windows = recipe_windows(study, demand.recipe)
+            want = study.sample_window_list(windows, demand.recipe)
+            got = payloads[store_key(demand.config, demand.recipe)]
+            assert len(got) == len(want)
+            for lane, ((_desc, w), g) in enumerate(zip(want, got)):
+                assert dict(g.counts) == dict(w.counts), (
+                    f"{demand.recipe} lane {lane} diverged"
+                )

@@ -46,3 +46,17 @@ def make_sample_log(order=None) -> SampleLog:
 @pytest.fixture
 def sample_log() -> SampleLog:
     return make_sample_log()
+
+
+@pytest.fixture(autouse=True)
+def _clean_git_describe(monkeypatch):
+    """Stamp bench envelopes with a clean synthetic revision.
+
+    The observatory tests must not depend on the developer's working
+    tree state: a dirty checkout would stamp ``-dirty`` describes,
+    and the gate (correctly) refuses to promote those to baseline —
+    which would make these tests fail locally mid-development.  Tests
+    exercising the dirty-baseline hygiene craft their records
+    explicitly.
+    """
+    monkeypatch.setattr("repro.benchio.git_describe", lambda: "testrev")

@@ -64,6 +64,8 @@ class TestRunSuite:
             "batch_windows_vector",
             "batch_windows_fused",
             "batch_windows_reference",
+            "reproduce_all_packed",
+            "reproduce_all_fused",
         }
         for entry in results.values():
             assert len(entry["reps_s"]) == MIN_REPETITIONS
@@ -77,6 +79,16 @@ class TestRunSuite:
             == results["batch_windows_fused"]["windows"]
             == results["batch_windows_reference"]["windows"]
             == 160
+        )
+        # The sweep pair measures the same catalog subset and scale.
+        assert (
+            results["reproduce_all_packed"]["modules"]
+            == results["reproduce_all_fused"]["modules"]
+            == ["fig05_cpi", "fig07_tlb"]
+        )
+        assert (
+            results["reproduce_all_packed"]["duration_s"]
+            == results["reproduce_all_fused"]["duration_s"]
         )
 
     def test_repetition_floor_enforced(self):

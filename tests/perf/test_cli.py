@@ -14,18 +14,32 @@ import pytest
 from repro.cli import main
 
 
-def bench(history, *extra):
-    return main(
-        [
-            "bench",
-            "--quick",
-            "--history",
-            str(history),
-            "--reps",
-            "5",
-            *extra,
-        ]
-    )
+#: The whole quick-tier suite, as `repro bench --quick` runs it in CI.
+ALL_KERNELS = {
+    "cache_kernel",
+    "counter_kernel",
+    "window_execution",
+    "batch_windows_vector",
+    "batch_windows_fused",
+    "batch_windows_reference",
+    "reproduce_all_packed",
+    "reproduce_all_fused",
+}
+
+
+def bench(history, *extra, kernels="counter_kernel,window_execution"):
+    """Drive `repro bench`; plumbing tests use a fast kernel subset."""
+    args = [
+        "bench",
+        "--quick",
+        "--history",
+        str(history),
+        "--reps",
+        "5",
+    ]
+    if kernels is not None:
+        args += ["--kernels", kernels]
+    return main([*args, *extra])
 
 
 class TestBench:
@@ -47,19 +61,16 @@ class TestBench:
     def test_standalone_envelope(self, tmp_path):
         history = tmp_path / "hist.jsonl"
         envelope = tmp_path / "BENCH_suite.json"
-        assert bench(history, "--json", str(envelope)) == 0
+        assert bench(history, "--json", str(envelope), kernels=None) == 0
         doc = json.loads(envelope.read_text())
         assert doc["schema"] == 2
         assert doc["kind"] == "perf_suite"
         assert doc["repetitions"] == 5
-        assert set(doc["spread"]) == {
-            "cache_kernel",
-            "counter_kernel",
-            "window_execution",
-            "batch_windows_vector",
-            "batch_windows_fused",
-            "batch_windows_reference",
-        }
+        assert set(doc["spread"]) == ALL_KERNELS
+
+    def test_unknown_kernel_selection_raises(self, tmp_path):
+        with pytest.raises(ValueError, match="unknown kernels"):
+            bench(tmp_path / "h.jsonl", kernels="nonesuch")
 
     def test_rep_floor_propagates(self, tmp_path):
         with pytest.raises(ValueError, match=">= 5"):
@@ -93,12 +104,8 @@ class TestPerfGate:
         doc = json.loads(gate_json.read_text())
         assert doc["passed"] is True
         assert {v["kernel"] for v in doc["verdicts"]} == {
-            "cache_kernel",
             "counter_kernel",
             "window_execution",
-            "batch_windows_vector",
-            "batch_windows_fused",
-            "batch_windows_reference",
         }
 
     def test_regressed_history_exits_one(self, tmp_path, capsys):

@@ -196,3 +196,57 @@ class TestDiffLines:
         )
         assert "A only" in text
         assert "B only" in text
+
+
+class TestDirtyBaselineHygiene:
+    """`-dirty` envelopes are flagged and never promoted to baseline."""
+
+    def test_dirty_baseline_is_skipped_for_older_clean_one(self):
+        records = [
+            record({"k": BASE}, tag="v1"),
+            record({"k": DOUBLED}, tag="v1-2-gabc-dirty"),
+            record({"k": [t + 1e-4 for t in BASE]}, tag="v2"),
+        ]
+        report = evaluate_gate(records)
+        # Judged against the clean v1 record, not the dirty 2x one:
+        # an honest rerun passes instead of "improving" vs bad data.
+        assert verdict_of(report, "k").verdict == OK
+        assert "v1 " in report.baseline_id
+        assert any("dirty" in note for note in report.notes)
+
+    def test_dirty_latest_is_judged_but_flagged(self):
+        records = [
+            record({"k": BASE}, tag="v1"),
+            record({"k": DOUBLED}, tag="v1-2-gabc-dirty"),
+        ]
+        report = evaluate_gate(records)
+        assert verdict_of(report, "k").verdict == REGRESSED
+        assert any(
+            "latest record was measured in a dirty working tree" in note
+            for note in report.notes
+        )
+
+    def test_all_dirty_baselines_skip_the_gate(self):
+        records = [
+            record({"k": BASE}, tag="v1-dirty"),
+            record({"k": DOUBLED}, tag="v2-dirty"),
+            record({"k": BASE}, tag="v3"),
+        ]
+        report = evaluate_gate(records)
+        assert report.skipped_reason
+        assert "dirty" in report.skipped_reason
+        assert report.passed
+        assert report.to_json_dict()["notes"] == report.notes
+
+    def test_clean_cross_host_beats_dirty_same_host(self):
+        records = [
+            record({"k": BASE}, host=OTHER_HOST, tag="ci"),
+            record({"k": BASE}, tag="mine-dirty"),
+            record({"k": DOUBLED}, tag="mine"),
+        ]
+        report = evaluate_gate(records)
+        # Cross-host comparisons never fail, but the dirty same-host
+        # record must not have been used either.
+        v = verdict_of(report, "k")
+        assert v.verdict == WARN
+        assert "cross-host" in v.note

@@ -11,6 +11,7 @@ from repro.obs.manifest import host_fingerprint
 from repro.perf.history import (
     append_record,
     describe_record,
+    is_dirty_record,
     latest_pair,
     read_history,
 )
@@ -136,3 +137,30 @@ class TestDescribeRecord:
 
     def test_tolerates_missing_fields(self):
         assert "unknown" in describe_record({"git_describe": "unknown"})
+
+
+class TestDirtyRecords:
+    def test_is_dirty_record(self):
+        assert is_dirty_record(_record(tag="v1-2-gabc-dirty"))
+        assert not is_dirty_record(_record(tag="v1-2-gabc"))
+        assert not is_dirty_record({"kind": "perf_suite"})
+
+    def test_skip_dirty_passes_over_dirty_baselines(self):
+        records = [
+            _record(tag="clean"),
+            _record(tag="wip-dirty"),
+            _record(tag="latest"),
+        ]
+        baseline, latest = latest_pair(records, skip_dirty=True)
+        assert baseline["git_describe"] == "clean"
+        assert latest["git_describe"] == "latest"
+
+    def test_skip_dirty_may_leave_no_pair(self):
+        records = [_record(tag="wip-dirty"), _record(tag="latest")]
+        assert latest_pair(records, skip_dirty=True) is None
+        assert latest_pair(records) is not None
+
+    def test_dirty_latest_still_judged(self):
+        records = [_record(tag="clean"), _record(tag="now-dirty")]
+        baseline, latest = latest_pair(records, skip_dirty=True)
+        assert latest["git_describe"] == "now-dirty"
