@@ -20,8 +20,10 @@ reproduction the same kind of self-instrumentation:
 """
 
 from repro.obs.manifest import (
+    ARTIFACT_MANIFEST_SCHEMA,
     MANIFEST_SCHEMA,
     RunRecord,
+    artifact_manifest,
     audit_lines,
     build_manifest,
     git_describe,
@@ -39,6 +41,7 @@ from repro.obs.runtime import Observability, active, install, observe
 from repro.obs.trace import TRACE_SCHEMA, VIRTUAL, WALL, Span, Tracer
 
 __all__ = [
+    "ARTIFACT_MANIFEST_SCHEMA",
     "Counter",
     "Gauge",
     "Histogram",
@@ -52,6 +55,7 @@ __all__ = [
     "VIRTUAL",
     "WALL",
     "active",
+    "artifact_manifest",
     "audit_lines",
     "build_manifest",
     "git_describe",

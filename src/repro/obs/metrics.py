@@ -121,6 +121,27 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def quantile(self, q: float) -> Optional[float]:
+        """Bucket-resolution estimate of the ``q``-quantile.
+
+        Returns the upper bound of the first bucket whose cumulative
+        count reaches ``q * count`` (clamped to the observed extremes),
+        or ``None`` before the first observation.  Coarse by design —
+        the service layer's ``/v1/metrics`` p50/p99 summaries need
+        bucket accuracy, not exact order statistics.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return None
+        rank = q * self.count
+        seen = 0
+        for bound, bucket in zip(self.bounds, self.bucket_counts):
+            seen += bucket
+            if seen >= rank:
+                return min(max(bound, self.min_value), self.max_value)
+        return self.max_value
+
 
 #: Default histogram bounds, a coarse log scale: fine enough to see a
 #: distribution's shape, small enough to snapshot cheaply.
@@ -186,6 +207,12 @@ class MetricsRegistry:
 
     def counters(self) -> Iterable[Counter]:
         return self._counters.values()
+
+    def gauges(self) -> Iterable[Gauge]:
+        return self._gauges.values()
+
+    def histograms(self) -> Iterable[Histogram]:
+        return self._histograms.values()
 
     def value(
         self, name: str, labels: Optional[Mapping[str, object]] = None

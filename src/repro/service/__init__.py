@@ -1,0 +1,51 @@
+"""Simulation-as-a-service: the repo's long-running HTTP backend.
+
+The library under :mod:`repro` answers one question per process — run a
+characterization, render a figure, execute the sweep.  This package
+turns those one-shot entry points into a *service*: a stdlib HTTP API
+(:mod:`~repro.service.app`) accepting jobs as canonical
+:mod:`repro.config_io` JSON, a persistent queue drained by a supervised
+worker pool (:mod:`~repro.service.worker`), and a crash-safe artifact
+index (:mod:`~repro.service.index`) layered over checksummed files —
+with single-flight dedup so a thundering herd of identical requests
+costs one simulation (:mod:`~repro.service.state`).
+
+The import graph is strictly one-way: the service imports the
+simulation library, never the reverse.  Nothing in :mod:`repro.cli`'s
+scientific commands (or the library itself) imports this package, and
+the service keeps its metrics in its own registry rather than the
+global observability session — so when the service is unused, its cost
+to the science is exactly zero.
+"""
+
+from repro.service.app import ServiceServer
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.index import ArtifactIndex
+from repro.service.model import (
+    KINDS,
+    JobRecord,
+    JobSpec,
+    JobValidationError,
+    job_id_for_key,
+    job_key,
+    parse_job_request,
+)
+from repro.service.state import QueueFullError, ServiceState
+from repro.service.worker import WorkerPool
+
+__all__ = [
+    "ArtifactIndex",
+    "JobRecord",
+    "JobSpec",
+    "JobValidationError",
+    "KINDS",
+    "QueueFullError",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceServer",
+    "ServiceState",
+    "WorkerPool",
+    "job_id_for_key",
+    "job_key",
+    "parse_job_request",
+]

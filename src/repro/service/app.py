@@ -1,0 +1,384 @@
+"""The HTTP face of the service: stdlib server, five endpoints.
+
+Built on ``http.server.ThreadingHTTPServer`` — no new dependencies —
+with one shared :class:`~repro.service.state.ServiceState` behind
+every handler thread.  The API surface (all JSON unless noted):
+
+================================  =======================================
+``POST /v1/jobs``                 submit a job (canonical ``config_io``
+                                  JSON + kind + params).  ``202`` for
+                                  queued/coalesced work, ``200`` when the
+                                  artifact index already answers, ``400``
+                                  with a validation envelope, ``429`` +
+                                  ``Retry-After`` when the queue is full.
+``GET /v1/jobs/<id>``             job status; ``?wait=S`` long-polls up
+                                  to S seconds for a terminal state.
+``GET /v1/artifacts/<key>``       the artifact body itself, served as
+                                  ``text/plain`` — byte-identical to the
+                                  equivalent CLI stdout.
+``GET /v1/artifacts/<key>/manifest``  the provenance manifest (config
+                                  hash, seed, git describe, host, body
+                                  checksum) plus the index row.
+``GET /v1/healthz``               liveness + queue/index gauges.
+``GET /v1/metrics``               the service MetricsRegistry snapshot
+                                  with a derived summary (queue depth,
+                                  in-flight, single-flight counts, cache
+                                  hit ratio, per-endpoint latency
+                                  percentiles).
+================================  =======================================
+
+Errors share one envelope::
+
+    {"error": {"status": 400, "code": "invalid-config",
+               "message": "...", "detail": "..."}}
+
+Every handled request is counted and timed into the registry under
+its route *template* (``/v1/jobs/{id}``, never the raw path), keeping
+label cardinality bounded.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional, Tuple
+from urllib.parse import parse_qs, urlparse
+
+from repro.experiments.supervisor import SupervisorPolicy
+from repro.service.model import JobValidationError, parse_job_request
+from repro.service.state import (
+    INDEX_HIT,
+    QueueFullError,
+    ServiceState,
+)
+from repro.service.worker import INLINE, WorkerPool
+
+log = logging.getLogger("repro.service.app")
+
+#: Upper bound on ``?wait=`` long-polls, seconds.
+MAX_WAIT_S = 300.0
+
+#: Maximum accepted request body, bytes (configs are ~10 KB).
+MAX_BODY_BYTES = 4 * 1024 * 1024
+
+
+def error_envelope(
+    status: int, code: str, message: str, detail: Optional[str] = None
+) -> Dict[str, Any]:
+    return {
+        "error": {
+            "status": status,
+            "code": code,
+            "message": message,
+            "detail": detail,
+        }
+    }
+
+
+class _ServiceHTTPServer(ThreadingHTTPServer):
+    daemon_threads = True
+    allow_reuse_address = True
+    # socketserver's default listen backlog is 5 — a dedup burst of a
+    # few dozen simultaneous connects gets RSTs before the accept loop
+    # ever sees them.  The whole point of this service is surviving
+    # thundering herds; give the kernel room to queue one.
+    request_queue_size = 256
+    state: ServiceState
+
+
+class _Handler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+    server: _ServiceHTTPServer
+
+    # ------------------------------------------------------------------
+    # Plumbing
+    # ------------------------------------------------------------------
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        log.debug("%s - %s", self.address_string(), format % args)
+
+    def _send_json(
+        self,
+        status: int,
+        doc: Dict[str, Any],
+        endpoint: str,
+        headers: Optional[Dict[str, str]] = None,
+    ) -> None:
+        body = (json.dumps(doc, sort_keys=True) + "\n").encode("utf-8")
+        self._send_bytes(status, body, "application/json", endpoint, headers)
+
+    def _send_bytes(
+        self,
+        status: int,
+        body: bytes,
+        content_type: str,
+        endpoint: str,
+        headers: Optional[Dict[str, str]] = None,
+    ) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+        self.server.state.observe_http(
+            endpoint,
+            self.command,
+            status,
+            max(0.0, _now() - self._t0),
+        )
+
+    def _send_error_envelope(
+        self,
+        status: int,
+        code: str,
+        message: str,
+        endpoint: str,
+        detail: Optional[str] = None,
+        headers: Optional[Dict[str, str]] = None,
+    ) -> None:
+        self._send_json(
+            status,
+            error_envelope(status, code, message, detail),
+            endpoint,
+            headers,
+        )
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802
+        self._t0 = _now()
+        parsed = urlparse(self.path)
+        parts = [p for p in parsed.path.split("/") if p]
+        query = parse_qs(parsed.query)
+        try:
+            if parts == ["v1", "healthz"]:
+                self._send_json(
+                    200, self.server.state.health_document(), "/v1/healthz"
+                )
+            elif parts == ["v1", "metrics"]:
+                self._send_json(
+                    200, self.server.state.metrics_document(), "/v1/metrics"
+                )
+            elif len(parts) == 3 and parts[:2] == ["v1", "jobs"]:
+                self._get_job(parts[2], query)
+            elif len(parts) == 3 and parts[:2] == ["v1", "artifacts"]:
+                self._get_artifact(parts[2])
+            elif (
+                len(parts) == 4
+                and parts[:2] == ["v1", "artifacts"]
+                and parts[3] == "manifest"
+            ):
+                self._get_manifest(parts[2])
+            else:
+                self._send_error_envelope(
+                    404, "not-found", f"no such resource: {parsed.path}", "-"
+                )
+        except Exception:  # never leak a traceback as a hung socket
+            log.exception("unhandled error serving GET %s", self.path)
+            self._send_error_envelope(
+                500, "internal-error", "unhandled server error", "-"
+            )
+
+    def do_POST(self) -> None:  # noqa: N802
+        self._t0 = _now()
+        parsed = urlparse(self.path)
+        parts = [p for p in parsed.path.split("/") if p]
+        try:
+            if parts == ["v1", "jobs"]:
+                self._post_job()
+            else:
+                self._send_error_envelope(
+                    404, "not-found", f"no such resource: {parsed.path}", "-"
+                )
+        except Exception:
+            log.exception("unhandled error serving POST %s", self.path)
+            self._send_error_envelope(
+                500, "internal-error", "unhandled server error", "-"
+            )
+
+    # ------------------------------------------------------------------
+    # Endpoints
+    # ------------------------------------------------------------------
+    def _post_job(self) -> None:
+        endpoint = "/v1/jobs"
+        length = int(self.headers.get("Content-Length") or 0)
+        if length <= 0 or length > MAX_BODY_BYTES:
+            self._send_error_envelope(
+                400,
+                "invalid-request",
+                "request body required",
+                endpoint,
+                detail=f"Content-Length must be in (0, {MAX_BODY_BYTES}]",
+            )
+            return
+        raw = self.rfile.read(length)
+        try:
+            doc = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError) as exc:
+            self._send_error_envelope(
+                400, "invalid-json", "request body is not valid JSON",
+                endpoint, detail=str(exc),
+            )
+            return
+        try:
+            spec = parse_job_request(doc)
+        except JobValidationError as exc:
+            self._send_error_envelope(
+                400, exc.code, exc.message, endpoint, detail=exc.detail
+            )
+            return
+        try:
+            record, outcome = self.server.state.submit(spec)
+        except QueueFullError as exc:
+            self._send_error_envelope(
+                429,
+                "queue-full",
+                str(exc),
+                endpoint,
+                detail="resubmit after the Retry-After delay",
+                headers={"Retry-After": str(exc.retry_after_s)},
+            )
+            return
+        status = 200 if outcome == INDEX_HIT else 202
+        self._send_json(
+            status,
+            {"outcome": outcome, "job": record.to_json_dict()},
+            endpoint,
+        )
+
+    def _get_job(self, job_id: str, query: Dict[str, Any]) -> None:
+        endpoint = "/v1/jobs/{id}"
+        wait_raw = query.get("wait", [None])[0]
+        if wait_raw is not None:
+            try:
+                wait_s = min(max(float(wait_raw), 0.0), MAX_WAIT_S)
+            except ValueError:
+                self._send_error_envelope(
+                    400, "invalid-request", "wait must be a number",
+                    endpoint, detail=f"got {wait_raw!r}",
+                )
+                return
+            record = self.server.state.wait_for(job_id, wait_s)
+        else:
+            record = self.server.state.job(job_id)
+        if record is None:
+            self._send_error_envelope(
+                404, "unknown-job", f"no such job: {job_id}", endpoint
+            )
+            return
+        self._send_json(200, {"job": record.to_json_dict()}, endpoint)
+
+    def _get_artifact(self, key: str) -> None:
+        endpoint = "/v1/artifacts/{key}"
+        doc = self.server.state.artifact(key)
+        if doc is None:
+            self._send_error_envelope(
+                404, "unknown-artifact", f"no such artifact: {key}", endpoint
+            )
+            return
+        self._send_bytes(
+            200,
+            doc["body"].encode("utf-8"),
+            "text/plain; charset=utf-8",
+            endpoint,
+        )
+
+    def _get_manifest(self, key: str) -> None:
+        endpoint = "/v1/artifacts/{key}/manifest"
+        doc = self.server.state.artifact(key)
+        if doc is None:
+            self._send_error_envelope(
+                404, "unknown-artifact", f"no such artifact: {key}", endpoint
+            )
+            return
+        row = self.server.state.index.artifact_row(key)
+        self._send_json(
+            200,
+            {
+                "manifest": doc["manifest"],
+                "artifact": row.to_json_dict() if row is not None else None,
+            },
+            endpoint,
+        )
+
+
+def _now() -> float:
+    import time
+
+    return time.perf_counter()
+
+
+class ServiceServer:
+    """The assembled service: HTTP server + worker pool + state.
+
+    ``port=0`` binds an ephemeral port (tests); :meth:`start` runs the
+    server in a background thread and returns, :meth:`serve_forever`
+    blocks (the CLI path).  :meth:`stop` is idempotent and tears the
+    whole stack down in dependency order.
+    """
+
+    def __init__(
+        self,
+        data_dir,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        workers: int = 2,
+        mode: str = INLINE,
+        queue_capacity: int = 256,
+        policy: Optional[SupervisorPolicy] = None,
+    ):
+        self.state = ServiceState(data_dir, queue_capacity=queue_capacity)
+        self.pool = WorkerPool(
+            self.state, workers=workers, mode=mode, policy=policy
+        )
+        self.httpd = _ServiceHTTPServer((host, port), _Handler)
+        self.httpd.state = self.state
+        self._thread: Optional[threading.Thread] = None
+        self._stopped = False
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        host, port = self.httpd.server_address[:2]
+        return str(host), int(port)
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def start(self) -> "ServiceServer":
+        self.pool.start()
+        self._thread = threading.Thread(
+            target=self.httpd.serve_forever,
+            name="repro-service-http",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        self.pool.start()
+        try:
+            self.httpd.serve_forever()
+        finally:
+            self.stop()
+
+    def stop(self) -> None:
+        if self._stopped:
+            return
+        self._stopped = True
+        self.httpd.shutdown()
+        self.httpd.server_close()
+        self.pool.stop()
+        self.state.close()
+
+    def __enter__(self) -> "ServiceServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

@@ -1,0 +1,186 @@
+"""A small stdlib client for the service API.
+
+``http.client`` only — the same no-new-dependency rule as the server.
+One :class:`ServiceClient` wraps one server URL; it opens a fresh
+connection per request (boring, but correct under the load generator's
+thread-per-worker model) and exposes both a raw ``(status, document)``
+interface for load tooling that wants to count status codes, and
+raising conveniences for scripted use.
+"""
+
+from __future__ import annotations
+
+import json
+from http.client import HTTPConnection, HTTPResponse
+from typing import Any, Dict, Optional, Tuple
+from urllib.parse import urlparse
+
+
+class ServiceError(Exception):
+    """A non-2xx response, carrying the server's error envelope."""
+
+    def __init__(self, status: int, doc: Dict[str, Any]):
+        error = doc.get("error", {}) if isinstance(doc, dict) else {}
+        super().__init__(
+            f"HTTP {status}: {error.get('code', 'unknown')} — "
+            f"{error.get('message', doc)}"
+        )
+        self.status = status
+        self.doc = doc
+        self.code = error.get("code")
+        self.retry_after_s: Optional[int] = None
+
+
+class ServiceClient:
+    """Talks to one running :class:`~repro.service.app.ServiceServer`."""
+
+    def __init__(self, url: str, timeout: float = 120.0):
+        parsed = urlparse(url)
+        if parsed.scheme not in ("http", ""):
+            raise ValueError(f"only http:// URLs supported, got {url!r}")
+        self.host = parsed.hostname or "127.0.0.1"
+        self.port = parsed.port or 80
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[Dict[str, Any]] = None,
+        timeout: Optional[float] = None,
+    ) -> Tuple[int, Dict[str, str], bytes]:
+        conn = HTTPConnection(
+            self.host, self.port, timeout=timeout or self.timeout
+        )
+        try:
+            payload = (
+                None
+                if body is None
+                else json.dumps(body, sort_keys=True).encode("utf-8")
+            )
+            headers = {"Content-Type": "application/json"} if payload else {}
+            conn.request(method, path, body=payload, headers=headers)
+            response: HTTPResponse = conn.getresponse()
+            raw = response.read()
+            return (
+                response.status,
+                {k.lower(): v for k, v in response.getheaders()},
+                raw,
+            )
+        finally:
+            conn.close()
+
+    def request_json(
+        self,
+        method: str,
+        path: str,
+        body: Optional[Dict[str, Any]] = None,
+        timeout: Optional[float] = None,
+    ) -> Tuple[int, Dict[str, Any], Dict[str, str]]:
+        """``(status, parsed document, headers)`` — never raises on 4xx/5xx."""
+        status, headers, raw = self._request(method, path, body, timeout)
+        try:
+            doc = json.loads(raw.decode("utf-8")) if raw else {}
+        except ValueError:
+            doc = {"raw": raw.decode("utf-8", "replace")}
+        return status, doc, headers
+
+    @staticmethod
+    def _checked(status: int, doc: Dict[str, Any]) -> Dict[str, Any]:
+        if status >= 400:
+            raise ServiceError(status, doc)
+        return doc
+
+    # ------------------------------------------------------------------
+    # Endpoints
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        kind: str,
+        config: Dict[str, Any],
+        params: Optional[Dict[str, Any]] = None,
+    ) -> Tuple[int, Dict[str, Any], Dict[str, str]]:
+        """Raw submission: ``(status, document, headers)``."""
+        doc: Dict[str, Any] = {"kind": kind, "config": config}
+        if params is not None:
+            doc["params"] = params
+        return self.request_json("POST", "/v1/jobs", doc)
+
+    def job(
+        self, job_id: str, wait_s: Optional[float] = None
+    ) -> Dict[str, Any]:
+        path = f"/v1/jobs/{job_id}"
+        if wait_s is not None:
+            path += f"?wait={wait_s:g}"
+        timeout = None if wait_s is None else max(self.timeout, wait_s + 30.0)
+        status, doc, _ = self.request_json("GET", path, timeout=timeout)
+        return self._checked(status, doc)["job"]
+
+    def artifact_text(self, key: str) -> str:
+        status, headers, raw = self._request("GET", f"/v1/artifacts/{key}")
+        if status >= 400:
+            try:
+                doc = json.loads(raw.decode("utf-8"))
+            except ValueError:
+                doc = {}
+            raise ServiceError(status, doc)
+        return raw.decode("utf-8")
+
+    def manifest(self, key: str) -> Dict[str, Any]:
+        status, doc, _ = self.request_json(
+            "GET", f"/v1/artifacts/{key}/manifest"
+        )
+        return self._checked(status, doc)
+
+    def healthz(self) -> Dict[str, Any]:
+        status, doc, _ = self.request_json("GET", "/v1/healthz")
+        return self._checked(status, doc)
+
+    def metrics(self) -> Dict[str, Any]:
+        status, doc, _ = self.request_json("GET", "/v1/metrics")
+        return self._checked(status, doc)
+
+    # ------------------------------------------------------------------
+    # Conveniences
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        kind: str,
+        config: Dict[str, Any],
+        params: Optional[Dict[str, Any]] = None,
+        wait_s: float = 300.0,
+    ) -> Dict[str, Any]:
+        """Submit, wait for a terminal state, fetch the artifact body.
+
+        Returns ``{"outcome", "job", "body"}``; raises
+        :class:`ServiceError` on rejection or job failure.
+        """
+        status, doc, headers = self.submit(kind, config, params)
+        if status >= 400:
+            error = ServiceError(status, doc)
+            retry_after = headers.get("retry-after")
+            if retry_after is not None:
+                error.retry_after_s = int(retry_after)
+            raise error
+        job = doc["job"]
+        if job["status"] not in ("done", "failed"):
+            job = self.job(job["id"], wait_s=wait_s)
+        if job["status"] != "done":
+            raise ServiceError(
+                500,
+                {
+                    "error": {
+                        "status": 500,
+                        "code": "job-failed",
+                        "message": job.get("error") or job["status"],
+                    }
+                },
+            )
+        return {
+            "outcome": doc["outcome"],
+            "job": job,
+            "body": self.artifact_text(job["artifact_key"]),
+        }

@@ -1,0 +1,110 @@
+"""Job execution: (kind, config, params) → the CLI-identical payload.
+
+The service is **science-neutral** by construction: each kind's
+handler calls the exact library entry points the CLI command calls and
+renders through the same code path, so a job's artifact body is
+byte-identical to capturing the equivalent ``python -m repro ...``
+stdout (asserted by the API contract suite).  The payload is the
+rendered text plus a trailing newline — precisely what ``print``
+produces.
+
+:func:`execute_job` takes and returns plain dicts so it can cross the
+process-pool boundary in the worker pool's ``process`` mode; the
+chaos-layer fault point (``svc.<kind>``) sits at its head, inert
+outside pool workers, so the crash-recovery tests can kill a worker
+mid-job without any test-only code in the service itself.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any, Dict
+
+from repro.experiments import chaos
+from repro.obs.manifest import artifact_manifest
+from repro.service.model import JobSpec, parse_job_request
+
+
+def _run_characterize(spec: JobSpec) -> str:
+    from repro import Characterization, render_report
+
+    windows = spec.params["windows"]
+    study = Characterization(spec.config())
+    report = study.run(
+        hw_windows=windows,
+        correlation_windows_per_group=windows,
+        correlation_jobs=1,
+    )
+    return render_report(report) + "\n"
+
+
+def _run_figure(spec: JobSpec) -> str:
+    import importlib
+
+    from repro.cli import _FIGURES
+
+    module_name, kwargs = _FIGURES[spec.params["number"]]
+    module = importlib.import_module(f"repro.experiments.{module_name}")
+    result = module.run(spec.config(), **kwargs)
+    return "\n".join(result.render_lines()) + "\n"
+
+
+def _run_sweep(spec: JobSpec) -> str:
+    from repro.experiments.reproduce_all import run as run_all
+
+    result = run_all(spec.config(), only=spec.params["only"], jobs=1)
+    # Timing lines vary run to run; the service serves only the
+    # deterministic body (the CLI's --no-timing rendering).
+    return "\n".join(result.render_lines(include_timing=False)) + "\n"
+
+
+def _run_conform(spec: JobSpec) -> str:
+    from repro.conformance import evaluate
+
+    report = evaluate(
+        spec.config(),
+        include_slow=not spec.params["skip_slow"],
+        hw_windows=spec.params["windows"],
+    )
+    return "\n".join(report.render_lines()) + "\n"
+
+
+_HANDLERS = {
+    "characterize": _run_characterize,
+    "figure": _run_figure,
+    "sweep": _run_sweep,
+    "conform": _run_conform,
+}
+
+
+def execute_spec(spec: JobSpec) -> Dict[str, Any]:
+    """Run one job; returns ``{"key", "body", "manifest"}``.
+
+    ``body`` is the artifact payload (pure in the spec); ``manifest``
+    is the provenance stamp (config hash + seed + git describe + host,
+    via :func:`repro.obs.manifest.artifact_manifest`) with the body's
+    own SHA-256 for end-to-end integrity checks.
+    """
+    chaos.fault_point("kill", f"svc.{spec.kind}")
+    chaos.fault_point("hang", f"svc.{spec.kind}")
+    body = _HANDLERS[spec.kind](spec)
+    manifest = artifact_manifest(
+        spec.config_key,
+        spec.seed,
+        extra={
+            "kind": spec.kind,
+            "params": spec.params,
+            "job_key": spec.key,
+            "body_sha256": hashlib.sha256(body.encode("utf-8")).hexdigest(),
+        },
+    )
+    return {"key": spec.key, "body": body, "manifest": manifest}
+
+
+def execute_job(spec_dict: Dict[str, Any]) -> Dict[str, Any]:
+    """Pool-boundary form of :func:`execute_spec` (dicts in, dicts out).
+
+    Re-parsing in the worker is cheap and guarantees the executing
+    process computes the same normalized identity the parent enqueued.
+    """
+    return execute_spec(parse_job_request(spec_dict))

@@ -1,0 +1,486 @@
+"""The persistent artifact index: checksummed files + a SQLite index.
+
+Layered the same way the run cache is (and sharing its envelope
+helpers): the **files are the truth, the database is an index**.
+
+* Every artifact is one ``<data_dir>/artifacts/<key>.art`` file — the
+  job's rendered body, its spec and its provenance manifest as JSON
+  under the run cache's checksummed envelope
+  (:func:`repro.runcache.encode_blob` with a service magic), written
+  atomically via temp-file + ``os.replace``.  Reads verify the
+  checksum; a corrupt file is quarantined with the run cache's own
+  :func:`~repro.runcache.quarantine_entry` and treated as absent.
+* ``<data_dir>/index.sqlite`` holds the ``artifacts`` metadata table
+  (key, kind, config hash, seed, git describe, sizes) and the ``jobs``
+  table — the persistent job queue.  Because job ids are a pure
+  function of the artifact key (:func:`repro.service.model.job_id_for_key`)
+  and each artifact file embeds its spec, the whole index is
+  **rebuildable**: a torn write that corrupts the database is detected
+  on open, the file is discarded, and :meth:`ArtifactIndex.rebuild`
+  re-derives every artifact row *and* every completed job row from the
+  artifact directory alone.  Only queued/running job rows (work that
+  had not produced an artifact yet) are lost — clients simply resubmit,
+  and single-flight dedup makes that free.
+
+All methods are thread-safe behind one lock; the service's request
+handlers and worker threads share a single index instance.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import sqlite3
+import tempfile
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from repro.runcache import (
+    CacheIntegrityError,
+    encode_blob,
+    quarantine_entry,
+    verify_blob,
+)
+from repro.service.model import DONE, QUEUED, RUNNING, JobRecord, job_id_for_key
+
+log = logging.getLogger("repro.service.index")
+
+#: Envelope magic for artifact files; bump on incompatible change.
+ARTIFACT_MAGIC = b"repro-artifact/1\n"
+
+#: Artifact file suffix under ``<data_dir>/artifacts/``.
+ARTIFACT_SUFFIX = ".art"
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS artifacts (
+    key          TEXT PRIMARY KEY,
+    kind         TEXT NOT NULL,
+    config_key   TEXT NOT NULL,
+    seed         INTEGER NOT NULL,
+    git_describe TEXT NOT NULL,
+    created_at   REAL,
+    nbytes       INTEGER NOT NULL
+);
+CREATE TABLE IF NOT EXISTS jobs (
+    job_id       TEXT PRIMARY KEY,
+    key          TEXT NOT NULL UNIQUE,
+    kind         TEXT NOT NULL,
+    status       TEXT NOT NULL,
+    config_key   TEXT NOT NULL,
+    seed         INTEGER NOT NULL,
+    params_json  TEXT NOT NULL,
+    spec_json    TEXT,
+    attempts     INTEGER NOT NULL DEFAULT 0,
+    error        TEXT,
+    artifact_key TEXT,
+    created_at   REAL,
+    started_at   REAL,
+    finished_at  REAL
+);
+"""
+
+
+@dataclass(frozen=True)
+class ArtifactRow:
+    """One ``artifacts`` index row (metadata only; the body is on disk)."""
+
+    key: str
+    kind: str
+    config_key: str
+    seed: int
+    git_describe: str
+    created_at: Optional[float]
+    nbytes: int
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        return {
+            "key": self.key,
+            "kind": self.kind,
+            "config_key": self.config_key,
+            "seed": self.seed,
+            "git_describe": self.git_describe,
+            "created_at": self.created_at,
+            "nbytes": self.nbytes,
+        }
+
+
+class ArtifactIndex:
+    """SQLite-backed index over the artifact directory + job queue."""
+
+    def __init__(self, data_dir: Union[str, Path]):
+        self.root = Path(data_dir)
+        self.artifact_dir = self.root / "artifacts"
+        self.db_path = self.root / "index.sqlite"
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.artifact_dir.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.RLock()
+        #: Incremented each time a corrupt database forced a rebuild.
+        self.rebuilds = 0
+        self._conn = self._open_or_rebuild()
+
+    # ------------------------------------------------------------------
+    # Database lifecycle
+    # ------------------------------------------------------------------
+    def _connect(self) -> sqlite3.Connection:
+        conn = sqlite3.connect(self.db_path, check_same_thread=False)
+        conn.row_factory = sqlite3.Row
+        return conn
+
+    def _open_or_rebuild(self) -> sqlite3.Connection:
+        """Open the index; a torn/corrupt database is rebuilt, not fatal."""
+        conn: Optional[sqlite3.Connection] = None
+        try:
+            conn = self._connect()
+            conn.executescript(_SCHEMA)
+            # Touch both tables so a half-written file fails here, not
+            # on first use mid-request.
+            conn.execute("SELECT count(*) FROM artifacts").fetchone()
+            conn.execute("SELECT count(*) FROM jobs").fetchone()
+            conn.commit()
+            return conn
+        except sqlite3.DatabaseError as exc:
+            log.warning(
+                "artifact index %s unreadable (%s); rebuilding from %s",
+                self.db_path,
+                exc,
+                self.artifact_dir,
+            )
+            if conn is not None:
+                try:
+                    conn.close()
+                except Exception:
+                    pass
+            for stray in (
+                self.db_path,
+                Path(str(self.db_path) + "-journal"),
+                Path(str(self.db_path) + "-wal"),
+            ):
+                try:
+                    os.unlink(stray)
+                except OSError:
+                    pass
+            conn = self._connect()
+            conn.executescript(_SCHEMA)
+            conn.commit()
+            self._conn = conn
+            self.rebuilds += 1
+            self.rebuild()
+            return conn
+
+    def close(self) -> None:
+        with self._lock:
+            self._conn.close()
+
+    # ------------------------------------------------------------------
+    # Artifacts
+    # ------------------------------------------------------------------
+    def _artifact_path(self, key: str) -> Path:
+        return self.artifact_dir / f"{key}{ARTIFACT_SUFFIX}"
+
+    def put_artifact(
+        self,
+        key: str,
+        spec_dict: Dict[str, Any],
+        config_key: str,
+        seed: int,
+        body: str,
+        manifest: Dict[str, Any],
+        created_at: Optional[float] = None,
+    ) -> ArtifactRow:
+        """Store one artifact: file first (atomic), then the index row."""
+        created = time.time() if created_at is None else created_at
+        doc = {
+            "key": key,
+            "spec": spec_dict,
+            "config_key": config_key,
+            "seed": seed,
+            "created_at": created,
+            "body": body,
+            "manifest": manifest,
+        }
+        blob = encode_blob(
+            json.dumps(doc, sort_keys=True).encode("utf-8"), ARTIFACT_MAGIC
+        )
+        path = self._artifact_path(key)
+        with tempfile.NamedTemporaryFile(
+            dir=path.parent, prefix=f"{path.name}.", suffix=".tmp", delete=False
+        ) as tmp:
+            tmp.write(blob)
+            tmp.flush()
+            os.fsync(tmp.fileno())
+        os.replace(tmp.name, path)
+        row = ArtifactRow(
+            key=key,
+            kind=spec_dict["kind"],
+            config_key=config_key,
+            seed=seed,
+            git_describe=str(manifest.get("git", "unknown")),
+            created_at=created,
+            nbytes=len(blob),
+        )
+        with self._lock:
+            self._conn.execute(
+                "INSERT OR REPLACE INTO artifacts VALUES (?,?,?,?,?,?,?)",
+                (
+                    row.key,
+                    row.kind,
+                    row.config_key,
+                    row.seed,
+                    row.git_describe,
+                    row.created_at,
+                    row.nbytes,
+                ),
+            )
+            self._conn.commit()
+        return row
+
+    def artifact_row(self, key: str) -> Optional[ArtifactRow]:
+        with self._lock:
+            cur = self._conn.execute(
+                "SELECT * FROM artifacts WHERE key = ?", (key,)
+            )
+            raw = cur.fetchone()
+        if raw is None:
+            return None
+        return ArtifactRow(
+            key=raw["key"],
+            kind=raw["kind"],
+            config_key=raw["config_key"],
+            seed=raw["seed"],
+            git_describe=raw["git_describe"],
+            created_at=raw["created_at"],
+            nbytes=raw["nbytes"],
+        )
+
+    def get_artifact(self, key: str) -> Optional[Dict[str, Any]]:
+        """The full artifact document, verified on read.
+
+        A corrupt file is quarantined and its index row dropped — the
+        same self-healing discipline as the run cache's disk tier.
+        """
+        path = self._artifact_path(key)
+        if not path.exists():
+            return None
+        try:
+            body = verify_blob(path.read_bytes(), ARTIFACT_MAGIC)
+            return json.loads(body.decode("utf-8"))
+        except (OSError, CacheIntegrityError, ValueError) as exc:
+            parked = quarantine_entry(path)
+            log.warning(
+                "artifact %s failed verification (%s); %s",
+                path.name,
+                exc,
+                f"quarantined to {parked}" if parked else "dropped",
+            )
+            with self._lock:
+                self._conn.execute(
+                    "DELETE FROM artifacts WHERE key = ?", (key,)
+                )
+                self._conn.commit()
+            return None
+
+    def list_artifacts(self) -> List[ArtifactRow]:
+        with self._lock:
+            cur = self._conn.execute("SELECT key FROM artifacts ORDER BY key")
+            keys = [r["key"] for r in cur.fetchall()]
+        rows = [self.artifact_row(k) for k in keys]
+        return [r for r in rows if r is not None]
+
+    # ------------------------------------------------------------------
+    # Jobs
+    # ------------------------------------------------------------------
+    def upsert_job(
+        self,
+        record: JobRecord,
+        spec_dict: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        """Write a job row through to the database (insert or update).
+
+        ``spec_dict`` persists the full request for restart recovery;
+        pass it on first insert (updates keep the stored one).
+        """
+        with self._lock:
+            existing = self._conn.execute(
+                "SELECT spec_json FROM jobs WHERE job_id = ?",
+                (record.job_id,),
+            ).fetchone()
+            spec_json = (
+                json.dumps(spec_dict, sort_keys=True)
+                if spec_dict is not None
+                else (existing["spec_json"] if existing is not None else None)
+            )
+            self._conn.execute(
+                "INSERT OR REPLACE INTO jobs VALUES "
+                "(?,?,?,?,?,?,?,?,?,?,?,?,?,?)",
+                (
+                    record.job_id,
+                    record.key,
+                    record.kind,
+                    record.status,
+                    record.config_key,
+                    record.seed,
+                    json.dumps(record.params, sort_keys=True),
+                    spec_json,
+                    record.attempts,
+                    record.error,
+                    record.artifact_key,
+                    record.created_at,
+                    record.started_at,
+                    record.finished_at,
+                ),
+            )
+            self._conn.commit()
+
+    @staticmethod
+    def _job_from_row(raw: sqlite3.Row) -> JobRecord:
+        return JobRecord(
+            job_id=raw["job_id"],
+            key=raw["key"],
+            kind=raw["kind"],
+            status=raw["status"],
+            config_key=raw["config_key"],
+            seed=raw["seed"],
+            params=json.loads(raw["params_json"]),
+            attempts=raw["attempts"],
+            error=raw["error"],
+            artifact_key=raw["artifact_key"],
+            created_at=raw["created_at"],
+            started_at=raw["started_at"],
+            finished_at=raw["finished_at"],
+        )
+
+    def get_job(self, job_id: str) -> Optional[JobRecord]:
+        with self._lock:
+            raw = self._conn.execute(
+                "SELECT * FROM jobs WHERE job_id = ?", (job_id,)
+            ).fetchone()
+        return self._job_from_row(raw) if raw is not None else None
+
+    def job_spec_dict(self, job_id: str) -> Optional[Dict[str, Any]]:
+        with self._lock:
+            raw = self._conn.execute(
+                "SELECT spec_json FROM jobs WHERE job_id = ?", (job_id,)
+            ).fetchone()
+        if raw is None or raw["spec_json"] is None:
+            return None
+        return json.loads(raw["spec_json"])
+
+    def list_jobs(self, status: Optional[str] = None) -> List[JobRecord]:
+        query = "SELECT * FROM jobs"
+        args: tuple = ()
+        if status is not None:
+            query += " WHERE status = ?"
+            args = (status,)
+        with self._lock:
+            rows = self._conn.execute(
+                query + " ORDER BY created_at, job_id", args
+            ).fetchall()
+        return [self._job_from_row(r) for r in rows]
+
+    def count_jobs(self, status: str) -> int:
+        with self._lock:
+            raw = self._conn.execute(
+                "SELECT count(*) AS n FROM jobs WHERE status = ?", (status,)
+            ).fetchone()
+        return int(raw["n"])
+
+    def recover_interrupted(self) -> List[JobRecord]:
+        """Running → queued (a previous server died mid-job); returns queue.
+
+        Called once on startup, before workers start: any job left
+        ``running`` by a crashed process is requeued, then the full
+        queued backlog is returned in submission order.
+        """
+        with self._lock:
+            self._conn.execute(
+                "UPDATE jobs SET status = ? WHERE status = ?", (QUEUED, RUNNING)
+            )
+            self._conn.commit()
+        return self.list_jobs(status=QUEUED)
+
+    # ------------------------------------------------------------------
+    # Rebuild
+    # ------------------------------------------------------------------
+    def rebuild(self) -> int:
+        """Re-derive the index from the artifact directory alone.
+
+        Drops every row, scans ``artifacts/``, verifies each file
+        (quarantining corrupt ones) and reinserts its artifact row plus
+        a ``done`` job row resurrected from the embedded spec.  Returns
+        the number of artifacts indexed.
+        """
+        paths = sorted(self.artifact_dir.glob(f"*{ARTIFACT_SUFFIX}"))
+        with self._lock:
+            self._conn.execute("DELETE FROM artifacts")
+            self._conn.execute("DELETE FROM jobs")
+            self._conn.commit()
+        indexed = 0
+        for path in paths:
+            key = path.name[: -len(ARTIFACT_SUFFIX)]
+            doc = self.get_artifact(key)
+            if doc is None:
+                continue  # quarantined by get_artifact
+            spec = doc["spec"]
+            manifest = doc.get("manifest", {})
+            row = ArtifactRow(
+                key=doc["key"],
+                kind=spec["kind"],
+                config_key=doc["config_key"],
+                seed=doc["seed"],
+                git_describe=str(manifest.get("git", "unknown")),
+                created_at=doc.get("created_at"),
+                nbytes=path.stat().st_size,
+            )
+            with self._lock:
+                self._conn.execute(
+                    "INSERT OR REPLACE INTO artifacts VALUES (?,?,?,?,?,?,?)",
+                    (
+                        row.key,
+                        row.kind,
+                        row.config_key,
+                        row.seed,
+                        row.git_describe,
+                        row.created_at,
+                        row.nbytes,
+                    ),
+                )
+                self._conn.commit()
+            record = JobRecord(
+                job_id=job_id_for_key(doc["key"]),
+                key=doc["key"],
+                kind=spec["kind"],
+                status=DONE,
+                config_key=doc["config_key"],
+                seed=doc["seed"],
+                params=spec.get("params", {}),
+                attempts=1,
+                artifact_key=doc["key"],
+                created_at=doc.get("created_at"),
+                finished_at=doc.get("created_at"),
+            )
+            self.upsert_job(record, spec_dict=spec)
+            indexed += 1
+        return indexed
+
+    def stats(self) -> Dict[str, int]:
+        """Entry counts for dumps and the ``repro service-index`` CLI."""
+        with self._lock:
+            artifacts = self._conn.execute(
+                "SELECT count(*) AS n, COALESCE(sum(nbytes), 0) AS b "
+                "FROM artifacts"
+            ).fetchone()
+            jobs = self._conn.execute(
+                "SELECT status, count(*) AS n FROM jobs GROUP BY status"
+            ).fetchall()
+        out = {
+            "artifacts": int(artifacts["n"]),
+            "artifact_bytes": int(artifacts["b"]),
+            "rebuilds": self.rebuilds,
+        }
+        for raw in jobs:
+            out[f"jobs_{raw['status']}"] = int(raw["n"])
+        return out

@@ -1,0 +1,354 @@
+"""Load generation against a running service: open- and closed-loop.
+
+Two classic driver shapes (the same dichotomy the paper's SPECjAppServer
+measurements live under — a closed-loop driver with a fixed number of
+clients vs. an open arrival process):
+
+* **closed loop** — ``concurrency`` worker threads, each issuing its
+  next request the moment the previous one completes.  Throughput is
+  whatever the server sustains; this is the shape of the dedup burst
+  test ("2000 identical requests, 64 at a time").
+* **open loop** — requests are *scheduled* by a Poisson process of rate
+  ``rate_rps`` (exponential inter-arrival times from a seeded RNG) and
+  dispatched from a thread pool regardless of completions, so a slow
+  server accumulates in-flight requests instead of throttling the
+  arrival stream.
+
+Each logical request runs the full client flow: ``POST /v1/jobs``,
+long-poll to a terminal state if the submission didn't hit the index,
+then fetch the artifact body.  A request *succeeds* iff the final job
+state is ``done`` and the artifact was served; bodies are SHA-256'd so
+the report can assert that every success saw the identical payload.
+
+:class:`LoadReport` aggregates outcomes, status-code counts, latency
+percentiles and (optionally) a final ``/v1/metrics`` scrape, and
+renders to both text and a schema-2 benchio envelope
+(``kind="service_load"``) for ``BENCH_service.json``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import random
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.benchio import bench_payload
+from repro.service.client import ServiceClient
+
+#: Preset request mixes: kind + params for one logical request.
+PRESETS: Dict[str, Dict[str, Any]] = {
+    "characterize": {"kind": "characterize", "params": {"windows": 6}},
+    "figure": {"kind": "figure", "params": {"number": 3}},
+}
+
+
+@dataclass
+class RequestResult:
+    """One logical request, end to end."""
+
+    ok: bool
+    status: int
+    outcome: Optional[str]
+    latency_s: float
+    body_sha256: Optional[str] = None
+    error: Optional[str] = None
+
+
+@dataclass
+class LoadReport:
+    """Aggregated results of one load run."""
+
+    mode: str
+    requests: int
+    successes: int = 0
+    failures: int = 0
+    server_errors: int = 0  # any 5xx observed
+    status_counts: Dict[str, int] = field(default_factory=dict)
+    outcome_counts: Dict[str, int] = field(default_factory=dict)
+    body_hashes: Dict[str, int] = field(default_factory=dict)
+    errors: List[str] = field(default_factory=list)
+    latencies_s: List[float] = field(default_factory=list)
+    duration_s: float = 0.0
+    metrics: Optional[Dict[str, Any]] = None
+
+    def add(self, result: RequestResult) -> None:
+        if result.ok:
+            self.successes += 1
+        else:
+            self.failures += 1
+            if result.error and len(self.errors) < 10:
+                self.errors.append(result.error)
+        if result.status >= 500:
+            self.server_errors += 1
+        key = str(result.status)
+        self.status_counts[key] = self.status_counts.get(key, 0) + 1
+        if result.outcome is not None:
+            self.outcome_counts[result.outcome] = (
+                self.outcome_counts.get(result.outcome, 0) + 1
+            )
+        if result.body_sha256 is not None:
+            self.body_hashes[result.body_sha256] = (
+                self.body_hashes.get(result.body_sha256, 0) + 1
+            )
+        self.latencies_s.append(result.latency_s)
+
+    # ------------------------------------------------------------------
+    # Derived
+    # ------------------------------------------------------------------
+    @property
+    def success_ratio(self) -> float:
+        return self.successes / self.requests if self.requests else 0.0
+
+    @property
+    def rate_rps(self) -> float:
+        return self.requests / self.duration_s if self.duration_s > 0 else 0.0
+
+    def quantile(self, q: float) -> float:
+        if not self.latencies_s:
+            return 0.0
+        ordered = sorted(self.latencies_s)
+        rank = min(len(ordered) - 1, max(0, int(q * len(ordered)) - 1))
+        return ordered[rank]
+
+    def to_results_dict(self) -> Dict[str, Any]:
+        """The benchio result entries (envelope keys excluded)."""
+        return {
+            "mode": self.mode,
+            "requests": self.requests,
+            "successes": self.successes,
+            "failures": self.failures,
+            "server_errors": self.server_errors,
+            "success_ratio": self.success_ratio,
+            "duration_s": self.duration_s,
+            "requests_per_s": self.rate_rps,
+            "latency_p50_s": self.quantile(0.50),
+            "latency_p90_s": self.quantile(0.90),
+            "latency_p99_s": self.quantile(0.99),
+            "status_counts": dict(sorted(self.status_counts.items())),
+            "outcome_counts": dict(sorted(self.outcome_counts.items())),
+            "distinct_bodies": len(self.body_hashes),
+            "errors": list(self.errors),
+        }
+
+    def to_bench_payload(self) -> Dict[str, Any]:
+        """A schema-2 benchio envelope (``BENCH_service.json``)."""
+        return bench_payload(self.to_results_dict(), kind="service_load")
+
+    def render_lines(self) -> List[str]:
+        out = [
+            f"{self.mode} load: {self.requests} requests in "
+            f"{self.duration_s:.2f}s ({self.rate_rps:.1f} req/s)",
+            f"  success {self.successes}/{self.requests} "
+            f"({100.0 * self.success_ratio:.2f}%), "
+            f"5xx {self.server_errors}",
+            f"  latency p50 {self.quantile(0.5) * 1e3:.1f} ms  "
+            f"p90 {self.quantile(0.9) * 1e3:.1f} ms  "
+            f"p99 {self.quantile(0.99) * 1e3:.1f} ms",
+            "  status "
+            + " ".join(
+                f"{k}:{v}" for k, v in sorted(self.status_counts.items())
+            ),
+        ]
+        if self.outcome_counts:
+            out.append(
+                "  outcome "
+                + " ".join(
+                    f"{k}:{v}" for k, v in sorted(self.outcome_counts.items())
+                )
+            )
+        if len(self.body_hashes) > 1:
+            out.append(
+                f"  WARNING: {len(self.body_hashes)} distinct artifact bodies"
+            )
+        for error in self.errors:
+            out.append(f"  error: {error}")
+        return out
+
+
+def _one_request(
+    client: ServiceClient,
+    doc: Dict[str, Any],
+    wait_s: float,
+) -> RequestResult:
+    """POST, long-poll if needed, fetch the artifact; never raises."""
+    t0 = time.perf_counter()
+    try:
+        status, response, _ = client.request_json("POST", "/v1/jobs", doc)
+    except OSError as exc:
+        return RequestResult(
+            ok=False,
+            status=0,
+            outcome=None,
+            latency_s=time.perf_counter() - t0,
+            error=f"transport: {exc!r}",
+        )
+    outcome = response.get("outcome")
+    if status >= 400:
+        error = response.get("error", {})
+        return RequestResult(
+            ok=False,
+            status=status,
+            outcome=outcome,
+            latency_s=time.perf_counter() - t0,
+            error=f"HTTP {status} {error.get('code')}",
+        )
+    try:
+        job = response["job"]
+        if job["status"] not in ("done", "failed"):
+            job = client.job(job["id"], wait_s=wait_s)
+        if job["status"] != "done":
+            return RequestResult(
+                ok=False,
+                status=status,
+                outcome=outcome,
+                latency_s=time.perf_counter() - t0,
+                error=f"job {job['status']}: {job.get('error')}",
+            )
+        body = client.artifact_text(job["artifact_key"])
+    except Exception as exc:
+        return RequestResult(
+            ok=False,
+            status=status,
+            outcome=outcome,
+            latency_s=time.perf_counter() - t0,
+            error=f"follow-up: {exc!r}",
+        )
+    return RequestResult(
+        ok=True,
+        status=status,
+        outcome=outcome,
+        latency_s=time.perf_counter() - t0,
+        body_sha256=hashlib.sha256(body.encode("utf-8")).hexdigest(),
+    )
+
+
+def _job_document(
+    kind: str,
+    config_dict: Dict[str, Any],
+    params: Optional[Dict[str, Any]],
+) -> Dict[str, Any]:
+    doc: Dict[str, Any] = {"kind": kind, "config": config_dict}
+    if params is not None:
+        doc["params"] = params
+    return doc
+
+
+def run_closed_loop(
+    url: str,
+    kind: str,
+    config_dict: Dict[str, Any],
+    params: Optional[Dict[str, Any]] = None,
+    *,
+    requests: int = 100,
+    concurrency: int = 8,
+    wait_s: float = 300.0,
+    timeout: float = 120.0,
+    scrape_metrics: bool = True,
+) -> LoadReport:
+    """``concurrency`` threads, each looping until ``requests`` are spent."""
+    if requests < 1 or concurrency < 1:
+        raise ValueError("requests and concurrency must be >= 1")
+    doc = _job_document(kind, config_dict, params)
+    report = LoadReport(mode="closed", requests=requests)
+    lock = threading.Lock()
+    remaining = [requests]
+
+    def worker() -> None:
+        client = ServiceClient(url, timeout=timeout)
+        while True:
+            with lock:
+                if remaining[0] <= 0:
+                    return
+                remaining[0] -= 1
+            result = _one_request(client, doc, wait_s)
+            with lock:
+                report.add(result)
+
+    t0 = time.perf_counter()
+    threads = [
+        threading.Thread(target=worker, name=f"loadgen-{i}", daemon=True)
+        for i in range(min(concurrency, requests))
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    report.duration_s = time.perf_counter() - t0
+    if scrape_metrics:
+        report.metrics = _scrape(url, timeout)
+    return report
+
+
+def run_open_loop(
+    url: str,
+    kind: str,
+    config_dict: Dict[str, Any],
+    params: Optional[Dict[str, Any]] = None,
+    *,
+    requests: int = 100,
+    rate_rps: float = 50.0,
+    seed: int = 0,
+    wait_s: float = 300.0,
+    timeout: float = 120.0,
+    scrape_metrics: bool = True,
+) -> LoadReport:
+    """Poisson arrivals at ``rate_rps``; completions never gate arrivals."""
+    if requests < 1:
+        raise ValueError("requests must be >= 1")
+    if rate_rps <= 0:
+        raise ValueError("rate_rps must be > 0")
+    doc = _job_document(kind, config_dict, params)
+    report = LoadReport(mode="open", requests=requests)
+    lock = threading.Lock()
+    rng = random.Random(seed)
+    threads: List[threading.Thread] = []
+
+    def fire() -> None:
+        client = ServiceClient(url, timeout=timeout)
+        result = _one_request(client, doc, wait_s)
+        with lock:
+            report.add(result)
+
+    t0 = time.perf_counter()
+    next_at = t0
+    for _ in range(requests):
+        next_at += rng.expovariate(rate_rps)
+        delay = next_at - time.perf_counter()
+        if delay > 0:
+            time.sleep(delay)
+        thread = threading.Thread(target=fire, daemon=True)
+        thread.start()
+        threads.append(thread)
+    for thread in threads:
+        thread.join()
+    report.duration_s = time.perf_counter() - t0
+    if scrape_metrics:
+        report.metrics = _scrape(url, timeout)
+    return report
+
+
+def _scrape(url: str, timeout: float) -> Optional[Dict[str, Any]]:
+    try:
+        return ServiceClient(url, timeout=timeout).metrics()
+    except Exception:
+        return None
+
+
+def write_report_files(
+    report: LoadReport,
+    bench_path: Optional[str] = None,
+    metrics_path: Optional[str] = None,
+) -> None:
+    """Persist the benchio envelope and/or the final metrics scrape."""
+    if bench_path:
+        with open(bench_path, "w", encoding="utf-8") as fh:
+            json.dump(report.to_bench_payload(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    if metrics_path and report.metrics is not None:
+        with open(metrics_path, "w", encoding="utf-8") as fh:
+            json.dump(report.metrics, fh, indent=2, sort_keys=True)
+            fh.write("\n")

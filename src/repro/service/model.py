@@ -1,0 +1,308 @@
+"""Job model for the simulation service: kinds, validation, identity.
+
+A *job* is one request to the service — "run this characterization /
+figure / sweep / conformance evaluation for this config" — expressed
+as the canonical :mod:`repro.config_io` JSON plus a small kind-specific
+parameter object.  Everything downstream hangs off two derived
+identities:
+
+* :func:`job_key` — the SHA-256 of the canonical JSON serialization of
+  ``(kind, normalized config, normalized params)``.  Two requests that
+  *mean* the same job (shuffled dict key order, params spelled with or
+  without their defaults, a config that round-trips to the same
+  dataclass) collide on the key; two requests differing in anything
+  that changes the result (the seed included) do not.  The key is the
+  single-flight dedup handle *and* the artifact address.
+* :func:`job_id_for_key` — the public job id, a pure function of the
+  key.  Deduped submissions therefore observe the *same* job id, and a
+  rebuilt index can resurrect the job record for any stored artifact.
+
+Normalization goes through the config dataclass itself
+(``config_from_dict`` → ``config_to_dict``), so the job key inherits
+the round-trip guarantee the run cache already relies on; the config
+content hash (:func:`repro.runcache.config_key`) is carried alongside
+for manifest stamping.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.config import ExperimentConfig
+from repro.config_io import config_from_dict, config_to_dict
+from repro.runcache import config_key as runcache_config_key
+
+#: Supported job kinds, in documentation order.
+KINDS = ("characterize", "figure", "sweep", "conform")
+
+#: Job lifecycle states.
+QUEUED, RUNNING, DONE, FAILED = "queued", "running", "done", "failed"
+STATUSES = (QUEUED, RUNNING, DONE, FAILED)
+
+#: Figures the ``figure`` kind accepts (the paper's Figures 2-10).
+FIGURE_NUMBERS = tuple(range(2, 11))
+
+#: Hex digits of the job key used for the public job id.
+_ID_HEX = 24
+
+
+class JobValidationError(ValueError):
+    """A request that cannot become a job; maps to an HTTP 400.
+
+    ``code`` is a stable machine-readable slug (the error envelope's
+    ``code`` field); ``detail`` carries the underlying reason, e.g. the
+    ``config_io`` ValueError text.
+    """
+
+    def __init__(self, code: str, message: str, detail: Optional[str] = None):
+        super().__init__(message)
+        self.code = code
+        self.message = message
+        self.detail = detail
+
+
+def _require_int(
+    params: Dict[str, Any], name: str, default: Optional[int], minimum: int
+) -> int:
+    value = params.get(name, default)
+    if value is None:
+        raise JobValidationError(
+            "invalid-params", f"params.{name} is required for this kind"
+        )
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise JobValidationError(
+            "invalid-params", f"params.{name} must be an integer",
+            detail=f"got {value!r}",
+        )
+    if value < minimum:
+        raise JobValidationError(
+            "invalid-params", f"params.{name} must be >= {minimum}",
+            detail=f"got {value!r}",
+        )
+    return value
+
+
+def _require_bool(params: Dict[str, Any], name: str, default: bool) -> bool:
+    value = params.get(name, default)
+    if not isinstance(value, bool):
+        raise JobValidationError(
+            "invalid-params", f"params.{name} must be a boolean",
+            detail=f"got {value!r}",
+        )
+    return value
+
+
+def _normalize_params(kind: str, params: Dict[str, Any]) -> Dict[str, Any]:
+    """Validate and canonicalize the kind-specific parameters.
+
+    Every default is filled in explicitly, so a request that spells a
+    default and one that omits it produce the same job key.
+    """
+    known = {
+        "characterize": {"windows"},
+        "figure": {"number"},
+        "sweep": {"only"},
+        "conform": {"windows", "skip_slow"},
+    }[kind]
+    unknown = sorted(set(params) - known)
+    if unknown:
+        raise JobValidationError(
+            "invalid-params",
+            f"unknown params for kind {kind!r}: {', '.join(unknown)}",
+            detail=f"valid params: {', '.join(sorted(known)) or '(none)'}",
+        )
+    if kind == "characterize":
+        return {"windows": _require_int(params, "windows", 60, 1)}
+    if kind == "figure":
+        number = _require_int(params, "number", None, min(FIGURE_NUMBERS))
+        if number not in FIGURE_NUMBERS:
+            raise JobValidationError(
+                "invalid-params",
+                f"params.number must be one of {list(FIGURE_NUMBERS)}",
+                detail=f"got {number!r}",
+            )
+        return {"number": number}
+    if kind == "sweep":
+        only = params.get("only")
+        if only is not None:
+            from repro.experiments.reproduce_all import catalog_modules
+
+            if not isinstance(only, list) or not all(
+                isinstance(m, str) for m in only
+            ):
+                raise JobValidationError(
+                    "invalid-params", "params.only must be a list of module names",
+                    detail=f"got {only!r}",
+                )
+            known_modules = catalog_modules()
+            unknown_modules = sorted(set(only) - set(known_modules))
+            if unknown_modules:
+                raise JobValidationError(
+                    "invalid-params",
+                    "unknown sweep module(s): " + ", ".join(unknown_modules),
+                    detail="valid names: " + ", ".join(known_modules),
+                )
+            only = sorted(set(only))
+        return {"only": only}
+    return {
+        "windows": _require_int(params, "windows", 60, 1),
+        "skip_slow": _require_bool(params, "skip_slow", True),
+    }
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One validated, normalized job request.
+
+    ``config_payload`` is the *normalized* ``config_io`` dict (round-
+    tripped through the dataclass) and ``params`` the normalized
+    parameter object — together with ``kind`` they are the exact bytes
+    the job key hashes, so a spec can cross a process boundary as
+    :meth:`to_dict` and re-parse to the identical identity.
+    """
+
+    kind: str
+    config_payload: Dict[str, Any] = field(hash=False)
+    params: Dict[str, Any] = field(hash=False)
+    key: str
+    config_key: str
+    seed: int
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The wire/pool form; ``parse_job_request`` round-trips it."""
+        return {
+            "kind": self.kind,
+            "config": self.config_payload,
+            "params": self.params,
+        }
+
+    def config(self) -> ExperimentConfig:
+        return config_from_dict(self.config_payload)
+
+    @property
+    def job_id(self) -> str:
+        return job_id_for_key(self.key)
+
+
+def job_key(
+    kind: str, config_payload: Dict[str, Any], params: Dict[str, Any]
+) -> str:
+    """The content address of a normalized job request."""
+    canonical = json.dumps(
+        {"kind": kind, "config": config_payload, "params": params},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def job_id_for_key(key: str) -> str:
+    """The public job id for an artifact key (a pure function of it)."""
+    return "j" + key[:_ID_HEX]
+
+
+def parse_job_request(doc: Any) -> JobSpec:
+    """Validate one ``POST /v1/jobs`` body into a :class:`JobSpec`.
+
+    Raises :class:`JobValidationError` with a stable ``code`` and a
+    ``detail`` string precise enough to fix the request — the error
+    envelope contract tests pin both.
+    """
+    if not isinstance(doc, dict):
+        raise JobValidationError(
+            "invalid-request", "request body must be a JSON object",
+            detail=f"got {type(doc).__name__}",
+        )
+    kind = doc.get("kind")
+    if kind not in KINDS:
+        raise JobValidationError(
+            "invalid-kind",
+            f"unknown job kind: {kind!r}",
+            detail=f"valid kinds: {', '.join(KINDS)}",
+        )
+    unknown = sorted(set(doc) - {"kind", "config", "params"})
+    if unknown:
+        raise JobValidationError(
+            "invalid-request",
+            f"unknown request field(s): {', '.join(unknown)}",
+            detail="valid fields: kind, config, params",
+        )
+    payload = doc.get("config")
+    if not isinstance(payload, dict):
+        raise JobValidationError(
+            "invalid-config",
+            "config must be a repro.config_io JSON object",
+            detail="save one with `repro save-config FILE`",
+        )
+    try:
+        config = config_from_dict(payload)
+    except (ValueError, TypeError, KeyError) as exc:
+        raise JobValidationError(
+            "invalid-config", "config failed config_io validation",
+            detail=f"{exc}",
+        ) from exc
+    params = doc.get("params", {})
+    if params is None:
+        params = {}
+    if not isinstance(params, dict):
+        raise JobValidationError(
+            "invalid-params", "params must be a JSON object",
+            detail=f"got {type(params).__name__}",
+        )
+    normalized_params = _normalize_params(kind, params)
+    normalized_payload = config_to_dict(config)
+    return JobSpec(
+        kind=kind,
+        config_payload=normalized_payload,
+        params=normalized_params,
+        key=job_key(kind, normalized_payload, normalized_params),
+        config_key=runcache_config_key(config),
+        seed=config.seed,
+    )
+
+
+@dataclass
+class JobRecord:
+    """The mutable job row: identity plus lifecycle state.
+
+    ``created_at``/``started_at``/``finished_at`` are wall-clock epoch
+    seconds (or None); everything else is deterministic in the spec.
+    """
+
+    job_id: str
+    key: str
+    kind: str
+    status: str
+    config_key: str
+    seed: int
+    params: Dict[str, Any]
+    attempts: int = 0
+    error: Optional[str] = None
+    artifact_key: Optional[str] = None
+    created_at: Optional[float] = None
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        """The public ``GET /v1/jobs/<id>`` shape (sans request echo)."""
+        doc: Dict[str, Any] = {
+            "id": self.job_id,
+            "key": self.key,
+            "kind": self.kind,
+            "status": self.status,
+            "config_key": self.config_key,
+            "seed": self.seed,
+            "params": self.params,
+            "attempts": self.attempts,
+            "error": self.error,
+            "created_at": self.created_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+        }
+        if self.artifact_key is not None:
+            doc["artifact_key"] = self.artifact_key
+            doc["artifact_url"] = f"/v1/artifacts/{self.artifact_key}"
+        return doc

@@ -1,0 +1,402 @@
+"""Shared service state: the job queue, single-flight dedup, metrics.
+
+One :class:`ServiceState` is shared by every HTTP handler thread and
+every worker: it owns the :class:`~repro.service.index.ArtifactIndex`,
+an in-memory mirror of the job table (the hot path of a 1000-request
+burst is dict lookups under one lock, not SQLite), the queue condition
+variable workers block on, and the service's own
+:class:`~repro.obs.metrics.MetricsRegistry`.
+
+**Single-flight dedup** lives in :meth:`submit`.  The job key is the
+content address of the request; at most one job per key ever exists:
+
+* key already ``done`` → the stored artifact answers (``index-hit``);
+* key ``queued``/``running`` → the submission *coalesces* onto the
+  in-flight job (``coalesced``) — the caller gets the same job id and
+  can wait on the same completion event;
+* key ``failed`` → the job is requeued (``resubmitted``);
+* otherwise a new job row is created (``submitted``), unless the
+  queue is at capacity — then :class:`QueueFullError` (HTTP 429).
+
+A thousand identical concurrent submissions therefore cost one
+execution; the ``service.jobs`` counters expose exactly how the other
+999 were answered.
+
+The registry here is the *service's own*: nothing in this package ever
+touches the process-global observability session, so the simulation
+library keeps its zero-cost-when-disabled guarantee when the service
+layer is unused.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional, Tuple
+
+from repro.obs.metrics import MetricsRegistry, render_metric_name
+from repro.service.index import ArtifactIndex
+from repro.service.model import (
+    DONE,
+    FAILED,
+    QUEUED,
+    RUNNING,
+    JobRecord,
+    JobSpec,
+    parse_job_request,
+)
+
+#: Submission outcomes (the ``service.jobs`` counter's ``event`` label).
+SUBMITTED = "submitted"
+COALESCED = "coalesced"
+INDEX_HIT = "index-hit"
+RESUBMITTED = "resubmitted"
+EXECUTED = "executed"
+FAILED_EVENT = "failed"
+RETRY = "retry"
+REJECTED = "rejected"
+
+#: Latency-histogram bounds in seconds (sub-ms to minutes).
+LATENCY_BOUNDS = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+    1.0, 2.5, 5.0, 10.0, 30.0, 60.0, 300.0,
+)
+
+#: Schema of the ``GET /v1/metrics`` document.
+METRICS_SCHEMA = "repro_service_metrics/1"
+
+
+class QueueFullError(Exception):
+    """The job queue is at capacity; submit again after a delay."""
+
+    def __init__(self, depth: int, capacity: int):
+        super().__init__(f"job queue full ({depth}/{capacity})")
+        self.depth = depth
+        self.capacity = capacity
+        #: Crude but monotone backpressure hint, in whole seconds.
+        self.retry_after_s = max(1, depth)
+
+
+class ServiceState:
+    """Everything the HTTP layer and the workers share."""
+
+    def __init__(
+        self,
+        data_dir,
+        *,
+        queue_capacity: int = 256,
+        metrics: Optional[MetricsRegistry] = None,
+    ):
+        if queue_capacity < 1:
+            raise ValueError("queue_capacity must be >= 1")
+        self.index = ArtifactIndex(data_dir)
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.queue_capacity = queue_capacity
+        self.started_at = time.time()
+        self._lock = threading.Lock()
+        self._cond = threading.Condition(self._lock)
+        self._queue: Deque[str] = deque()
+        self._records: Dict[str, JobRecord] = {}
+        self._specs: Dict[str, JobSpec] = {}
+        self._events: Dict[str, threading.Event] = {}
+        self._in_flight = 0
+        self._stopping = False
+        self._recover()
+
+    # ------------------------------------------------------------------
+    # Startup recovery
+    # ------------------------------------------------------------------
+    def _recover(self) -> None:
+        """Reload the persisted job table; requeue interrupted work."""
+        queued = self.index.recover_interrupted()
+        for record in self.index.list_jobs():
+            self._records[record.job_id] = record
+            if record.status in (DONE, FAILED):
+                done = threading.Event()
+                done.set()
+                self._events[record.job_id] = done
+        for record in queued:
+            spec_dict = self.index.job_spec_dict(record.job_id)
+            if spec_dict is None:
+                # Unrecoverable without the request; mark failed.
+                record.status = FAILED
+                record.error = "lost across restart (no stored spec)"
+                self.index.upsert_job(record)
+                self._records[record.job_id] = record
+                event = threading.Event()
+                event.set()
+                self._events[record.job_id] = event
+                continue
+            self._specs[record.job_id] = parse_job_request(spec_dict)
+            self._events[record.job_id] = threading.Event()
+            self._queue.append(record.job_id)
+        self._sync_gauges_locked()
+
+    # ------------------------------------------------------------------
+    # Metrics plumbing
+    # ------------------------------------------------------------------
+    def _count(self, event: str, amount: float = 1.0) -> None:
+        self.metrics.counter("service.jobs", {"event": event}).inc(amount)
+
+    def _sync_gauges_locked(self) -> None:
+        self.metrics.gauge("service.queue.depth").set(len(self._queue))
+        self.metrics.gauge("service.jobs.in_flight").set(self._in_flight)
+
+    def observe_http(
+        self, endpoint: str, method: str, status: int, seconds: float
+    ) -> None:
+        """Record one handled request (called by the HTTP layer)."""
+        self.metrics.counter(
+            "service.http.requests",
+            {"endpoint": endpoint, "method": method, "status": status},
+        ).inc()
+        self.metrics.histogram(
+            "service.http.latency_s",
+            {"endpoint": endpoint},
+            bounds=LATENCY_BOUNDS,
+        ).observe(seconds)
+
+    # ------------------------------------------------------------------
+    # Submission (single-flight)
+    # ------------------------------------------------------------------
+    def submit(self, spec: JobSpec) -> Tuple[JobRecord, str]:
+        """Admit one request; returns ``(record, outcome)``.
+
+        Raises :class:`QueueFullError` when a *new* job cannot be
+        queued (dedup'd submissions always succeed — they add no work).
+        """
+        job_id = spec.job_id
+        with self._cond:
+            record = self._records.get(job_id)
+            if record is not None and record.status == DONE:
+                self._count(INDEX_HIT)
+                return record, INDEX_HIT
+            if record is not None and record.status in (QUEUED, RUNNING):
+                self._count(COALESCED)
+                return record, COALESCED
+            depth = len(self._queue)
+            if depth >= self.queue_capacity:
+                self._count(REJECTED)
+                raise QueueFullError(depth, self.queue_capacity)
+            now = time.time()
+            if record is not None:  # failed: requeue with history kept
+                record.status = QUEUED
+                record.error = None
+                record.finished_at = None
+                outcome = RESUBMITTED
+            else:
+                record = JobRecord(
+                    job_id=job_id,
+                    key=spec.key,
+                    kind=spec.kind,
+                    status=QUEUED,
+                    config_key=spec.config_key,
+                    seed=spec.seed,
+                    params=spec.params,
+                    created_at=now,
+                )
+                outcome = SUBMITTED
+            self._records[job_id] = record
+            self._specs[job_id] = spec
+            self._events[job_id] = threading.Event()
+            self.index.upsert_job(record, spec_dict=spec.to_dict())
+            self._queue.append(job_id)
+            self._count(outcome)
+            self._sync_gauges_locked()
+            self._cond.notify()
+            return record, outcome
+
+    # ------------------------------------------------------------------
+    # Worker side
+    # ------------------------------------------------------------------
+    def claim_next(
+        self, timeout: Optional[float] = None
+    ) -> Optional[Tuple[JobRecord, JobSpec]]:
+        """Block for the next queued job; None on timeout or shutdown."""
+        with self._cond:
+            deadline = None if timeout is None else time.monotonic() + timeout
+            while not self._queue and not self._stopping:
+                remaining = (
+                    None if deadline is None else deadline - time.monotonic()
+                )
+                if remaining is not None and remaining <= 0:
+                    return None
+                self._cond.wait(remaining if remaining is not None else 0.5)
+            if self._stopping and not self._queue:
+                return None
+            job_id = self._queue.popleft()
+            record = self._records[job_id]
+            record.status = RUNNING
+            record.started_at = time.time()
+            self._in_flight += 1
+            self.index.upsert_job(record)
+            self._sync_gauges_locked()
+            return record, self._specs[job_id]
+
+    def note_retry(self, job_id: str) -> None:
+        with self._lock:
+            record = self._records.get(job_id)
+            if record is not None:
+                record.attempts += 1
+            self._count(RETRY)
+
+    def complete(self, job_id: str, result: Dict[str, Any]) -> JobRecord:
+        """Store the artifact and mark the job done (worker success path)."""
+        with self._lock:
+            record = self._records[job_id]
+            spec = self._specs.pop(job_id)
+        self.index.put_artifact(
+            result["key"],
+            spec.to_dict(),
+            spec.config_key,
+            spec.seed,
+            result["body"],
+            result["manifest"],
+        )
+        with self._cond:
+            record.status = DONE
+            record.attempts += 1
+            record.artifact_key = result["key"]
+            record.finished_at = time.time()
+            record.error = None
+            self._in_flight -= 1
+            self.index.upsert_job(record)
+            self._count(EXECUTED)
+            self.metrics.histogram(
+                "service.exec.seconds",
+                {"kind": record.kind},
+                bounds=LATENCY_BOUNDS,
+            ).observe(
+                record.finished_at
+                - (record.started_at or record.finished_at)
+            )
+            self._sync_gauges_locked()
+            self._events[job_id].set()
+            self._cond.notify_all()
+        return record
+
+    def fail(self, job_id: str, error: str) -> JobRecord:
+        """Mark the job failed after its retry budget is exhausted."""
+        with self._cond:
+            record = self._records[job_id]
+            record.status = FAILED
+            record.attempts += 1
+            record.error = error
+            record.finished_at = time.time()
+            self._in_flight -= 1
+            self._specs.pop(job_id, None)
+            self.index.upsert_job(record)
+            self._count(FAILED_EVENT)
+            self._sync_gauges_locked()
+            self._events[job_id].set()
+            self._cond.notify_all()
+        return record
+
+    def stop(self) -> None:
+        """Wake every blocked worker for shutdown."""
+        with self._cond:
+            self._stopping = True
+            self._cond.notify_all()
+
+    # ------------------------------------------------------------------
+    # Read side
+    # ------------------------------------------------------------------
+    def job(self, job_id: str) -> Optional[JobRecord]:
+        with self._lock:
+            record = self._records.get(job_id)
+        if record is not None:
+            return record
+        return self.index.get_job(job_id)
+
+    def wait_for(
+        self, job_id: str, timeout: Optional[float]
+    ) -> Optional[JobRecord]:
+        """Block until the job reaches a terminal state (long-poll)."""
+        with self._lock:
+            event = self._events.get(job_id)
+        if event is None:
+            return self.job(job_id)
+        event.wait(timeout)
+        return self.job(job_id)
+
+    def artifact(self, key: str) -> Optional[Dict[str, Any]]:
+        return self.index.get_artifact(key)
+
+    @property
+    def queue_depth(self) -> int:
+        with self._lock:
+            return len(self._queue)
+
+    @property
+    def in_flight(self) -> int:
+        with self._lock:
+            return self._in_flight
+
+    # ------------------------------------------------------------------
+    # Documents
+    # ------------------------------------------------------------------
+    def health_document(self) -> Dict[str, Any]:
+        return {
+            "status": "ok",
+            "uptime_s": time.time() - self.started_at,
+            "queue_depth": self.queue_depth,
+            "in_flight": self.in_flight,
+            "queue_capacity": self.queue_capacity,
+            "index": self.index.stats(),
+        }
+
+    def metrics_document(self) -> Dict[str, Any]:
+        """The ``GET /v1/metrics`` body: snapshot + derived summary."""
+        jobs: Dict[str, float] = {}
+        for counter in self.metrics.counters():
+            if counter.name == "service.jobs":
+                jobs[dict(counter.labels)["event"]] = counter.value
+        executed = jobs.get(EXECUTED, 0.0)
+        deduped = jobs.get(COALESCED, 0.0) + jobs.get(INDEX_HIT, 0.0)
+        admitted = (
+            jobs.get(SUBMITTED, 0.0) + jobs.get(RESUBMITTED, 0.0) + deduped
+        )
+        latency: Dict[str, Dict[str, Optional[float]]] = {}
+        for hist in self.metrics.histograms():
+            if hist.name != "service.http.latency_s" or hist.count == 0:
+                continue
+            endpoint = dict(hist.labels)["endpoint"]
+            latency[endpoint] = {
+                "count": hist.count,
+                "mean_s": hist.mean,
+                "p50_s": hist.quantile(0.50),
+                "p99_s": hist.quantile(0.99),
+            }
+        return {
+            "schema": METRICS_SCHEMA,
+            "uptime_s": time.time() - self.started_at,
+            "summary": {
+                "queue_depth": self.queue_depth,
+                "in_flight": self.in_flight,
+                "jobs": jobs,
+                "singleflight": {
+                    "executed": executed,
+                    "coalesced": jobs.get(COALESCED, 0.0),
+                    "index_hit": jobs.get(INDEX_HIT, 0.0),
+                    "deduped": deduped,
+                },
+                "cache_hit_ratio": (deduped / admitted) if admitted else None,
+                "latency": latency,
+            },
+            "metrics": self.metrics.snapshot(),
+        }
+
+    def close(self) -> None:
+        self.index.close()
+
+
+def render_state_lines(state: ServiceState) -> List[str]:
+    """A terse human dump (used by logs and the service-index CLI)."""
+    doc = state.metrics_document()["summary"]
+    lines = [
+        f"queue depth {doc['queue_depth']}  in flight {doc['in_flight']}",
+    ]
+    for name, value in sorted(doc["jobs"].items()):
+        lines.append(f"  {render_metric_name('service.jobs', ((('event'), name),))} = {value:g}")
+    return lines

@@ -1,0 +1,195 @@
+"""The worker pool draining the service's job queue.
+
+Each worker is one daemon thread in the server process; what differs
+is *where the job body runs*:
+
+* ``mode="inline"`` — the job executes in the worker thread itself.
+  This shares the process-wide :class:`~repro.runcache.RunCache`
+  memory tier with every other worker (the cheapest path for
+  test-scale servers and the degradation target), but a hung job
+  cannot be reclaimed.
+* ``mode="process"`` — each worker owns a one-process
+  ``ProcessPoolExecutor`` and supervises it the way the sweep
+  supervisor (:mod:`repro.experiments.supervisor`) supervises its
+  pool, reusing the same :class:`SupervisorPolicy` knobs: per-job
+  wall-clock timeouts (the pool is torn down to reclaim a hung
+  worker), crashed-worker recovery (``BrokenProcessPool`` → rebuild
+  on the next attempt), bounded retry with the simulator's own
+  :func:`~repro.workload.faults.backoff_delay_s`, and degradation to
+  inline execution after ``pool_failure_limit`` teardowns — or
+  immediately on hosts without usable multiprocessing.  Pool workers
+  are initialized with :func:`repro.experiments.chaos.mark_pool_worker`,
+  so the chaos layer's ``svc.<kind>`` kill/hang fault points can fire
+  in them (and only in them).
+
+Job execution is at-least-once, which is sound for the same reason the
+sweep's is: :func:`~repro.service.executor.execute_job` is a pure
+function of the spec, so a duplicated execution produces the identical
+artifact and only wastes time.
+"""
+
+from __future__ import annotations
+
+import logging
+import random
+import threading
+from concurrent.futures import ProcessPoolExecutor, TimeoutError as FutureTimeout
+from concurrent.futures.process import BrokenProcessPool
+from typing import Any, Dict, List, Optional
+
+from repro.experiments import chaos
+from repro.experiments.supervisor import DEFAULT_POLICY, SupervisorPolicy
+from repro.service.executor import execute_job, execute_spec
+from repro.service.model import JobSpec
+from repro.service.state import ServiceState
+from repro.workload.faults import backoff_delay_s
+
+log = logging.getLogger("repro.service.worker")
+
+#: Execution modes.
+INLINE, PROCESS = "inline", "process"
+MODES = (INLINE, PROCESS)
+
+
+class _WorkerRuntime:
+    """One worker's execution engine: a supervised single-process pool.
+
+    Owns the pool handle, the teardown count and the degradation flag,
+    so a torn-down pool is rebuilt lazily on the *next* attempt and a
+    worker that has lost trust in multiprocessing stays inline.
+    """
+
+    def __init__(
+        self, mode: str, policy: SupervisorPolicy, state: ServiceState
+    ):
+        self.policy = policy
+        self.state = state
+        self.pool: Optional[ProcessPoolExecutor] = None
+        self.pool_failures = 0
+        self.degraded = mode == INLINE
+
+    def shutdown(self) -> None:
+        if self.pool is not None:
+            self.pool.shutdown(wait=False, cancel_futures=True)
+            self.pool = None
+
+    def _teardown(self) -> None:
+        """Discard the pool after a crash/timeout; maybe degrade."""
+        self.shutdown()
+        self.pool_failures += 1
+        if self.pool_failures >= self.policy.pool_failure_limit:
+            self.degraded = True
+        self.state.metrics.counter(
+            "service.pool.failures", {"degraded": self.degraded}
+        ).inc()
+
+    def run_once(self, spec: JobSpec) -> Dict[str, Any]:
+        """One execution attempt; raises on timeout/crash/error."""
+        if self.degraded:
+            return execute_spec(spec)
+        if self.pool is None:
+            try:
+                self.pool = ProcessPoolExecutor(
+                    max_workers=1, initializer=chaos.mark_pool_worker
+                )
+            except (ImportError, NotImplementedError, OSError) as exc:
+                log.warning(
+                    "no usable multiprocessing (%s); "
+                    "degrading worker to inline execution",
+                    exc,
+                )
+                self.degraded = True
+                return execute_spec(spec)
+        future = self.pool.submit(execute_job, spec.to_dict())
+        try:
+            return future.result(timeout=self.policy.task_timeout_s)
+        except FutureTimeout:
+            # Only a teardown reclaims the (possibly hung) worker.
+            self._teardown()
+            raise TimeoutError(
+                f"job exceeded task_timeout_s={self.policy.task_timeout_s}"
+            ) from None
+        except BrokenProcessPool as exc:
+            self._teardown()
+            raise RuntimeError(f"worker process died: {exc!r}") from None
+
+
+class WorkerPool:
+    """``workers`` supervised threads draining a :class:`ServiceState`."""
+
+    def __init__(
+        self,
+        state: ServiceState,
+        *,
+        workers: int = 2,
+        mode: str = INLINE,
+        policy: Optional[SupervisorPolicy] = None,
+        rng: Optional[random.Random] = None,
+    ):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if mode not in MODES:
+            raise ValueError(f"mode must be one of {MODES}, got {mode!r}")
+        self.state = state
+        self.workers = workers
+        self.mode = mode
+        self.policy = policy if policy is not None else DEFAULT_POLICY
+        self._rng = rng if rng is not None else random.Random()
+        self._threads: List[threading.Thread] = []
+        self._stopping = threading.Event()
+
+    def start(self) -> "WorkerPool":
+        for i in range(self.workers):
+            thread = threading.Thread(
+                target=self._worker_loop,
+                name=f"repro-service-worker-{i}",
+                daemon=True,
+            )
+            thread.start()
+            self._threads.append(thread)
+        return self
+
+    def stop(self, timeout: float = 10.0) -> None:
+        self._stopping.set()
+        self.state.stop()
+        for thread in self._threads:
+            thread.join(timeout)
+        self._threads.clear()
+
+    def _worker_loop(self) -> None:
+        runtime = _WorkerRuntime(self.mode, self.policy, self.state)
+        try:
+            while not self._stopping.is_set():
+                claimed = self.state.claim_next(timeout=0.5)
+                if claimed is None:
+                    continue
+                record, spec = claimed
+                self._run_job(runtime, record.job_id, spec)
+        finally:
+            runtime.shutdown()
+
+    def _run_job(self, runtime: _WorkerRuntime, job_id: str, spec: JobSpec) -> None:
+        """Drive one job to a terminal state under the retry policy."""
+        attempts = 0
+        while True:
+            attempts += 1
+            try:
+                result = runtime.run_once(spec)
+            except Exception as exc:
+                log.warning(
+                    "job %s attempt %d/%d failed: %r",
+                    job_id,
+                    attempts,
+                    self.policy.max_attempts,
+                    exc,
+                )
+                if attempts >= self.policy.max_attempts:
+                    self.state.fail(job_id, repr(exc))
+                    return
+                self.state.note_retry(job_id)
+                delay = backoff_delay_s(self.policy, attempts + 1, self._rng)
+                if delay > 0:
+                    self._stopping.wait(delay)
+                continue
+            self.state.complete(job_id, result)
+            return

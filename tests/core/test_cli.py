@@ -34,6 +34,9 @@ class TestParser:
             "conform",
             "trace",
             "cache",
+            "serve",
+            "load",
+            "service-index",
         }
 
     def test_scale_flag_after_subcommand(self):

@@ -1,0 +1,39 @@
+"""Service-suite fixtures: a live inline-mode server on an ephemeral port.
+
+The server (and its data dir) is module-scoped: jobs executed by one
+test become index hits for the next, which is exactly the production
+behavior under test — and it keeps the suite fast, because the 1.2 s
+quick-scale characterization runs once per module, not once per test.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config_io import config_to_dict
+from repro.experiments.common import quick_config
+from repro.service.app import ServiceServer
+from repro.service.client import ServiceClient
+
+#: Small-but-real job parameters used throughout the suite.
+WINDOWS = 6
+
+
+@pytest.fixture(scope="session")
+def service_config_dict():
+    """The canonical config_io payload every test submits."""
+    return config_to_dict(quick_config(seed=2007))
+
+
+@pytest.fixture(scope="module")
+def server(tmp_path_factory):
+    srv = ServiceServer(
+        tmp_path_factory.mktemp("service-data"), port=0, workers=2
+    ).start()
+    yield srv
+    srv.stop()
+
+
+@pytest.fixture(scope="module")
+def client(server):
+    return ServiceClient(server.url)

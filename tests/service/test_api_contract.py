@@ -1,0 +1,343 @@
+"""API contract: golden shapes per endpoint, error envelopes, neutrality.
+
+Responses contain volatile fields (timestamps, latencies, host/git
+provenance); goldens therefore pin the *masked* document — every
+volatile leaf replaced by a type marker — so the shape and all stable
+values are exact while the suite stays reproducible.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.service.model import parse_job_request
+from tests.service.conftest import WINDOWS
+
+VOLATILE = "<number>"
+
+
+def masked(doc, volatile_keys):
+    """Deep-copy ``doc`` with volatile leaves replaced by a marker."""
+    if isinstance(doc, dict):
+        return {
+            k: (
+                VOLATILE
+                if k in volatile_keys and isinstance(v, (int, float))
+                else masked(v, volatile_keys)
+            )
+            for k, v in doc.items()
+        }
+    if isinstance(doc, list):
+        return [masked(v, volatile_keys) for v in doc]
+    return doc
+
+
+JOB_VOLATILE = {"created_at", "started_at", "finished_at", "attempts"}
+
+
+@pytest.fixture(scope="module")
+def done_job(client, service_config_dict):
+    """One finished characterize job every contract test reads."""
+    out = client.run(
+        "characterize", service_config_dict, {"windows": WINDOWS}
+    )
+    return out
+
+
+@pytest.fixture(scope="module")
+def spec(service_config_dict):
+    return parse_job_request(
+        {
+            "kind": "characterize",
+            "config": service_config_dict,
+            "params": {"windows": WINDOWS},
+        }
+    )
+
+
+class TestGoldenResponses:
+    def test_post_jobs_dedup_golden(
+        self, client, service_config_dict, done_job, spec
+    ):
+        status, doc, _ = client.submit(
+            "characterize", service_config_dict, {"windows": WINDOWS}
+        )
+        assert status == 200
+        assert masked(doc, JOB_VOLATILE) == {
+            "outcome": "index-hit",
+            "job": {
+                "id": spec.job_id,
+                "key": spec.key,
+                "kind": "characterize",
+                "status": "done",
+                "config_key": spec.config_key,
+                "seed": 2007,
+                "params": {"windows": WINDOWS},
+                "attempts": VOLATILE,
+                "error": None,
+                "created_at": VOLATILE,
+                "started_at": VOLATILE,
+                "finished_at": VOLATILE,
+                "artifact_key": spec.key,
+                "artifact_url": f"/v1/artifacts/{spec.key}",
+            },
+        }
+
+    def test_get_job_golden(self, client, done_job, spec):
+        status, doc, _ = client.request_json(
+            "GET", f"/v1/jobs/{spec.job_id}"
+        )
+        assert status == 200
+        job = doc["job"]
+        assert job["id"] == spec.job_id
+        assert job["status"] == "done"
+        assert job["artifact_url"] == f"/v1/artifacts/{spec.key}"
+        assert set(job) == {
+            "id", "key", "kind", "status", "config_key", "seed", "params",
+            "attempts", "error", "created_at", "started_at", "finished_at",
+            "artifact_key", "artifact_url",
+        }
+
+    def test_artifact_served_as_plain_text(self, client, done_job, spec):
+        status, headers, raw = client._request(
+            "GET", f"/v1/artifacts/{spec.key}"
+        )
+        assert status == 200
+        assert headers["content-type"] == "text/plain; charset=utf-8"
+        assert raw.decode("utf-8") == done_job["body"]
+
+    def test_manifest_golden(self, client, done_job, spec):
+        doc = client.manifest(spec.key)
+        manifest = doc["manifest"]
+        assert manifest["schema"] == "repro_artifact_manifest/1"
+        assert manifest["config_key"] == spec.config_key
+        assert manifest["seed"] == 2007
+        assert manifest["kind"] == "characterize"
+        assert manifest["job_key"] == spec.key
+        assert manifest["params"] == {"windows": WINDOWS}
+        import hashlib
+
+        assert manifest["body_sha256"] == hashlib.sha256(
+            done_job["body"].encode("utf-8")
+        ).hexdigest()
+        row = doc["artifact"]
+        assert row["key"] == spec.key
+        assert row["kind"] == "characterize"
+        assert row["nbytes"] > 0
+
+    def test_healthz_golden(self, client):
+        doc = client.healthz()
+        assert masked(
+            doc, {"uptime_s", "queue_depth", "in_flight", "artifacts",
+                  "artifact_bytes", "jobs_done", "jobs_failed"}
+        ) == {
+            "status": "ok",
+            "uptime_s": VOLATILE,
+            "queue_depth": VOLATILE,
+            "in_flight": VOLATILE,
+            "queue_capacity": 256,
+            "index": {
+                "artifacts": VOLATILE,
+                "artifact_bytes": VOLATILE,
+                "rebuilds": 0,
+                **{
+                    k: VOLATILE
+                    for k in doc["index"]
+                    if k.startswith("jobs_")
+                },
+            },
+        }
+
+    def test_metrics_golden_shape(self, client, done_job):
+        doc = client.metrics()
+        assert doc["schema"] == "repro_service_metrics/1"
+        summary = doc["summary"]
+        assert set(summary) == {
+            "queue_depth", "in_flight", "jobs", "singleflight",
+            "cache_hit_ratio", "latency",
+        }
+        sf = summary["singleflight"]
+        assert set(sf) == {"executed", "coalesced", "index_hit", "deduped"}
+        assert sf["executed"] >= 1
+        assert sf["deduped"] == sf["coalesced"] + sf["index_hit"]
+        assert set(doc["metrics"]) == {"counters", "gauges", "histograms"}
+        for endpoint, stats in summary["latency"].items():
+            assert endpoint.startswith("/v1/")
+            assert set(stats) == {"count", "mean_s", "p50_s", "p99_s"}
+            assert stats["p50_s"] <= stats["p99_s"] or stats["count"] == 1
+
+
+class TestErrorEnvelopes:
+    def envelope(self, doc):
+        assert set(doc) == {"error"}
+        assert set(doc["error"]) == {"status", "code", "message", "detail"}
+        return doc["error"]
+
+    def test_bad_config_is_400_with_config_io_detail(self, client):
+        status, doc, _ = client.request_json(
+            "POST",
+            "/v1/jobs",
+            {"kind": "characterize", "config": {"bogus": 1}},
+        )
+        assert status == 400
+        error = self.envelope(doc)
+        assert error["status"] == 400
+        assert error["code"] == "invalid-config"
+        assert "config_io" in error["message"]
+        assert error["detail"]  # the underlying ValueError text
+
+    def test_bad_json_is_400(self, client):
+        import http.client
+
+        conn = http.client.HTTPConnection(client.host, client.port, timeout=30)
+        try:
+            conn.request(
+                "POST", "/v1/jobs", body=b"{nope",
+                headers={"Content-Type": "application/json"},
+            )
+            response = conn.getresponse()
+            doc = json.loads(response.read())
+        finally:
+            conn.close()
+        assert response.status == 400
+        assert self.envelope(doc)["code"] == "invalid-json"
+
+    def test_empty_body_is_400(self, client):
+        status, doc, _ = client.request_json("POST", "/v1/jobs")
+        assert status == 400
+        assert self.envelope(doc)["code"] == "invalid-request"
+
+    def test_unknown_job_is_404(self, client):
+        status, doc, _ = client.request_json("GET", "/v1/jobs/jdeadbeef")
+        assert status == 404
+        assert self.envelope(doc)["code"] == "unknown-job"
+
+    def test_unknown_artifact_is_404(self, client):
+        status, doc, _ = client.request_json(
+            "GET", "/v1/artifacts/" + "f" * 64
+        )
+        assert status == 404
+        assert self.envelope(doc)["code"] == "unknown-artifact"
+
+    def test_unknown_route_is_404(self, client):
+        status, doc, _ = client.request_json("GET", "/v2/everything")
+        assert status == 404
+        assert self.envelope(doc)["code"] == "not-found"
+
+    def test_bad_wait_is_400(self, client):
+        status, doc, _ = client.request_json(
+            "GET", "/v1/jobs/jdeadbeef?wait=soon"
+        )
+        assert status == 400
+        assert self.envelope(doc)["code"] == "invalid-request"
+
+    def test_queue_full_is_429_with_retry_after(
+        self, tmp_path, service_config_dict, monkeypatch
+    ):
+        import threading
+
+        from repro.service import worker as worker_mod
+        from repro.service.app import ServiceServer
+        from repro.service.client import ServiceClient
+
+        release = threading.Event()
+
+        def stall(spec):
+            release.wait(30)
+            return {
+                "key": spec.key,
+                "body": "stalled\n",
+                "manifest": {"git": "test"},
+            }
+
+        monkeypatch.setattr(worker_mod, "execute_spec", stall)
+        server = ServiceServer(
+            tmp_path / "svc", workers=1, queue_capacity=1
+        ).start()
+        try:
+            local = ServiceClient(server.url)
+
+            def submit(seed):
+                payload = dict(service_config_dict)
+                payload["seed"] = seed
+                return local.submit("characterize", payload, {"windows": 2})
+
+            # First job is claimed by the lone stalled worker, the
+            # second fills the queue, the third must bounce.
+            import time
+
+            status1, _, _ = submit(1)
+            assert status1 == 202
+            deadline = time.monotonic() + 5.0
+            while server.state.in_flight == 0:
+                assert time.monotonic() < deadline, "worker never claimed"
+                time.sleep(0.02)
+            status2, _, _ = submit(2)
+            assert status2 == 202
+            status3, doc3, headers3 = submit(3)
+            assert status3 == 429
+            error = self.envelope(doc3)
+            assert error["code"] == "queue-full"
+            assert int(headers3["retry-after"]) >= 1
+        finally:
+            release.set()
+            server.stop()
+
+
+class TestScienceNeutrality:
+    def test_job_body_byte_identical_to_cli(
+        self, done_job, capsys
+    ):
+        from repro.cli import main
+
+        code = main(
+            [
+                "characterize",
+                "--scale",
+                "quick",
+                "--seed",
+                "2007",
+                "--windows",
+                str(WINDOWS),
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert captured.out == done_job["body"]
+
+    def test_figure_body_byte_identical_to_cli(
+        self, client, service_config_dict, capsys
+    ):
+        from repro.cli import main
+
+        out = client.run("figure", service_config_dict, {"number": 3})
+        code = main(
+            ["figure", "3", "--scale", "quick", "--seed", "2007"]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert captured.out == out["body"]
+
+    def test_cli_import_does_not_load_service(self):
+        src = Path(__file__).resolve().parents[2] / "src"
+        probe = (
+            "import sys; import repro.cli; "
+            "mods = [m for m in sys.modules if m.startswith('repro.service')]; "
+            "assert not mods, mods; "
+            "import repro; import repro.obs; "
+            "mods = [m for m in sys.modules if m.startswith('repro.service')]; "
+            "assert not mods, mods; print('clean')"
+        )
+        result = subprocess.run(
+            [sys.executable, "-c", probe],
+            capture_output=True,
+            text=True,
+            env={"PYTHONPATH": str(src), "PATH": "/usr/bin:/bin"},
+        )
+        assert result.returncode == 0, result.stderr
+        assert result.stdout.strip() == "clean"

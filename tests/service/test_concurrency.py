@@ -1,0 +1,132 @@
+"""Concurrency and fault recovery: races, killed workers, determinism.
+
+The chaos test arms the chaos layer's ``svc.<kind>`` fault point (via
+``REPRO_CHAOS``, exactly as the sweep's chaos-smoke does) against a
+``process``-mode server: the pool worker executing the job is killed
+mid-flight with ``os._exit``, the supervisor path tears the pool down
+and retries, and the retried artifact must be byte-identical to a
+clean run — at-least-once execution with exactly-once results.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.experiments import chaos
+from repro.service.app import ServiceServer
+from repro.service.client import ServiceClient
+from tests.service.conftest import WINDOWS
+
+
+def _multiprocessing_usable() -> bool:
+    try:
+        ctx = multiprocessing.get_context()
+        with ctx.Pool(1) as pool:
+            return pool.apply(int, ("1",)) == 1
+    except (OSError, NotImplementedError, ValueError):
+        return False
+
+
+needs_mp = pytest.mark.skipif(
+    not _multiprocessing_usable(), reason="multiprocessing unusable here"
+)
+
+
+def test_submission_race_is_deterministic(
+    tmp_path, service_config_dict
+):
+    """N threads racing the same POST observe one job, one payload."""
+    server = ServiceServer(tmp_path / "svc", workers=3).start()
+    try:
+        def one(i):
+            client = ServiceClient(server.url)
+            out = client.run(
+                "characterize", service_config_dict, {"windows": WINDOWS}
+            )
+            return out["job"]["id"], out["job"]["artifact_key"], out["body"]
+
+        with ThreadPoolExecutor(max_workers=12) as tpe:
+            results = list(tpe.map(one, range(24)))
+
+        ids = {r[0] for r in results}
+        artifact_keys = {r[1] for r in results}
+        bodies = {r[2] for r in results}
+        assert len(ids) == 1
+        assert len(artifact_keys) == 1
+        assert len(bodies) == 1
+        assert (
+            server.state.metrics_document()["summary"]["singleflight"][
+                "executed"
+            ]
+            == 1
+        )
+    finally:
+        server.stop()
+
+
+@needs_mp
+def test_chaos_kill_retried_and_byte_identical(
+    tmp_path, service_config_dict, monkeypatch
+):
+    # Clean run first (inline server, separate data dir) — the
+    # reference payload the post-crash retry must reproduce exactly.
+    clean_server = ServiceServer(tmp_path / "clean", workers=1).start()
+    try:
+        clean = ServiceClient(clean_server.url).run(
+            "figure", service_config_dict, {"number": 3}
+        )
+    finally:
+        clean_server.stop()
+
+    marker_dir = tmp_path / "chaos-markers"
+    marker_dir.mkdir()
+    monkeypatch.setenv(
+        chaos.ENV_VAR,
+        json.dumps({"dir": str(marker_dir), "kill": {"svc.figure": 1}}),
+    )
+    server = ServiceServer(
+        tmp_path / "svc", workers=1, mode="process"
+    ).start()
+    try:
+        out = ServiceClient(server.url, timeout=300).run(
+            "figure", service_config_dict, {"number": 3}, wait_s=300
+        )
+        # The kill budget was spent: the worker died once, mid-job.
+        assert list(marker_dir.glob("kill.svc.figure.*"))
+        job = out["job"]
+        assert job["status"] == "done"
+        assert job["attempts"] >= 2  # one death + one successful retry
+        assert out["body"] == clean["body"]
+        retries = server.state.metrics_document()["summary"]["jobs"].get(
+            "retry", 0
+        )
+        assert retries >= 1
+        failures = server.state.metrics.value(
+            "service.pool.failures", {"degraded": False}
+        )
+        assert failures is not None and failures >= 1
+    finally:
+        server.stop()
+
+
+@needs_mp
+def test_process_mode_byte_identical_to_inline(
+    tmp_path, service_config_dict
+):
+    bodies = {}
+    for mode in ("inline", "process"):
+        server = ServiceServer(
+            tmp_path / mode, workers=1, mode=mode
+        ).start()
+        try:
+            out = ServiceClient(server.url, timeout=300).run(
+                "conform", service_config_dict, {"windows": WINDOWS}
+            )
+            bodies[mode] = out["body"]
+        finally:
+            server.stop()
+    assert bodies["inline"] == bodies["process"]

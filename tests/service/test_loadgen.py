@@ -1,0 +1,135 @@
+"""Load generator: report math, tier-1 bursts, the 2k dedup storm."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.benchio import read_bench_payload
+from repro.runcache import RunCache, set_default_cache
+from repro.service.app import ServiceServer
+from repro.service.loadgen import (
+    LoadReport,
+    RequestResult,
+    run_closed_loop,
+    run_open_loop,
+    write_report_files,
+)
+from tests.service.conftest import WINDOWS
+
+
+class TestReportMath:
+    def build(self, latencies, failures=0):
+        report = LoadReport(mode="closed", requests=len(latencies))
+        for i, latency in enumerate(latencies):
+            ok = i >= failures
+            report.add(
+                RequestResult(
+                    ok=ok,
+                    status=200 if ok else 500,
+                    outcome="index-hit" if ok else None,
+                    latency_s=latency,
+                    body_sha256="x" * 64 if ok else None,
+                    error=None if ok else "boom",
+                )
+            )
+        report.duration_s = sum(latencies)
+        return report
+
+    def test_quantiles_and_ratios(self):
+        report = self.build([0.01 * (i + 1) for i in range(100)])
+        assert report.success_ratio == 1.0
+        assert report.quantile(0.50) == pytest.approx(0.50)
+        assert report.quantile(0.99) == pytest.approx(0.99)
+        assert report.rate_rps > 0
+
+    def test_failures_counted_and_5xx_flagged(self):
+        report = self.build([0.01] * 10, failures=2)
+        assert report.failures == 2
+        assert report.server_errors == 2
+        assert report.status_counts == {"200": 8, "500": 2}
+        assert report.errors == ["boom", "boom"]
+
+    def test_bench_envelope_is_schema_2(self, tmp_path):
+        report = self.build([0.01, 0.02])
+        payload = report.to_bench_payload()
+        assert payload["kind"] == "service_load"
+        assert read_bench_payload(payload)["requests"] == 2
+        bench = tmp_path / "BENCH_service.json"
+        write_report_files(report, bench_path=str(bench))
+        assert read_bench_payload(json.loads(bench.read_text()))[
+            "latency_p50_s"
+        ] == report.quantile(0.5)
+
+    def test_render_lines_warn_on_divergent_bodies(self):
+        report = self.build([0.01])
+        report.body_hashes["y" * 64] = 1
+        assert any("distinct artifact bodies" in l for l in report.render_lines())
+
+
+class TestBursts:
+    def test_closed_loop_burst(self, server, service_config_dict):
+        report = run_closed_loop(
+            server.url,
+            "characterize",
+            service_config_dict,
+            {"windows": WINDOWS},
+            requests=48,
+            concurrency=8,
+        )
+        assert report.requests == 48
+        assert report.successes == 48
+        assert report.server_errors == 0
+        assert len(report.body_hashes) == 1
+        assert report.metrics["summary"]["singleflight"]["executed"] == 1
+        assert report.quantile(0.99) >= report.quantile(0.5)
+
+    def test_open_loop_poisson_burst(self, server, service_config_dict):
+        report = run_open_loop(
+            server.url,
+            "characterize",
+            service_config_dict,
+            {"windows": WINDOWS},
+            requests=32,
+            rate_rps=400.0,
+            seed=7,
+        )
+        assert report.successes == 32
+        assert report.server_errors == 0
+        assert len(report.body_hashes) == 1
+
+    def test_input_validation(self, server, service_config_dict):
+        with pytest.raises(ValueError):
+            run_closed_loop(server.url, "characterize", {}, requests=0)
+        with pytest.raises(ValueError):
+            run_open_loop(server.url, "characterize", {}, rate_rps=0.0)
+
+
+@pytest.mark.slow
+def test_two_thousand_identical_requests_one_simulation(
+    tmp_path, service_config_dict
+):
+    """The ISSUE's full-scale storm: 2k concurrent identical requests,
+    >= 99% success on the cache-hit fast path, exactly one simulation."""
+    cache = RunCache()
+    previous = set_default_cache(cache)
+    server = ServiceServer(tmp_path / "svc", workers=4).start()
+    try:
+        report = run_closed_loop(
+            server.url,
+            "characterize",
+            service_config_dict,
+            {"windows": WINDOWS},
+            requests=2000,
+            concurrency=64,
+        )
+        assert report.success_ratio >= 0.99
+        assert report.server_errors == 0
+        assert len(report.body_hashes) == 1
+        singleflight = report.metrics["summary"]["singleflight"]
+        assert singleflight["executed"] == 1
+        assert singleflight["deduped"] >= 1999
+    finally:
+        server.stop()
+        set_default_cache(previous)

@@ -1,0 +1,165 @@
+"""Job model: validation codes, normalization, identity."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.service.model import (
+    FIGURE_NUMBERS,
+    KINDS,
+    JobValidationError,
+    job_id_for_key,
+    job_key,
+    parse_job_request,
+)
+
+
+def spec_for(config_dict, kind="characterize", params=None):
+    return parse_job_request(
+        {"kind": kind, "config": config_dict, "params": params or {}}
+    )
+
+
+class TestValidation:
+    def test_non_object_body(self):
+        with pytest.raises(JobValidationError) as err:
+            parse_job_request([1, 2])
+        assert err.value.code == "invalid-request"
+
+    def test_unknown_kind(self, service_config_dict):
+        with pytest.raises(JobValidationError) as err:
+            parse_job_request(
+                {"kind": "frobnicate", "config": service_config_dict}
+            )
+        assert err.value.code == "invalid-kind"
+        assert "characterize" in err.value.detail
+
+    def test_unknown_top_level_field(self, service_config_dict):
+        with pytest.raises(JobValidationError) as err:
+            parse_job_request(
+                {
+                    "kind": "characterize",
+                    "config": service_config_dict,
+                    "priority": 9,
+                }
+            )
+        assert err.value.code == "invalid-request"
+        assert "priority" in str(err.value)
+
+    def test_missing_config(self):
+        with pytest.raises(JobValidationError) as err:
+            parse_job_request({"kind": "characterize"})
+        assert err.value.code == "invalid-config"
+
+    def test_config_io_error_surfaces_in_detail(self):
+        with pytest.raises(JobValidationError) as err:
+            parse_job_request({"kind": "characterize", "config": {"bogus": 1}})
+        assert err.value.code == "invalid-config"
+        assert err.value.detail  # the config_io ValueError text
+
+    def test_unknown_param(self, service_config_dict):
+        with pytest.raises(JobValidationError) as err:
+            spec_for(
+                service_config_dict, params={"windows": 6, "threads": 4}
+            )
+        assert err.value.code == "invalid-params"
+        assert "threads" in str(err.value)
+
+    def test_window_bounds(self, service_config_dict):
+        with pytest.raises(JobValidationError):
+            spec_for(service_config_dict, params={"windows": 0})
+        with pytest.raises(JobValidationError):
+            spec_for(service_config_dict, params={"windows": True})
+
+    def test_figure_number_required_and_bounded(self, service_config_dict):
+        with pytest.raises(JobValidationError):
+            spec_for(service_config_dict, kind="figure")
+        with pytest.raises(JobValidationError):
+            spec_for(service_config_dict, kind="figure", params={"number": 11})
+        for number in FIGURE_NUMBERS:
+            spec = spec_for(
+                service_config_dict, kind="figure", params={"number": number}
+            )
+            assert spec.params == {"number": number}
+
+    def test_sweep_only_validated_and_sorted(self, service_config_dict):
+        with pytest.raises(JobValidationError) as err:
+            spec_for(
+                service_config_dict, kind="sweep", params={"only": ["nope"]}
+            )
+        assert err.value.code == "invalid-params"
+        spec = spec_for(
+            service_config_dict,
+            kind="sweep",
+            params={"only": ["fig03_gc", "fig02_throughput"]},
+        )
+        assert spec.params == {"only": ["fig02_throughput", "fig03_gc"]}
+
+
+class TestIdentity:
+    def test_defaults_fill_in(self, service_config_dict):
+        bare = spec_for(service_config_dict)
+        spelled = spec_for(service_config_dict, params={"windows": 60})
+        assert bare.key == spelled.key
+        assert bare.params == {"windows": 60}
+
+    def test_job_id_is_pure_function_of_key(self, service_config_dict):
+        spec = spec_for(service_config_dict)
+        assert spec.job_id == job_id_for_key(spec.key)
+        assert spec.job_id.startswith("j")
+
+    def test_kinds_do_not_collide(self, service_config_dict):
+        keys = {
+            spec_for(service_config_dict, kind="characterize").key,
+            spec_for(service_config_dict, kind="sweep").key,
+            spec_for(service_config_dict, kind="conform").key,
+        }
+        assert len(keys) == 3
+
+    def test_spec_round_trips_through_to_dict(self, service_config_dict):
+        spec = spec_for(service_config_dict, params={"windows": 7})
+        again = parse_job_request(spec.to_dict())
+        assert again == spec
+
+    @settings(max_examples=20, deadline=None)
+    @given(shuffle=st.randoms(use_true_random=False))
+    def test_key_ignores_dict_key_order(
+        self, service_config_dict, shuffle
+    ):
+        items = list(service_config_dict.items())
+        shuffle.shuffle(items)
+        shuffled = dict(items)
+        assert (
+            spec_for(shuffled).key == spec_for(service_config_dict).key
+        )
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        seeds=st.lists(
+            st.integers(min_value=0, max_value=2**31 - 1),
+            min_size=2,
+            max_size=2,
+            unique=True,
+        )
+    )
+    def test_seed_changes_the_key(self, service_config_dict, seeds):
+        variants = []
+        for seed in seeds:
+            payload = dict(service_config_dict)
+            payload["seed"] = seed
+            variants.append(spec_for(payload))
+        assert variants[0].key != variants[1].key
+        assert variants[0].config_key != variants[1].config_key
+
+    def test_key_is_raw_sha256_of_canonical_json(self, service_config_dict):
+        spec = spec_for(service_config_dict)
+        assert spec.key == job_key(
+            "characterize", spec.config_payload, spec.params
+        )
+        assert len(spec.key) == 64
+
+
+def test_kind_catalog_is_stable():
+    assert KINDS == ("characterize", "figure", "sweep", "conform")

@@ -1,0 +1,152 @@
+"""Single-flight acceptance: a thundering herd costs one simulation.
+
+The ISSUE's acceptance criterion, verbatim: 1000 concurrent identical
+submissions must produce exactly one underlying simulation, bit-
+identical responses for every caller, and a ``/v1/metrics`` document
+reporting the coalesced count.  The 1000-submission race runs at the
+:class:`ServiceState` level (no sockets — the dedup logic is what's
+under test); a real HTTP burst is layered on top at a size that keeps
+the tier-1 suite fast, with the full-scale version in the slow-marked
+loadgen test.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.runcache import RunCache, set_default_cache
+from repro.service.model import parse_job_request
+from repro.service.state import ServiceState
+from repro.service.worker import WorkerPool
+from tests.service.conftest import WINDOWS
+
+SUBMISSIONS = 1000
+
+
+@pytest.fixture
+def fresh_cache():
+    """Install an empty process-wide run cache; restore the old one."""
+    cache = RunCache()
+    previous = set_default_cache(cache)
+    yield cache
+    set_default_cache(previous)
+
+
+def make_spec(service_config_dict, seed=2007, windows=WINDOWS):
+    payload = dict(service_config_dict)
+    payload["seed"] = seed
+    return parse_job_request(
+        {
+            "kind": "characterize",
+            "config": payload,
+            "params": {"windows": windows},
+        }
+    )
+
+
+def single_run_misses(service_config_dict):
+    """Cache misses of exactly one clean job execution."""
+    from repro.service.executor import execute_spec
+
+    cache = RunCache()
+    previous = set_default_cache(cache)
+    try:
+        result = execute_spec(make_spec(service_config_dict))
+    finally:
+        set_default_cache(previous)
+    return cache.stats.misses, result
+
+
+def test_thousand_concurrent_submissions_one_simulation(
+    tmp_path, service_config_dict, fresh_cache
+):
+    baseline_misses, clean = single_run_misses(service_config_dict)
+    assert baseline_misses >= 1
+    assert fresh_cache.stats.lookups == 0  # baseline used its own cache
+
+    state = ServiceState(tmp_path / "svc", queue_capacity=64)
+    pool = WorkerPool(state, workers=4).start()
+    try:
+        spec = make_spec(service_config_dict)
+        barrier = threading.Barrier(32)
+
+        def submit(i):
+            if i < 32:
+                barrier.wait(timeout=30)  # a genuinely simultaneous front
+            return state.submit(spec)
+
+        with ThreadPoolExecutor(max_workers=32) as tpe:
+            outcomes = list(tpe.map(submit, range(SUBMISSIONS)))
+
+        # Every caller saw the same job.
+        job_ids = {record.job_id for record, _ in outcomes}
+        assert job_ids == {spec.job_id}
+        by_outcome = {}
+        for _, outcome in outcomes:
+            by_outcome[outcome] = by_outcome.get(outcome, 0) + 1
+        assert by_outcome["submitted"] == 1
+        assert sum(by_outcome.values()) == SUBMISSIONS
+
+        record = state.wait_for(spec.job_id, timeout=120)
+        assert record.status == "done"
+
+        # Exactly one underlying simulation: the burst cost precisely
+        # what one clean execution costs, and one execution happened.
+        assert fresh_cache.stats.misses == baseline_misses
+        doc = state.metrics_document()
+        sf = doc["summary"]["singleflight"]
+        assert sf["executed"] == 1
+        assert sf["coalesced"] + sf["index_hit"] == SUBMISSIONS - 1
+        assert sf["deduped"] == SUBMISSIONS - 1
+        assert doc["summary"]["jobs"]["submitted"] == 1
+
+        # Bit-identical to the clean run, for every reader.
+        artifact = state.artifact(spec.key)
+        assert artifact["body"] == clean["body"]
+        assert (
+            artifact["manifest"]["body_sha256"]
+            == clean["manifest"]["body_sha256"]
+        )
+
+        # Late submissions are index hits against the stored artifact.
+        late_record, late_outcome = state.submit(spec)
+        assert late_outcome == "index-hit"
+        assert late_record.artifact_key == spec.key
+    finally:
+        pool.stop()
+        state.close()
+
+
+def test_http_burst_coalesces(server, client, service_config_dict):
+    """The same race through real sockets, sized for tier-1."""
+    requests = 64
+
+    def one(_):
+        status, doc, _ = client.submit(
+            "characterize", service_config_dict, {"windows": WINDOWS}
+        )
+        assert status in (200, 202)
+        return doc["outcome"], doc["job"]["id"]
+
+    with ThreadPoolExecutor(max_workers=16) as tpe:
+        results = list(tpe.map(one, range(requests)))
+
+    ids = {job_id for _, job_id in results}
+    assert len(ids) == 1
+    job = client.job(ids.pop(), wait_s=120)
+    assert job["status"] == "done"
+
+    bodies = set()
+    with ThreadPoolExecutor(max_workers=8) as tpe:
+        for body in tpe.map(
+            lambda _: client.artifact_text(job["artifact_key"]), range(8)
+        ):
+            bodies.add(body)
+    assert len(bodies) == 1
+
+    metrics = client.metrics()["summary"]["singleflight"]
+    assert metrics["executed"] == 1  # the burst is this server's only job
+    assert metrics["deduped"] >= requests - 1

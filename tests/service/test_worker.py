@@ -1,0 +1,178 @@
+"""Worker pool behavior: retries, terminal failure, queue limits."""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+import time
+
+import pytest
+
+from repro.experiments.supervisor import DEFAULT_POLICY
+from repro.service import worker as worker_mod
+from repro.service.model import parse_job_request
+from repro.service.state import QueueFullError, ServiceState
+from repro.service.worker import WorkerPool
+
+FAST_POLICY = dataclasses.replace(
+    DEFAULT_POLICY, backoff_base_s=0.01, backoff_cap_s=0.02, max_attempts=3
+)
+
+
+def make_spec(service_config_dict, seed=2007):
+    payload = dict(service_config_dict)
+    payload["seed"] = seed
+    return parse_job_request(
+        {"kind": "characterize", "config": payload, "params": {"windows": 2}}
+    )
+
+
+@pytest.fixture
+def state(tmp_path):
+    st = ServiceState(tmp_path / "svc", queue_capacity=4)
+    yield st
+    st.close()
+
+
+def fake_result(spec):
+    return {
+        "key": spec.key,
+        "body": f"report for {spec.key[:8]}\n",
+        "manifest": {"git": "test"},
+    }
+
+
+def _hang(spec_dict):
+    # Module-level so the process pool can pickle it by reference;
+    # finite so a torn-down worker exits on its own (the supervisor
+    # never waits for it).
+    time.sleep(5)
+
+
+class TestRetry:
+    def test_transient_failures_retried_to_success(
+        self, state, service_config_dict, monkeypatch
+    ):
+        calls = []
+
+        def flaky(spec):
+            calls.append(spec.key)
+            if len(calls) < 3:
+                raise RuntimeError("transient")
+            return fake_result(spec)
+
+        monkeypatch.setattr(worker_mod, "execute_spec", flaky)
+        pool = WorkerPool(
+            state, workers=1, policy=FAST_POLICY, rng=random.Random(0)
+        ).start()
+        try:
+            spec = make_spec(service_config_dict)
+            state.submit(spec)
+            record = state.wait_for(spec.job_id, timeout=30)
+            assert record.status == "done"
+            assert len(calls) == 3
+            assert record.attempts == 3  # 2 retries + the success
+            assert state.metrics_document()["summary"]["jobs"]["retry"] == 2
+            assert state.artifact(spec.key)["body"] == fake_result(spec)["body"]
+        finally:
+            pool.stop()
+
+    def test_permanent_failure_is_terminal_and_resubmittable(
+        self, state, service_config_dict, monkeypatch
+    ):
+        def doomed(spec):
+            raise ValueError("always broken")
+
+        monkeypatch.setattr(worker_mod, "execute_spec", doomed)
+        pool = WorkerPool(
+            state, workers=1, policy=FAST_POLICY, rng=random.Random(0)
+        ).start()
+        try:
+            spec = make_spec(service_config_dict)
+            state.submit(spec)
+            record = state.wait_for(spec.job_id, timeout=30)
+            assert record.status == "failed"
+            assert "always broken" in record.error
+            assert record.attempts == FAST_POLICY.max_attempts
+            # A failed key is not poisoned: resubmission requeues it.
+            monkeypatch.setattr(worker_mod, "execute_spec", fake_result)
+            record2, outcome = state.submit(spec)
+            assert outcome == "resubmitted"
+            assert record2.job_id == record.job_id
+            final = state.wait_for(spec.job_id, timeout=30)
+            assert final.status == "done"
+        finally:
+            pool.stop()
+
+    def test_timeout_error_message_names_the_budget(
+        self, state, service_config_dict, monkeypatch
+    ):
+        policy = dataclasses.replace(
+            FAST_POLICY, task_timeout_s=0.05, max_attempts=1
+        )
+        runtime = worker_mod._WorkerRuntime("process", policy, state)
+        monkeypatch.setattr(worker_mod, "execute_job", _hang)
+        spec = make_spec(service_config_dict)
+        try:
+            if runtime.degraded:
+                pytest.skip("multiprocessing unusable here")
+            with pytest.raises(TimeoutError, match="task_timeout_s"):
+                runtime.run_once(spec)
+            assert runtime.pool is None  # torn down, rebuilt lazily
+            assert runtime.pool_failures == 1
+        finally:
+            runtime.shutdown()
+
+
+class TestQueueLimits:
+    def test_queue_full_raises_with_backpressure_hint(
+        self, tmp_path, service_config_dict
+    ):
+        state = ServiceState(tmp_path / "tiny", queue_capacity=2)
+        try:
+            # No workers: submissions pile up in the queue.
+            for seed in (1, 2):
+                state.submit(make_spec(service_config_dict, seed=seed))
+            with pytest.raises(QueueFullError) as err:
+                state.submit(make_spec(service_config_dict, seed=3))
+            assert err.value.retry_after_s >= 1
+            assert err.value.capacity == 2
+            # Deduped submissions still succeed at capacity: no new work.
+            _, outcome = state.submit(make_spec(service_config_dict, seed=1))
+            assert outcome == "coalesced"
+            assert (
+                state.metrics_document()["summary"]["jobs"]["rejected"] == 1
+            )
+        finally:
+            state.close()
+
+    def test_invalid_pool_arguments(self, state):
+        with pytest.raises(ValueError):
+            WorkerPool(state, workers=0)
+        with pytest.raises(ValueError):
+            WorkerPool(state, mode="quantum")
+        with pytest.raises(ValueError):
+            ServiceState("unused", queue_capacity=0)
+
+
+class TestRecovery:
+    def test_restart_requeues_and_finishes_interrupted_work(
+        self, tmp_path, service_config_dict, monkeypatch
+    ):
+        spec = make_spec(service_config_dict)
+        state = ServiceState(tmp_path / "svc")
+        state.submit(spec)
+        claimed = state.claim_next(timeout=1)
+        assert claimed is not None  # job now "running"; simulate a crash
+        state.close()
+
+        monkeypatch.setattr(worker_mod, "execute_spec", fake_result)
+        reborn = ServiceState(tmp_path / "svc")
+        pool = WorkerPool(reborn, workers=1, policy=FAST_POLICY).start()
+        try:
+            record = reborn.wait_for(spec.job_id, timeout=30)
+            assert record.status == "done"
+            assert reborn.artifact(spec.key)["body"].startswith("report for")
+        finally:
+            pool.stop()
+            reborn.close()
