@@ -6,6 +6,9 @@ Commands::
     figure N       regenerate one of the paper's figures (2-10)
     tables         regenerate the in-text tables
     whatif         estimate + validate the enhancement scenarios
+    objprof        object-centric heap profile: per-site miss
+                   attribution, lifetimes, top inefficient objects,
+                   and the site-targeted what-ifs
     scaling        the processor-scaling study (future work)
     tuning         the Section 3.3 tuning walk
     cluster        single server vs blade cluster (future work)
@@ -177,6 +180,27 @@ def cmd_compare(args: argparse.Namespace) -> int:
 
     result = tab_baselines.run(_config(args))
     _emit(result.render_lines())
+    return 0
+
+
+def cmd_objprof(args: argparse.Namespace) -> int:
+    from repro.experiments import exp_objprof
+
+    result = exp_objprof.run(
+        _config(args),
+        hw_windows=args.windows,
+        top_n=args.top,
+        validate=not args.no_validate,
+    )
+    _emit(result.render_lines())
+    if args.json:
+        import json
+        from pathlib import Path
+
+        Path(args.json).write_text(
+            json.dumps(result.to_dict(), indent=2, sort_keys=True) + "\n"
+        )
+        print(f"\nsite ranking JSON written to {args.json}")
     return 0
 
 
@@ -651,6 +675,30 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser(
         "whatif", help="enhancement estimates vs simulation", parents=[common]
     ).set_defaults(handler=_simple_experiment("exp_whatif"))
+    objprof_p = sub.add_parser(
+        "objprof",
+        help="object-centric heap profile (top inefficient objects)",
+        parents=[common],
+    )
+    objprof_p.add_argument(
+        "--top",
+        type=int,
+        default=5,
+        metavar="N",
+        help="sites to show in the inefficiency ranking (default 5)",
+    )
+    objprof_p.add_argument(
+        "--json",
+        metavar="FILE",
+        default=None,
+        help="also write the full site profile + ranking as JSON",
+    )
+    objprof_p.add_argument(
+        "--no-validate",
+        action="store_true",
+        help="skip the what-if re-simulations (estimates only)",
+    )
+    objprof_p.set_defaults(handler=cmd_objprof)
     sub.add_parser(
         "scaling", help="processor-scaling study", parents=[common]
     ).set_defaults(handler=_simple_experiment("exp_scaling"))

@@ -17,7 +17,7 @@ stationary probabilities where it is not (beyond-L2 data sources).
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Mapping, Tuple
+from typing import Mapping, Optional, Tuple
 
 from repro.util.units import KB, MB
 
@@ -263,6 +263,16 @@ class JvmConfig:
     #: branches (the paper's proposed devirtualization optimization;
     #: 0 on the measured system).
     devirtualize_fraction: float = 0.0
+    #: Fraction of cold-heap accesses sourced from memory (vs. L3).
+    #: None keeps the measured system's backing mix; the objprof
+    #: "shrink top-site footprint" what-if lowers it to model a
+    #: smaller resident set caching better.
+    cold_mem_fraction: Optional[float] = None
+    #: Lifetime-segregate the churn allocation sites (string/buffer
+    #: temporaries) into denser sequential runs, as the objprof
+    #: "segregate churn sites" what-if proposes; off on the measured
+    #: system.
+    churn_segregated: bool = False
 
 
 # ---------------------------------------------------------------------------

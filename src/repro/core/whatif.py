@@ -219,6 +219,108 @@ def default_scenarios() -> List[Scenario]:
     ]
 
 
+# ---------------------------------------------------------------------------
+# Object-centric scenarios (from an objprof SiteProfile)
+# ---------------------------------------------------------------------------
+
+
+def objprof_scenarios(profile) -> List[Scenario]:
+    """Scenarios targeting the profile's top inefficient objects.
+
+    Unlike :func:`default_scenarios` these are *data-driven*: the
+    estimators close over the per-site shares an
+    :class:`~repro.obs.objprof.SiteProfile` measured, which is exactly
+    the DJXPerf workflow — profile object-centrically, then predict
+    the win from fixing the worst site.
+
+    * **shrink-top-site** — halve the top-ranked site's resident
+      footprint (e.g. trim session state).  The cold heap caches
+      better: its memory-sourced share shrinks proportionally to the
+      site's share of the live set, which the transform applies via
+      ``jvm.cold_mem_fraction``.
+    * **segregate-churn** — lifetime-segregate the transaction-scoped
+      churn sites into their own allocation runs
+      (``jvm.churn_segregated``): the allocation frontier streams and
+      store-gathers better, and the interleaving that strands dark
+      matter drops in proportion to the churn sites' dark share.
+    """
+    from repro.cpu.regions import HEAP_COLD_MEM_FRACTION
+
+    ranked = profile.top_inefficient(1)
+    if not ranked:
+        raise ValueError("profile has no heap sites to target")
+    top = ranked[0]
+    top_name = top.site.name
+    #: Relative shrink of the cold heap's memory-backed share when the
+    #: top site's footprint halves.
+    cold_reduction = 0.5 * top.site.live_share
+
+    heap_mem = sum(r.mem_sourced for r in profile.heap_reports)
+    total_mem = sum(r.mem_sourced for r in profile.reports)
+    heap_mem_share = heap_mem / total_mem if total_mem else 0.0
+
+    churn = [
+        r for r in profile.heap_reports
+        if r.site.lifetime_class == "transaction"
+    ]
+    churn_st = sum(r.st_misses for r in churn)
+    total_st = sum(r.st_misses for r in profile.reports)
+    churn_st_share = churn_st / total_st if total_st else 0.0
+    churn_dark_share = sum(r.dark_share for r in churn)
+
+    def shrink_estimator(hw: HardwareSummary, lat: PipelineLatencies) -> float:
+        mem_rate = _data_source_rate(hw, DataSource.MEM)
+        shifted = mem_rate * heap_mem_share * cold_reduction
+        return -(shifted * (lat.data_from_mem - lat.data_from_l3))
+
+    def shrink_transform(config: ExperimentConfig) -> ExperimentConfig:
+        return dataclasses.replace(
+            config,
+            jvm=dataclasses.replace(
+                config.jvm,
+                cold_mem_fraction=HEAP_COLD_MEM_FRACTION
+                * (1.0 - cold_reduction),
+            ),
+        )
+
+    def segregate_estimator(
+        hw: HardwareSummary, lat: PipelineLatencies
+    ) -> float:
+        st_miss_rate = hw.l1d_store_miss_rate / hw.instr_per_store
+        # Denser sequential stores gather better: assume a quarter of
+        # the churn sites' store misses merge away.
+        return -(st_miss_rate * churn_st_share * 0.25 * lat.store_miss)
+
+    def segregate_transform(config: ExperimentConfig) -> ExperimentConfig:
+        gc = config.jvm.gc
+        new_gc = dataclasses.replace(
+            gc,
+            dark_matter_per_sweep_fraction=gc.dark_matter_per_sweep_fraction
+            * (1.0 - 0.6 * churn_dark_share),
+        )
+        return dataclasses.replace(
+            config,
+            jvm=dataclasses.replace(
+                config.jvm, churn_segregated=True, gc=new_gc
+            ),
+        )
+
+    return [
+        Scenario(
+            name="shrink-top-site",
+            description=f"halve the {top_name} footprint (top-ranked site)",
+            estimator=shrink_estimator,
+            transform=shrink_transform,
+        ),
+        Scenario(
+            name="segregate-churn",
+            description="lifetime-segregate the churn allocation sites",
+            estimator=segregate_estimator,
+            transform=segregate_transform,
+        ),
+    ]
+
+
 class WhatIfAnalyzer:
     """Ranks scenarios by estimated benefit; validates by simulation."""
 

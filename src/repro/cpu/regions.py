@@ -46,6 +46,11 @@ GC_BITMAP = "gc_bitmap"
 DB_BUFFER = "db_buffer"
 NATIVE_DATA = "native_data"
 
+#: Measured system's memory-backed share of the cold heap stratum (the
+#: rest hits L3).  ``JvmConfig.cold_mem_fraction`` overrides it for the
+#: objprof footprint what-if.
+HEAP_COLD_MEM_FRACTION = 0.30
+
 
 def _normalized(dist: Iterable[Tuple[object, float]]) -> Tuple[Tuple[object, float], ...]:
     items = tuple(dist)
@@ -252,11 +257,21 @@ class AddressSpace:
             backing=[(d.L2, 0.95), (d.L3, 0.05)],
             dwell_span=1024,
         )
+        # The default literal mix is kept untouched when the objprof
+        # footprint what-if knob is unset: 1.0 - 0.3 != 0.7 in IEEE
+        # arithmetic, and the backing weights must stay bit-identical.
+        cold_mem = jvm.cold_mem_fraction
+        if cold_mem is None:
+            cold_backing = [(d.L3, 0.70), (d.MEM, HEAP_COLD_MEM_FRACTION)]
+        else:
+            if not 0.0 <= cold_mem <= 1.0:
+                raise ValueError("cold_mem_fraction must be in [0, 1]")
+            cold_backing = [(d.L3, 1.0 - cold_mem), (d.MEM, cold_mem)]
         add(
             HEAP_COLD,
             heap_cold_bytes,
             heap_page,
-            backing=[(d.L3, 0.70), (d.MEM, 0.30)],
+            backing=cold_backing,
             scan_affinity=1.0,
         )
         add(

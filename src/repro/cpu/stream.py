@@ -63,6 +63,7 @@ from repro.cpu.sources import DataSource, InstSource
 from repro.cpu.translation import TranslationUnit
 from repro.hpm.counters import CounterBank
 from repro.hpm.events import EVENT_INDEX, Event
+from repro.obs import objprof as _objprof
 from repro.obs import runtime as _obs
 from repro.obs.trace import WALL
 
@@ -299,11 +300,19 @@ class SliceRunner:
         region = regions[lo]
 
         addr = self._data_address(region, seq_fraction, step)
+        # Object-centric attribution (repro.obs.objprof) mirrors the
+        # miss classification below: pure side counters, no RNG draws,
+        # no float accumulation — bit-identical either way.
+        prof = _objprof._ACTIVE
         result = self.translation.translate_data(addr, region)
         if result.erat_miss:
             self.bank.add(Event.PM_DERAT_MISS)
+            if prof is not None:
+                prof.charge(region, addr, _objprof.SLOT_DERAT_MISS)
             if result.tlb_miss:
                 self.bank.add(Event.PM_DTLB_MISS)
+                if prof is not None:
+                    prof.charge(region, addr, _objprof.SLOT_DTLB_MISS)
         self.acct.charge_data_translation(result)
 
         if is_load:
@@ -311,9 +320,17 @@ class SliceRunner:
             self.acct.charge_load(source, outcome.covered)
             if outcome.allocated:
                 self.acct.charge_stream_alloc()
+            if prof is not None:
+                if outcome.covered:
+                    prof.charge(region, addr, _objprof.SLOT_COVERED)
+                elif source is not None:
+                    prof.charge(region, addr, _objprof.SLOT_LD_MISS)
+                    prof.charge(region, addr, _objprof.SLOT_OF_SOURCE[source])
         else:
             hit = self.memory.store(addr, region)
             self.acct.charge_store(hit)
+            if prof is not None and not hit:
+                prof.charge(region, addr, _objprof.SLOT_ST_MISS)
 
     def _stochastic_count(self, expectation: float) -> int:
         n = int(expectation)
@@ -567,6 +584,19 @@ class SliceRunner:
         backing_rng = memory.rng
         l1i_h = l1i_m = l1d_h = l1d_m = 0
 
+        # --- object-centric attribution (repro.obs.objprof) ---------
+        # Charges data-side miss events to allocation-site extents.
+        # Pure side counters: no RNG draws, no float accumulation, so
+        # a profiled run stays bit-identical to an unprofiled one.
+        prof = _objprof._ACTIVE
+        prof_charge = prof.charge if prof is not None else None
+        P_LD_MISS = _objprof.SLOT_LD_MISS
+        P_ST_MISS = _objprof.SLOT_ST_MISS
+        P_DERAT = _objprof.SLOT_DERAT_MISS
+        P_DTLB = _objprof.SLOT_DTLB_MISS
+        P_COVERED = _objprof.SLOT_COVERED
+        P_SOURCE = _objprof.SLOT_OF_SOURCE
+
         # --- translation structures (ERATs are LRU by construction) -
         trans = self.translation
         derat = trans.derat.cache
@@ -786,6 +816,8 @@ class SliceRunner:
                         del ways[0]
                     ways.append(g)
                     counts[_DERAT_MISS] += 1
+                    if prof_charge is not None:
+                        prof_charge(region, addr, P_DERAT)
                     page = region.page_bytes
                     hit = tlb_access(addr // page * 2 + (1 if page > 4096 else 0))
                     if hit:
@@ -793,6 +825,8 @@ class SliceRunner:
                     else:
                         tlb_dm += 1
                         counts[_DTLB_MISS] += 1
+                        if prof_charge is not None:
+                            prof_charge(region, addr, P_DTLB)
                     cycles += derat_lat
                     extra += derat_redisp
                     if not hit:
@@ -817,6 +851,8 @@ class SliceRunner:
                             ways.append(dblock)
                         counts[_L1_PREF] += 1
                         counts[_L2_PREF] += 1
+                        if prof_charge is not None:
+                            prof_charge(region, addr, P_COVERED)
                         cycles += covered_lat
                     else:
                         ways = l1d_sets[dblock % l1d_nsets]
@@ -835,6 +871,9 @@ class SliceRunner:
                                 counts[_L2_PREF] += outcome.l2_prefetches
                             source = region.pick_source(backing_rng)
                             counts[_DATA_SLOT[source]] += 1
+                            if prof_charge is not None:
+                                prof_charge(region, addr, P_LD_MISS)
+                                prof_charge(region, addr, P_SOURCE[source])
                             if len(ways) >= l1d_assoc:
                                 del ways[0]
                             ways.append(dblock)
@@ -863,6 +902,8 @@ class SliceRunner:
                         else:
                             l1d_m += 1
                             counts[_ST_MISS] += 1
+                            if prof_charge is not None:
+                                prof_charge(region, addr, P_ST_MISS)
                             cycles += store_miss_lat
 
             # ---- LARX/STCX pairs -----------------------------------

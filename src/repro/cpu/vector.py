@@ -85,6 +85,7 @@ from repro.cpu.stream import (
 from repro.cpu.translation import TranslationUnit
 from repro.hpm.counters import CounterBank, CounterSnapshot
 from repro.hpm.events import EVENT_INDEX, EVENTS, N_EVENTS, Event
+from repro.obs import objprof as _objprof
 from repro.util.rng import RngFactory
 
 from repro.cpu.vecrng import VectorMT
@@ -549,6 +550,10 @@ def vector_supported(core: CoreModel, space: AddressSpace) -> Tuple[bool, str]:
     """
     memory = core.memory
     translation = core.translation
+    if _objprof._ACTIVE is not None:
+        # The batch engine carries no per-address attribution hooks;
+        # profiled runs degrade to the serial core, which does.
+        return False, "objprof session active"
     if type(core).execute_window is not CoreModel.execute_window:
         return False, "execute_window overridden"
     if core.slice_runner_cls is not SliceRunner:

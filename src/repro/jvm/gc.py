@@ -68,6 +68,9 @@ class MarkSweepCompactCollector:
 
     def collect(self, heap: FlatHeap, now_s: float) -> GcEvent:
         """Run one stop-the-world collection at virtual time ``now_s``."""
+        ledger = heap._objprof_ledger
+        if ledger is not None:
+            ledger.note_gc(now_s)
         costs = self.costs
         live_mb = heap.live_bytes / MB
         heap_mb = heap.capacity_bytes / MB

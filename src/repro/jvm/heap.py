@@ -21,6 +21,7 @@ compaction policy) is the collector's job (:mod:`repro.jvm.gc`).
 from __future__ import annotations
 
 from repro.config import JvmConfig
+from repro.obs import objprof as _objprof
 from repro.util.units import MB
 
 
@@ -37,6 +38,10 @@ class FlatHeap:
         self.live_bytes = 0
         self.allocated_since_gc = 0
         self.dark_matter_bytes = 0
+        prof = _objprof._ACTIVE
+        self._objprof_ledger = (
+            prof.register_heap(self) if prof is not None else None
+        )
 
     # ------------------------------------------------------------------
     # Occupancy
@@ -74,10 +79,16 @@ class FlatHeap:
             raise ValueError("cannot allocate a negative amount")
         if self.live_bytes + self.dark_matter_bytes + n_bytes > self.capacity_bytes:
             raise HeapExhaustedError(
-                f"live {self.live_bytes} + dark {self.dark_matter_bytes} "
-                f"+ request {n_bytes} exceeds {self.capacity_bytes}"
+                f"heap exhausted: request of {n_bytes} bytes cannot fit even "
+                f"after a perfect collection "
+                f"(capacity {self.capacity_bytes}, live {self.live_bytes}, "
+                f"fresh {self.allocated_since_gc}, "
+                f"dark matter {self.dark_matter_bytes}, "
+                f"free {self.free_bytes})"
             )
         self.allocated_since_gc += n_bytes
+        if self._objprof_ledger is not None:
+            self._objprof_ledger.on_allocate(n_bytes)
         return self.free_bytes < self._trigger_free
 
     def reclaim(self, surviving_fraction: float, dark_matter_added: int) -> int:
@@ -91,6 +102,8 @@ class FlatHeap:
             raise ValueError("surviving fraction must be in [0, 1]")
         survivors = int(self.allocated_since_gc * surviving_fraction)
         garbage = self.allocated_since_gc - survivors
+        if self._objprof_ledger is not None:
+            self._objprof_ledger.on_reclaim(surviving_fraction, dark_matter_added)
         self.live_bytes += survivors
         self.allocated_since_gc = 0
         self.dark_matter_bytes += dark_matter_added
@@ -100,4 +113,6 @@ class FlatHeap:
         """Compaction folds all dark matter back into free space."""
         recovered = self.dark_matter_bytes
         self.dark_matter_bytes = 0
+        if self._objprof_ledger is not None:
+            self._objprof_ledger.on_compact()
         return recovered

@@ -82,6 +82,7 @@ def mutator_profiles(
     rng: random.Random,
     intensity: MutatorIntensity,
     devirtualize_fraction: float = 0.0,
+    churn_segregated: bool = False,
 ) -> Dict[str, PhaseProfile]:
     """Build this window's four mutator profiles.
 
@@ -123,6 +124,17 @@ def mutator_profiles(
         return _scaled_mix(_scaled_mix(mix, cold_factors), shared_factors)
 
     seq = lambda base: min(0.9, base * intensity.stream * stream_f)  # noqa: E731
+
+    def seq_store(base: float) -> float:
+        # Lifetime-segregating the churn sites (objprof what-if) packs
+        # string/buffer temporaries into denser sequential runs: the
+        # allocation frontier streams harder and gathers better.  When
+        # off, `base * stream_f` reproduces the measured system's
+        # literal expression bit-for-bit.
+        if churn_segregated:
+            return min(0.6, base * 1.6 * stream_f)
+        return min(0.5, base * stream_f)
+
     lock = intensity.lock * lock_f
     #: Devirtualized call sites branch directly: fewer indirect
     #: branches reach the target predictor.
@@ -161,7 +173,7 @@ def mutator_profiles(
             )
         ),
         seq_load_fraction=seq(0.10),
-        seq_store_fraction=min(0.5, 0.15 * stream_f),
+        seq_store_fraction=seq_store(0.15),
         page_dwell=page_dwell,
         indirect_fraction=min(0.20, 0.085 * code_f * virt),
         call_fraction=0.12,
@@ -200,7 +212,7 @@ def mutator_profiles(
             )
         ),
         seq_load_fraction=seq(0.08),
-        seq_store_fraction=min(0.5, 0.12 * stream_f),
+        seq_store_fraction=seq_store(0.12),
         page_dwell=page_dwell,
         indirect_fraction=min(0.20, 0.05 * code_f * virt),
         call_fraction=0.11,
@@ -229,7 +241,7 @@ def mutator_profiles(
             (R.NATIVE_DATA, 0.38),
         ),
         seq_load_fraction=seq(0.10),
-        seq_store_fraction=min(0.5, 0.08 * stream_f),
+        seq_store_fraction=seq_store(0.08),
         page_dwell=page_dwell,
         indirect_fraction=min(0.20, 0.04 * code_f * virt),
         call_fraction=0.10,
@@ -259,7 +271,7 @@ def mutator_profiles(
             (R.DB_BUFFER, 0.08),
         ),
         seq_load_fraction=seq(0.16),
-        seq_store_fraction=min(0.5, 0.10 * stream_f),
+        seq_store_fraction=seq_store(0.10),
         page_dwell=page_dwell,
         indirect_fraction=min(0.20, 0.045 * code_f * virt),
         call_fraction=0.10,

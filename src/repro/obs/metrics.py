@@ -250,6 +250,10 @@ class MetricsRegistry:
             }
         return out
 
+    def snapshot_delta(self, earlier: Dict[str, object]) -> Dict[str, object]:
+        """``snapshot_delta(earlier, self.snapshot())`` as a method."""
+        return snapshot_delta(earlier, self.snapshot())
+
     def render_lines(self) -> List[str]:
         """A flat, sorted, human-readable dump."""
         lines: List[str] = []
@@ -267,3 +271,63 @@ class MetricsRegistry:
                 f"max={0 if h.count == 0 else h.max_value:g}"
             )
         return lines
+
+
+def snapshot_delta(
+    before: Mapping[str, object], after: Mapping[str, object]
+) -> Dict[str, object]:
+    """Difference two :meth:`MetricsRegistry.snapshot` dicts.
+
+    Returns a snapshot-shaped dict describing what happened *between*
+    the two captures, so windowed reporting (objprof, the service
+    ``/v1/metrics`` deltas) stops hand-diffing registries:
+
+    * ``counters``: ``after - before`` per metric (union of keys, a
+      missing side counts as 0);
+    * ``gauges``: the ``after`` value plus a ``delta`` vs. before;
+    * ``histograms``: count/sum/bucket/overflow differences, with the
+      ``after`` bounds.
+
+    Both arguments must come from ``snapshot()`` (or this function);
+    histograms whose bounds changed between captures raise.
+    """
+    out: Dict[str, object] = {"counters": {}, "gauges": {}, "histograms": {}}
+    before_c = before.get("counters", {})
+    after_c = after.get("counters", {})
+    for key in sorted(set(before_c) | set(after_c)):
+        out["counters"][key] = after_c.get(key, 0.0) - before_c.get(key, 0.0)
+    before_g = before.get("gauges", {})
+    after_g = after.get("gauges", {})
+    for key in sorted(set(before_g) | set(after_g)):
+        a = after_g.get(key)
+        b = before_g.get(key)
+        a_val = a["value"] if a is not None else 0.0
+        b_val = b["value"] if b is not None else 0.0
+        out["gauges"][key] = {
+            "value": a_val,
+            "delta": a_val - b_val,
+            "updates": (a["updates"] if a else 0) - (b["updates"] if b else 0),
+        }
+    before_h = before.get("histograms", {})
+    after_h = after.get("histograms", {})
+    for key in sorted(set(before_h) | set(after_h)):
+        a = after_h.get(key)
+        b = before_h.get(key)
+        if a is not None and b is not None and a["bounds"] != b["bounds"]:
+            raise ValueError(
+                f"histogram {key!r} changed bounds between snapshots"
+            )
+        bounds = (a or b)["bounds"]
+        a_buckets = a["buckets"] if a else [0] * len(bounds)
+        b_buckets = b["buckets"] if b else [0] * len(bounds)
+        count = (a["count"] if a else 0) - (b["count"] if b else 0)
+        total = (a["sum"] if a else 0.0) - (b["sum"] if b else 0.0)
+        out["histograms"][key] = {
+            "count": count,
+            "sum": total,
+            "mean": total / count if count else 0.0,
+            "bounds": list(bounds),
+            "buckets": [x - y for x, y in zip(a_buckets, b_buckets)],
+            "overflow": (a["overflow"] if a else 0) - (b["overflow"] if b else 0),
+        }
+    return out

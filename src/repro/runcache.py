@@ -60,6 +60,7 @@ from typing import Dict, List, Optional, Union
 
 from repro.config import ExperimentConfig
 from repro.config_io import config_to_dict
+from repro.obs import objprof as _objprof
 from repro.obs import runtime as _obs
 from repro.obs.manifest import SOURCE_DISK, SOURCE_MEMORY, SOURCE_SIMULATED
 from repro.util.rng import RngFactory
@@ -207,6 +208,18 @@ class RunCache:
     ) -> RunResult:
         """Return the run for ``config``, simulating it on first use."""
         key = config_key(config, rng_fork)
+        if _objprof._ACTIVE is not None:
+            # Object profiling needs the SUT to genuinely execute so
+            # the heap registers a site ledger; a cache replay (or a
+            # stored result poisoning later unprofiled lookups) would
+            # defeat it.  Bypass both tiers while a session is active.
+            self.stats.misses += 1
+            factory = RngFactory(config.seed)
+            if rng_fork is not None:
+                factory = factory.fork(rng_fork)
+            result = SystemUnderTest(config, factory).run()
+            self._record(key, config, rng_fork, SOURCE_SIMULATED)
+            return result
         cached = self._memory.get(key)
         if cached is not None:
             self.stats.hits += 1

@@ -69,11 +69,24 @@ def _run_conform(spec: JobSpec) -> str:
     return "\n".join(report.render_lines()) + "\n"
 
 
+def _run_objprof(spec: JobSpec) -> str:
+    from repro.experiments import exp_objprof
+
+    result = exp_objprof.run(
+        spec.config(),
+        hw_windows=spec.params["windows"],
+        top_n=spec.params["top"],
+        validate=spec.params["validate"],
+    )
+    return "\n".join(result.render_lines()) + "\n"
+
+
 _HANDLERS = {
     "characterize": _run_characterize,
     "figure": _run_figure,
     "sweep": _run_sweep,
     "conform": _run_conform,
+    "objprof": _run_objprof,
 }
 
 

@@ -36,7 +36,7 @@ from repro.config_io import config_from_dict, config_to_dict
 from repro.runcache import config_key as runcache_config_key
 
 #: Supported job kinds, in documentation order.
-KINDS = ("characterize", "figure", "sweep", "conform")
+KINDS = ("characterize", "figure", "sweep", "conform", "objprof")
 
 #: Job lifecycle states.
 QUEUED, RUNNING, DONE, FAILED = "queued", "running", "done", "failed"
@@ -106,6 +106,7 @@ def _normalize_params(kind: str, params: Dict[str, Any]) -> Dict[str, Any]:
         "figure": {"number"},
         "sweep": {"only"},
         "conform": {"windows", "skip_slow"},
+        "objprof": {"windows", "top", "validate"},
     }[kind]
     unknown = sorted(set(params) - known)
     if unknown:
@@ -147,6 +148,12 @@ def _normalize_params(kind: str, params: Dict[str, Any]) -> Dict[str, Any]:
                 )
             only = sorted(set(only))
         return {"only": only}
+    if kind == "objprof":
+        return {
+            "windows": _require_int(params, "windows", 48, 1),
+            "top": _require_int(params, "top", 5, 1),
+            "validate": _require_bool(params, "validate", True),
+        }
     return {
         "windows": _require_int(params, "windows", 60, 1),
         "skip_slow": _require_bool(params, "skip_slow", True),

@@ -147,6 +147,7 @@ class WorkloadPhaseSchedule:
             self._rng,
             intensity,
             devirtualize_fraction=self.result.config.jvm.devirtualize_fraction,
+            churn_segregated=self.result.config.jvm.churn_segregated,
         )
 
         compiled = 1.0

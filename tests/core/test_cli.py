@@ -24,6 +24,7 @@ class TestParser:
             "warmup",
             "heap-sweep",
             "methodology",
+            "objprof",
             "compare",
             "save-config",
             "reproduce-all",
@@ -115,6 +116,32 @@ class TestExecution:
     def test_compare_command_runs(self, capsys):
         assert main(["compare", "--scale", "quick"]) == 0
         assert "Simple Java Benchmarks" in capsys.readouterr().out
+
+    def test_objprof_flags_parse(self):
+        parser = build_parser()
+        args = parser.parse_args(
+            ["objprof", "--scale", "quick", "--windows", "8",
+             "--top", "3", "--no-validate"]
+        )
+        assert (args.windows, args.top, args.no_validate) == (8, 3, True)
+
+    def test_objprof_command_runs(self, capsys, tmp_path):
+        import json
+
+        out_path = tmp_path / "sites.json"
+        code = main(
+            ["objprof", "--scale", "quick", "--windows", "8",
+             "--no-validate", "--json", str(out_path)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Object-Centric Heap Profile" in out
+        assert "[ok]" in out
+        doc = json.loads(out_path.read_text())
+        assert doc["ranking"]
+        assert doc["reconciliation"] == {
+            "fresh": True, "dark": True, "live": True
+        }
 
     def test_reproduce_all_unknown_only_fails_fast(self, capsys):
         # A typo must not render as a clean empty sweep.

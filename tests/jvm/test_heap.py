@@ -96,3 +96,68 @@ def test_heap_invariants(live_mb, allocs, dark_mb):
         if needs_gc:
             heap.reclaim(0.0, dark_mb * MB)
     assert heap.free_bytes >= 0
+
+
+class TestEdgeCases:
+    """Sweep/compaction corners: dark-matter saturation, repeated
+    zero-survivor sweeps, and compaction as the escape hatch after
+    exhaustion."""
+
+    def test_dark_saturation_alone_triggers_gc(self):
+        # Fragmentation by itself can eat the free headroom: with no
+        # live or fresh bytes at all, enough stranded dark matter must
+        # still push the heap over the GC trigger.
+        heap = make_heap(heap_mb=100, trigger=0.02)
+        heap.allocate(99 * MB)
+        heap.reclaim(surviving_fraction=0.0, dark_matter_added=99 * MB)
+        assert heap.live_bytes == 0
+        assert heap.used_bytes == heap.dark_matter_bytes == 99 * MB
+        assert heap.allocate(1) is True  # free (1 MB - 1) < 2 MB trigger
+
+    def test_repeated_zero_survivor_sweeps_accumulate_dark(self):
+        heap = make_heap(heap_mb=128)
+        for i in range(1, 6):
+            heap.allocate(10 * MB)
+            freed = heap.reclaim(surviving_fraction=0.0,
+                                 dark_matter_added=1 * MB)
+            assert freed == 9 * MB
+            assert heap.live_bytes == 0
+            assert heap.allocated_since_gc == 0
+            assert heap.dark_matter_bytes == i * MB
+
+    def test_compact_after_exhaustion_recovers(self):
+        heap = make_heap(heap_mb=64)
+        heap.set_live(30 * MB)
+        heap.allocate(20 * MB)
+        heap.reclaim(surviving_fraction=0.0, dark_matter_added=20 * MB)
+        with pytest.raises(HeapExhaustedError):
+            heap.allocate(15 * MB)  # live 30 + dark 20 + 15 > 64
+        assert heap.compact() == 20 * MB
+        heap.allocate(15 * MB)  # now fits
+        assert heap.used_bytes == 45 * MB
+
+    def test_exhaustion_message_reports_populations(self):
+        heap = make_heap(heap_mb=64)
+        heap.set_live(40 * MB)
+        heap.allocate(10 * MB)
+        heap.reclaim(surviving_fraction=0.0, dark_matter_added=10 * MB)
+        heap.allocate(5 * MB)
+        with pytest.raises(HeapExhaustedError) as exc:
+            heap.allocate(20 * MB)
+        message = str(exc.value)
+        assert f"request of {20 * MB} bytes" in message
+        assert f"capacity {64 * MB}" in message
+        assert f"live {40 * MB}" in message
+        assert f"fresh {5 * MB}" in message
+        assert f"dark matter {10 * MB}" in message
+        assert f"free {9 * MB}" in message
+
+    def test_failed_allocation_changes_nothing(self):
+        heap = make_heap(heap_mb=64)
+        heap.set_live(60 * MB)
+        before = (heap.live_bytes, heap.allocated_since_gc,
+                  heap.dark_matter_bytes)
+        with pytest.raises(HeapExhaustedError):
+            heap.allocate(10 * MB)
+        assert (heap.live_bytes, heap.allocated_since_gc,
+                heap.dark_matter_bytes) == before

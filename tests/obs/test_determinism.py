@@ -67,6 +67,80 @@ class TestSutRunIdentical:
         assert obs.metrics.value("jvm.gc.collections") == len(baseline.gc_events)
 
 
+class TestObjProfZeroCost:
+    """The object-centric profiler inherits the same contract: charges
+    are pure integer side counters, so a profiled run is bit-identical
+    to an unprofiled one — while the site ledgers genuinely fill."""
+
+    def test_objprof_sut_run_bit_identical(self, quick_config, quick_run):
+        from repro.obs import objprof
+
+        with objprof.profile_objects() as prof:
+            profiled = SystemUnderTest(quick_config).run()
+        baseline = quick_run
+        assert profiled.timeline.records == baseline.timeline.records
+        assert profiled.gc_events == baseline.gc_events
+        assert profiled.responses == baseline.responses
+        assert profiled.rejected == baseline.rejected
+        assert profiled.db_hit_ratio == baseline.db_hit_ratio
+        assert profiled.final_heap_used == baseline.final_heap_used
+        # Non-vacuity: the heap was observed at site granularity.
+        assert prof.ledgers
+        ledger = prof.ledgers[0]
+        assert sum(ledger.allocated_total) > 0
+        assert all(ledger.reconcile().values())
+
+    def test_objprof_sampled_windows_bit_identical(self, quick_config):
+        from repro.core.characterization import Characterization
+        from repro.obs import objprof
+
+        def sample(n=6):
+            return Characterization(quick_config).sample_windows(n)
+
+        baseline = sample()
+        with objprof.profile_objects() as prof:
+            profiled = sample()
+        # Event enums don't order; compare by-name dicts per window.
+        assert [
+            {e.name: v for e, v in s.snapshot.counts.items()}
+            for s in profiled
+        ] == [
+            {e.name: v for e, v in s.snapshot.counts.items()}
+            for s in baseline
+        ]
+        # Non-vacuity: misses were charged while sampling, and every
+        # sampled-window L1D load miss is among the charges (warmup
+        # windows are profiled too, hence >=).
+        from repro.hpm.events import Event
+
+        sampled = sum(s.snapshot[Event.PM_LD_MISS_L1] for s in baseline)
+        charged = prof.build_profile().total(objprof.SLOT_LD_MISS)
+        assert charged >= sampled > 0
+
+    def test_objprof_declines_vector_engine(self, quick_config):
+        from repro.core.characterization import Characterization
+        from repro.cpu.vector import vector_supported
+        from repro.obs import objprof
+
+        study = Characterization(quick_config)
+        with objprof.profile_objects():
+            ok, reason = vector_supported(study.core, study.space)
+            assert not ok
+            assert "objprof" in reason
+
+    def test_objprof_bypasses_run_cache(self, quick_config):
+        from repro.obs import objprof
+
+        cache = RunCache()
+        cache.get_or_run(quick_config)
+        with objprof.profile_objects() as prof:
+            cache.get_or_run(quick_config)
+        # The profiled lookup simulated (a replay would never build a
+        # heap, so the ledger would stay empty).
+        assert cache.stats.misses == 2
+        assert prof.ledgers
+
+
 class TestSamplerZeroCost:
     """The performance observatory inherits the zero-cost contract:
     sampling the host stack reads frames, never touches the science."""

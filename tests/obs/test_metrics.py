@@ -121,3 +121,82 @@ class TestRendering:
 
     def test_default_bounds_are_sorted(self):
         assert tuple(sorted(DEFAULT_BOUNDS)) == DEFAULT_BOUNDS
+
+
+class TestSnapshotDelta:
+    """:func:`snapshot_delta` — windowed differencing of snapshots."""
+
+    def _registry(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        reg = MetricsRegistry()
+        reg.counter("req", {"tier": "web"}).inc(10)
+        reg.gauge("heap").set(100.0)
+        reg.histogram("pause", bounds=(1.0, 10.0)).observe(0.5)
+        return reg
+
+    def test_counter_deltas_union_of_keys(self):
+        from repro.obs.metrics import snapshot_delta
+
+        reg = self._registry()
+        before = reg.snapshot()
+        reg.counter("req", {"tier": "web"}).inc(5)
+        reg.counter("req", {"tier": "db"}).inc(3)  # appears after only
+        delta = snapshot_delta(before, reg.snapshot())
+        assert delta["counters"]["req{tier=web}"] == 5
+        assert delta["counters"]["req{tier=db}"] == 3
+
+    def test_gauge_delta_keeps_latest_value(self):
+        from repro.obs.metrics import snapshot_delta
+
+        reg = self._registry()
+        before = reg.snapshot()
+        reg.gauge("heap").set(140.0)
+        reg.gauge("heap").set(130.0)
+        delta = snapshot_delta(before, reg.snapshot())
+        assert delta["gauges"]["heap"] == {
+            "value": 130.0, "delta": 30.0, "updates": 2
+        }
+
+    def test_histogram_bucket_and_sum_deltas(self):
+        from repro.obs.metrics import snapshot_delta
+
+        reg = self._registry()
+        before = reg.snapshot()
+        reg.histogram("pause", bounds=(1.0, 10.0)).observe(2.0)
+        reg.histogram("pause", bounds=(1.0, 10.0)).observe(100.0)
+        delta = snapshot_delta(before, reg.snapshot())
+        hist = delta["histograms"]["pause"]
+        assert hist["count"] == 2
+        assert hist["sum"] == pytest.approx(102.0)
+        assert hist["mean"] == pytest.approx(51.0)
+        assert hist["buckets"] == [0, 1]
+        assert hist["overflow"] == 1
+
+    def test_identical_snapshots_delta_to_zero(self):
+        from repro.obs.metrics import snapshot_delta
+
+        snap = self._registry().snapshot()
+        delta = snapshot_delta(snap, snap)
+        assert set(delta["counters"].values()) == {0.0}
+        assert all(g["delta"] == 0.0 for g in delta["gauges"].values())
+        assert all(h["count"] == 0 for h in delta["histograms"].values())
+
+    def test_changed_histogram_bounds_raise(self):
+        from repro.obs.metrics import MetricsRegistry, snapshot_delta
+
+        before = self._registry().snapshot()
+        other = MetricsRegistry()
+        other.histogram("pause", bounds=(5.0,)).observe(1.0)
+        with pytest.raises(ValueError):
+            snapshot_delta(before, other.snapshot())
+
+    def test_registry_method_matches_function(self):
+        from repro.obs.metrics import snapshot_delta
+
+        reg = self._registry()
+        before = reg.snapshot()
+        reg.counter("req", {"tier": "web"}).inc(1)
+        assert reg.snapshot_delta(before) == snapshot_delta(
+            before, reg.snapshot()
+        )

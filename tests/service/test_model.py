@@ -97,6 +97,27 @@ class TestValidation:
         )
         assert spec.params == {"only": ["fig02_throughput", "fig03_gc"]}
 
+    def test_objprof_defaults_and_validation(self, service_config_dict):
+        bare = spec_for(service_config_dict, kind="objprof")
+        assert bare.params == {"windows": 48, "top": 5, "validate": True}
+        spelled = spec_for(
+            service_config_dict,
+            kind="objprof",
+            params={"windows": 48, "top": 5, "validate": True},
+        )
+        assert bare.key == spelled.key
+        with pytest.raises(JobValidationError):
+            spec_for(service_config_dict, kind="objprof", params={"top": 0})
+        with pytest.raises(JobValidationError):
+            spec_for(
+                service_config_dict, kind="objprof", params={"validate": 1}
+            )
+        with pytest.raises(JobValidationError) as err:
+            spec_for(
+                service_config_dict, kind="objprof", params={"number": 3}
+            )
+        assert err.value.code == "invalid-params"
+
 
 class TestIdentity:
     def test_defaults_fill_in(self, service_config_dict):
@@ -162,4 +183,32 @@ class TestIdentity:
 
 
 def test_kind_catalog_is_stable():
-    assert KINDS == ("characterize", "figure", "sweep", "conform")
+    assert KINDS == ("characterize", "figure", "sweep", "conform", "objprof")
+
+
+def test_every_kind_has_a_handler():
+    from repro.service.executor import _HANDLERS
+
+    assert set(_HANDLERS) == set(KINDS)
+
+
+def test_objprof_job_executes_to_cli_identical_body(service_config_dict):
+    """An ``objprof`` job's artifact body is exactly the rendered
+    experiment report the CLI prints (science-neutrality contract)."""
+    from repro.experiments import exp_objprof
+    from repro.service.executor import execute_spec
+
+    spec = parse_job_request(
+        {
+            "kind": "objprof",
+            "config": service_config_dict,
+            "params": {"windows": 6, "validate": False},
+        }
+    )
+    result = execute_spec(spec)
+    expected = exp_objprof.run(
+        spec.config(), hw_windows=6, top_n=5, validate=False
+    )
+    assert result["body"] == "\n".join(expected.render_lines()) + "\n"
+    assert result["manifest"]["kind"] == "objprof"
+    assert "object-centric site profile" in result["body"]
